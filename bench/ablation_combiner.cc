@@ -1,0 +1,49 @@
+// Ablation: Send-V's mapper-side aggregation. Hadoop's default pipeline
+// emits one pair per record and relies on the Combiner; the paper's mappers
+// aggregate in a hash map and emit from Close. Wire cost matches when the
+// combiner is on; turning it off shows the full O(n)-pair shuffle.
+#include "common/bench_common.h"
+
+namespace wavemr {
+namespace bench {
+namespace {
+
+void Main() {
+  BenchDefaults d = BenchDefaults::FromEnv();
+  PrintFigureHeader("Ablation: Send-V combiner",
+                    "supports Section 4's note that combining is the standard "
+                    "optimization for any MapReduce job",
+                    d);
+
+  ZipfDataset ds(d.ZipfOptions());
+  Table table("Send-V shuffle under three pipelines",
+              {"pipeline", "pairs", "comm (bytes)", "time (s)"});
+
+  auto row = [&](const char* name, const BuildOptions& opt) {
+    auto result = BuildWaveletHistogram(ds, AlgorithmKind::kSendV, opt);
+    WAVEMR_CHECK(result.ok());
+    const RoundStats& r = result->stats.rounds[0];
+    table.AddRow({name, std::to_string(r.shuffle_pairs), FmtBytes(r.shuffle_bytes),
+                  FmtSeconds(result->stats.TotalSeconds())});
+  };
+
+  BuildOptions in_mapper = d.Build();
+  row("aggregate in mapper (paper)", in_mapper);
+
+  BuildOptions combine = d.Build();
+  combine.send_v_emit_per_record = true;
+  row("per-record emit + combiner", combine);
+
+  BuildOptions raw = d.Build();
+  raw.send_v_emit_per_record = true;
+  raw.send_v_disable_combiner = true;
+  row("per-record emit, no combiner", raw);
+
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavemr
+
+int main() { wavemr::bench::Main(); }

@@ -1,0 +1,36 @@
+// Ablation: the GCS search degree (GCS-2/4/8/16). Higher degree means fewer
+// hierarchy levels (cheaper per-item updates -- why the paper picks GCS-8)
+// but coarser group energies during the top-k search.
+#include "common/bench_common.h"
+
+namespace wavemr {
+namespace bench {
+namespace {
+
+void Main() {
+  BenchDefaults d = BenchDefaults::FromEnv();
+  PrintFigureHeader("Ablation: GCS search degree (paper uses GCS-8)",
+                    "update cost vs recovery quality trade-off", d);
+
+  ZipfDataset ds(d.ZipfOptions());
+  std::vector<WCoeff> truth = TrueCoefficients(ds);
+  Table table("Send-Sketch under different GCS degrees",
+              {"degree", "levels", "updates/item", "comm (bytes)", "time (s)", "SSE"});
+  for (uint32_t bits : {1u, 2u, 3u, 4u}) {
+    BuildOptions opt = d.Build();
+    opt.gcs.degree_bits = bits;
+    WaveletGcs probe(ds.info().domain_size, opt.gcs);
+    Measurement m = Run(ds, AlgorithmKind::kSendSketch, opt, &truth);
+    table.AddRow({"GCS-" + std::to_string(1u << bits),
+                  std::to_string(probe.num_levels()),
+                  std::to_string(probe.CounterUpdatesPerDataPoint()),
+                  FmtBytes(m.comm_bytes), FmtSeconds(m.seconds), FmtSci(m.sse)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavemr
+
+int main() { wavemr::bench::Main(); }

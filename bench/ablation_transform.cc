@@ -1,0 +1,40 @@
+// Ablation: O(|v_j| log u) sparse local transform (Gilbert et al. [20], the
+// paper's Appendix A choice) vs the O(u) dense transform of [26] inside the
+// exact methods' mappers. Same histograms; different simulated map time.
+#include "common/bench_common.h"
+
+namespace wavemr {
+namespace bench {
+namespace {
+
+void Main() {
+  BenchDefaults d = BenchDefaults::FromEnv();
+  PrintFigureHeader("Ablation: sparse vs dense local wavelet transform",
+                    "supports the paper's Appendix A implementation choice", d);
+
+  Table table("simulated running time (seconds)",
+              {"log2(u)", "H-WTopk sparse", "H-WTopk dense", "Send-Coef sparse",
+               "Send-Coef dense"});
+  // The crossover matters: below ~2^16 the dense O(u) pass is cheaper than
+  // O(|v_j| log u) hashing; the paper's u = 2^29 is deep in sparse territory.
+  for (uint32_t log_u : {12u, 14u, 16u, 18u, 20u}) {
+    ZipfDatasetOptions zopt = d.ZipfOptions();
+    zopt.domain_size = uint64_t{1} << log_u;
+    ZipfDataset ds(zopt);
+    BuildOptions sparse = d.Build();
+    BuildOptions dense = d.Build();
+    dense.use_dense_local_transform = true;
+    table.AddRow({std::to_string(log_u),
+                  FmtSeconds(Run(ds, AlgorithmKind::kHWTopk, sparse, nullptr).seconds),
+                  FmtSeconds(Run(ds, AlgorithmKind::kHWTopk, dense, nullptr).seconds),
+                  FmtSeconds(Run(ds, AlgorithmKind::kSendCoef, sparse, nullptr).seconds),
+                  FmtSeconds(Run(ds, AlgorithmKind::kSendCoef, dense, nullptr).seconds)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavemr
+
+int main() { wavemr::bench::Main(); }

@@ -1,0 +1,126 @@
+#include "common/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace wavemr {
+namespace bench {
+
+BenchDefaults BenchDefaults::FromEnv() {
+  BenchDefaults d;
+  const char* scale = std::getenv("WAVEMR_SCALE");
+  if (scale != nullptr && std::strcmp(scale, "large") == 0) {
+    d.n <<= 2;
+    d.u <<= 2;
+    d.m <<= 2;
+    d.epsilon /= 2.0;  // keep sample fraction 1/(eps^2 n) constant
+  }
+  return d;
+}
+
+ZipfDatasetOptions BenchDefaults::ZipfOptions() const {
+  ZipfDatasetOptions opt;
+  opt.num_records = n;
+  opt.domain_size = u;
+  opt.alpha = alpha;
+  opt.num_splits = m;
+  opt.record_bytes = record_bytes;
+  opt.seed = seed;
+  return opt;
+}
+
+BuildOptions BenchDefaults::Build() const {
+  BuildOptions opt;
+  opt.k = k;
+  opt.epsilon = epsilon;
+  opt.seed = seed;
+  opt.cost_model.bandwidth_fraction = bandwidth;
+  opt.cost_model.time_scale = paper_n / static_cast<double>(n);
+  opt.gcs.total_bytes = gcs_bytes_per_log_u * Log2Floor(u);
+  return opt;
+}
+
+Measurement Run(const Dataset& ds, AlgorithmKind kind, const BuildOptions& opt,
+                const std::vector<WCoeff>* truth) {
+  auto result = BuildWaveletHistogram(ds, kind, opt);
+  WAVEMR_CHECK(result.ok()) << AlgorithmName(kind) << ": "
+                            << result.status().ToString();
+  Measurement m;
+  m.comm_bytes = result->stats.TotalCommBytes();
+  m.seconds = result->stats.TotalSeconds();
+  if (truth != nullptr) {
+    m.sse = SseAgainstTrueCoefficients(result->histogram, *truth);
+  }
+  return m;
+}
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+void Table::Print() const {
+  std::printf("\n%s\n", title_.c_str());
+  std::vector<size_t> width(columns_.size(), 0);
+  for (size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      std::printf("%s%-*s", c == 0 ? "  " : "  | ", static_cast<int>(width[c]),
+                  cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  size_t total = 2;
+  for (size_t c = 0; c < columns_.size(); ++c) total += width[c] + 4;
+  std::printf("  %s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FmtBytes(uint64_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3e", static_cast<double>(bytes));
+  return buf;
+}
+
+std::string FmtSeconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3e", s);
+  return buf;
+}
+
+std::string FmtSci(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3e", v);
+  return buf;
+}
+
+void PrintFigureHeader(const std::string& figure, const std::string& paper_setup,
+                       const BenchDefaults& d) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("Paper setup : %s\n", paper_setup.c_str());
+  std::printf(
+      "Scaled setup: n=%llu  u=2^%u  m=%llu  alpha=%.2f  k=%zu  eps=%.4g  B=%.0f%%\n",
+      static_cast<unsigned long long>(d.n), Log2Floor(d.u),
+      static_cast<unsigned long long>(d.m), d.alpha, d.k, d.epsilon,
+      d.bandwidth * 100.0);
+  std::printf(
+      "Ratios preserved from the paper: sample fraction 1/(eps^2 n), data\n"
+      "density n/u, split count m; absolute sizes are scaled down so the\n"
+      "whole suite runs on one core (see DESIGN.md / EXPERIMENTS.md).\n"
+      "Communication is measured in real bytes at the scaled size; running\n"
+      "time is simulated at PAPER scale (work time x n_paper/n), so seconds\n"
+      "are directly comparable to the paper's time figures.\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace wavemr

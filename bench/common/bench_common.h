@@ -1,0 +1,85 @@
+#ifndef WAVEMR_BENCH_COMMON_BENCH_COMMON_H_
+#define WAVEMR_BENCH_COMMON_BENCH_COMMON_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/frequency.h"
+#include "histogram/builder.h"
+
+namespace wavemr {
+namespace bench {
+
+/// Scaled-down defaults preserving the paper's ratios (DESIGN.md section 1).
+/// Paper defaults: n = 13.4e9 (50 GB), u = 2^29, m = 200 (256 MB splits),
+/// k = 30, eps = 1e-4 (sample = 0.75% of n), B = 50%, alpha = 1.1.
+/// Scaled:         n = 2^20,            u = 2^16, m = 64,
+///                 k = 30, eps = 1e-2 (sample = 1% of n),   B = 50%.
+/// WAVEMR_SCALE=large multiplies n, u, m by 4 for a closer look.
+struct BenchDefaults {
+  uint64_t n = uint64_t{1} << 22;
+  uint64_t u = uint64_t{1} << 17;
+  uint64_t m = 64;
+  double alpha = 1.1;
+  size_t k = 30;
+  /// Paper: eps = 1e-4 puts the sample at 0.75% of n; 0.0056 reproduces that
+  /// fraction at the scaled n (1/eps^2 = 31.9k of 4.2M records).
+  double epsilon = 0.0056;
+  double bandwidth = 0.5;
+  uint64_t seed = 42;
+  uint32_t record_bytes = 4;
+  /// Scaled analogue of the paper's 20KB*log2(u) GCS budget (the constant
+  /// shrinks with the dataset so the sketch remains smaller than the data;
+  /// see EXPERIMENTS.md on what does and does not scale).
+  uint64_t gcs_bytes_per_log_u = 2048;
+
+  /// The paper's default record count; cost-model time is scaled by
+  /// paper_n / n so simulated seconds are paper-scale (CostModel::time_scale).
+  double paper_n = 13.4e9;
+
+  static BenchDefaults FromEnv();
+
+  ZipfDatasetOptions ZipfOptions() const;
+  BuildOptions Build() const;
+};
+
+/// One algorithm execution, reduced to the three quantities the paper plots.
+struct Measurement {
+  uint64_t comm_bytes = 0;
+  double seconds = 0.0;
+  double sse = 0.0;
+};
+
+/// Runs `kind` over `ds`; computes SSE against `truth` when provided.
+Measurement Run(const Dataset& ds, AlgorithmKind kind, const BuildOptions& opt,
+                const std::vector<WCoeff>* truth);
+
+/// Aligned fixed-width table printer (one per sub-figure).
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formatting helpers: scientific for the paper's log-scale axes.
+std::string FmtBytes(uint64_t bytes);
+std::string FmtSeconds(double s);
+std::string FmtSci(double v);
+
+/// Prints the figure banner: what the paper plots, and the scaled-vs-paper
+/// parameter mapping.
+void PrintFigureHeader(const std::string& figure, const std::string& paper_setup,
+                       const BenchDefaults& d);
+
+}  // namespace bench
+}  // namespace wavemr
+
+#endif  // WAVEMR_BENCH_COMMON_BENCH_COMMON_H_

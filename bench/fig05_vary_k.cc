@@ -1,0 +1,46 @@
+// Figure 5: communication (a) and end-to-end running time (b) of all
+// algorithms as the synopsis size k varies from 10 to 50.
+#include "common/bench_common.h"
+
+namespace wavemr {
+namespace bench {
+namespace {
+
+void Main() {
+  BenchDefaults d = BenchDefaults::FromEnv();
+  PrintFigureHeader(
+      "Figure 5: cost analysis, vary k",
+      "Zipf alpha=1.1, 50GB (n=13.4e9), u=2^29, m=200, eps=1e-4, B=50%", d);
+
+  ZipfDataset ds(d.ZipfOptions());
+  const std::vector<AlgorithmKind> algos = {
+      AlgorithmKind::kSendV, AlgorithmKind::kHWTopk, AlgorithmKind::kSendSketch,
+      AlgorithmKind::kImprovedS, AlgorithmKind::kTwoLevelS};
+
+  std::vector<std::string> cols = {"k"};
+  for (AlgorithmKind a : algos) cols.emplace_back(AlgorithmName(a));
+  Table comm("(a) communication (bytes)", cols);
+  Table time("(b) running time (seconds)", cols);
+
+  for (size_t k : {10u, 20u, 30u, 40u, 50u}) {
+    BuildOptions opt = d.Build();
+    opt.k = k;
+    std::vector<std::string> comm_row = {std::to_string(k)};
+    std::vector<std::string> time_row = {std::to_string(k)};
+    for (AlgorithmKind a : algos) {
+      Measurement m = Run(ds, a, opt, nullptr);
+      comm_row.push_back(FmtBytes(m.comm_bytes));
+      time_row.push_back(FmtSeconds(m.seconds));
+    }
+    comm.AddRow(comm_row);
+    time.AddRow(time_row);
+  }
+  comm.Print();
+  time.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavemr
+
+int main() { wavemr::bench::Main(); }

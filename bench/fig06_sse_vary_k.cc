@@ -1,0 +1,43 @@
+// Figure 6: SSE of the reconstructed frequency vector vs k, including the
+// "Ideal SSE" line (the best possible k-term synopsis). Exact methods sit on
+// the ideal line; TwoLevel-S tracks it; Improved-S drifts (bias).
+#include "common/bench_common.h"
+
+namespace wavemr {
+namespace bench {
+namespace {
+
+void Main() {
+  BenchDefaults d = BenchDefaults::FromEnv();
+  PrintFigureHeader("Figure 6: SSE, vary k",
+                    "Zipf defaults; Send-V/H-WTopk coincide with Ideal SSE", d);
+
+  ZipfDataset ds(d.ZipfOptions());
+  std::vector<WCoeff> truth = TrueCoefficients(ds);
+
+  const std::vector<AlgorithmKind> algos = {
+      AlgorithmKind::kSendV, AlgorithmKind::kHWTopk, AlgorithmKind::kSendSketch,
+      AlgorithmKind::kImprovedS, AlgorithmKind::kTwoLevelS};
+  std::vector<std::string> cols = {"k"};
+  for (AlgorithmKind a : algos) cols.emplace_back(AlgorithmName(a));
+  cols.emplace_back("Ideal SSE");
+  Table table("SSE (sum of squared errors vs true frequency vector)", cols);
+
+  for (size_t k : {10u, 20u, 30u, 40u, 50u}) {
+    BuildOptions opt = d.Build();
+    opt.k = k;
+    std::vector<std::string> row = {std::to_string(k)};
+    for (AlgorithmKind a : algos) {
+      row.push_back(FmtSci(Run(ds, a, opt, &truth).sse));
+    }
+    row.push_back(FmtSci(IdealSse(truth, k)));
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavemr
+
+int main() { wavemr::bench::Main(); }

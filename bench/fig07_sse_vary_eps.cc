@@ -1,0 +1,39 @@
+// Figure 7: SSE of the sampling methods as eps varies; H-WTopk provides the
+// ideal reference line (it is exact regardless of eps).
+#include "common/bench_common.h"
+
+namespace wavemr {
+namespace bench {
+namespace {
+
+void Main() {
+  BenchDefaults d = BenchDefaults::FromEnv();
+  PrintFigureHeader("Figure 7: SSE, vary eps",
+                    "paper eps in [1e-5, 1e-1]; scaled range keeps 1/(eps^2 n) "
+                    "spanning 'all records' down to 'a handful'",
+                    d);
+
+  ZipfDataset ds(d.ZipfOptions());
+  std::vector<WCoeff> truth = TrueCoefficients(ds);
+
+  Table table("SSE (H-WTopk = ideal reference)",
+              {"eps", "H-WTopk", "Improved-S", "TwoLevel-S", "Ideal SSE"});
+  Measurement exact = Run(ds, AlgorithmKind::kHWTopk, d.Build(), &truth);
+  for (double eps : {0.002, 0.005, 0.01, 0.02, 0.05, 0.1}) {
+    BuildOptions opt = d.Build();
+    opt.epsilon = eps;
+    std::vector<std::string> row = {FmtSci(eps)};
+    row.push_back(FmtSci(exact.sse));
+    row.push_back(FmtSci(Run(ds, AlgorithmKind::kImprovedS, opt, &truth).sse));
+    row.push_back(FmtSci(Run(ds, AlgorithmKind::kTwoLevelS, opt, &truth).sse));
+    row.push_back(FmtSci(IdealSse(truth, opt.k)));
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavemr
+
+int main() { wavemr::bench::Main(); }

@@ -1,0 +1,40 @@
+// Figure 8: communication (a) and running time (b) of the sampling methods
+// as eps varies. Basic-S is included as a supplementary series (the paper
+// analyzes it in Section 4 but plots only Improved-S and TwoLevel-S).
+#include "common/bench_common.h"
+
+namespace wavemr {
+namespace bench {
+namespace {
+
+void Main() {
+  BenchDefaults d = BenchDefaults::FromEnv();
+  PrintFigureHeader("Figure 8: sampling methods, vary eps",
+                    "costs grow as eps shrinks (right to left in the paper)", d);
+
+  ZipfDataset ds(d.ZipfOptions());
+  Table comm("(a) communication (bytes)",
+             {"eps", "Basic-S", "Improved-S", "TwoLevel-S"});
+  Table time("(b) running time (seconds)",
+             {"eps", "Basic-S", "Improved-S", "TwoLevel-S"});
+
+  for (double eps : {0.002, 0.005, 0.01, 0.02, 0.05, 0.1}) {
+    BuildOptions opt = d.Build();
+    opt.epsilon = eps;
+    Measurement basic = Run(ds, AlgorithmKind::kBasicS, opt, nullptr);
+    Measurement improved = Run(ds, AlgorithmKind::kImprovedS, opt, nullptr);
+    Measurement twolevel = Run(ds, AlgorithmKind::kTwoLevelS, opt, nullptr);
+    comm.AddRow({FmtSci(eps), FmtBytes(basic.comm_bytes), FmtBytes(improved.comm_bytes),
+                 FmtBytes(twolevel.comm_bytes)});
+    time.AddRow({FmtSci(eps), FmtSeconds(basic.seconds), FmtSeconds(improved.seconds),
+                 FmtSeconds(twolevel.seconds)});
+  }
+  comm.Print();
+  time.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavemr
+
+int main() { wavemr::bench::Main(); }

@@ -1,0 +1,50 @@
+// Figure 9: communication (a) and running time (b) required by each
+// approximation method to reach a given SSE. Sweeps each method's knob
+// (eps for the samplers, sketch space for Send-Sketch) and reports
+// (SSE, comm, time) triples; the paper's circled defaults are marked.
+#include "common/bench_common.h"
+
+namespace wavemr {
+namespace bench {
+namespace {
+
+void Main() {
+  BenchDefaults d = BenchDefaults::FromEnv();
+  PrintFigureHeader("Figure 9: cost vs achieved SSE (approximate methods)",
+                    "each row is one knob setting of one method", d);
+
+  ZipfDataset ds(d.ZipfOptions());
+  std::vector<WCoeff> truth = TrueCoefficients(ds);
+
+  Table table("cost vs SSE ('*' marks the default setting)",
+              {"method", "knob", "SSE", "comm (bytes)", "time (s)"});
+
+  for (double eps : {0.002, 0.005, 0.01, 0.02, 0.05}) {
+    for (AlgorithmKind a : {AlgorithmKind::kImprovedS, AlgorithmKind::kTwoLevelS}) {
+      BuildOptions opt = d.Build();
+      opt.epsilon = eps;
+      Measurement m = Run(ds, a, opt, &truth);
+      std::string knob = "eps=" + FmtSci(eps) + (eps == d.epsilon ? " *" : "");
+      table.AddRow({AlgorithmName(a), knob, FmtSci(m.sse), FmtBytes(m.comm_bytes),
+                    FmtSeconds(m.seconds)});
+    }
+  }
+  uint64_t default_bytes = d.Build().gcs.total_bytes;
+  for (uint64_t bytes :
+       {default_bytes / 4, default_bytes, default_bytes * 4, default_bytes * 16}) {
+    BuildOptions opt = d.Build();
+    opt.gcs.total_bytes = bytes;
+    Measurement m = Run(ds, AlgorithmKind::kSendSketch, opt, &truth);
+    std::string knob =
+        "space=" + FmtBytes(bytes) + (bytes == default_bytes ? " *" : "");
+    table.AddRow({"Send-Sketch", knob, FmtSci(m.sse), FmtBytes(m.comm_bytes),
+                  FmtSeconds(m.seconds)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavemr
+
+int main() { wavemr::bench::Main(); }

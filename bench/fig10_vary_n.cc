@@ -1,0 +1,50 @@
+// Figure 10: communication (a) and running time (b) vs dataset size n.
+// As in the paper, the split size stays fixed, so m grows with n.
+#include "common/bench_common.h"
+
+namespace wavemr {
+namespace bench {
+namespace {
+
+void Main() {
+  BenchDefaults d = BenchDefaults::FromEnv();
+  PrintFigureHeader("Figure 10: cost analysis, vary n",
+                    "paper: 10GB..200GB (n = 2.7e9..54e9), m grows with n", d);
+
+  const std::vector<AlgorithmKind> algos = {
+      AlgorithmKind::kSendV, AlgorithmKind::kHWTopk, AlgorithmKind::kSendSketch,
+      AlgorithmKind::kImprovedS, AlgorithmKind::kTwoLevelS};
+  std::vector<std::string> cols = {"n"};
+  for (AlgorithmKind a : algos) cols.emplace_back(AlgorithmName(a));
+  Table comm("(a) communication (bytes)", cols);
+  Table time("(b) running time (seconds)", cols);
+
+  for (uint64_t shift : {2u, 1u, 0u}) {  // n/4, n/2, n
+    for (uint64_t mult : shift == 0 ? std::vector<uint64_t>{1, 2, 4}
+                                    : std::vector<uint64_t>{1}) {
+      uint64_t n = (d.n >> shift) * mult;
+      ZipfDatasetOptions zopt = d.ZipfOptions();
+      zopt.num_records = n;
+      zopt.num_splits = std::max<uint64_t>(1, (d.m >> shift) * mult);
+      ZipfDataset ds(zopt);
+      BuildOptions opt = d.Build();
+      std::vector<std::string> comm_row = {std::to_string(n)};
+      std::vector<std::string> time_row = {std::to_string(n)};
+      for (AlgorithmKind a : algos) {
+        Measurement m = Run(ds, a, opt, nullptr);
+        comm_row.push_back(FmtBytes(m.comm_bytes));
+        time_row.push_back(FmtSeconds(m.seconds));
+      }
+      comm.AddRow(comm_row);
+      time.AddRow(time_row);
+    }
+  }
+  comm.Print();
+  time.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavemr
+
+int main() { wavemr::bench::Main(); }

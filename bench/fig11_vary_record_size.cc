@@ -1,0 +1,54 @@
+// Figure 11: communication (a) and running time (b) vs record size, with the
+// record *count* fixed (the paper fixes 4,194,304 records and sweeps 4B to
+// 100kB, i.e. 16MB to 400GB and 1 to 1600 splits). Splits are derived from a
+// fixed split size, so m grows with the record size.
+#include "common/bench_common.h"
+
+namespace wavemr {
+namespace bench {
+namespace {
+
+void Main() {
+  BenchDefaults d = BenchDefaults::FromEnv();
+  PrintFigureHeader("Figure 11: cost analysis, vary record size",
+                    "paper: 4.2M records, 4B..100kB records, m = 1..1600", d);
+
+  const uint64_t records = d.n >> 4;           // fixed record count
+  const uint64_t split_bytes = uint64_t{1} << 20;  // scaled split size
+  const std::vector<AlgorithmKind> algos = {
+      AlgorithmKind::kSendV, AlgorithmKind::kHWTopk, AlgorithmKind::kSendSketch,
+      AlgorithmKind::kImprovedS, AlgorithmKind::kTwoLevelS};
+  std::vector<std::string> cols = {"record(B)", "m"};
+  for (AlgorithmKind a : algos) cols.emplace_back(AlgorithmName(a));
+  Table comm("(a) communication (bytes)", cols);
+  Table time("(b) running time (seconds)", cols);
+
+  for (uint32_t record_bytes : {4u, 64u, 1024u, 4096u, 16384u}) {
+    uint64_t total = records * record_bytes;
+    uint64_t m = std::clamp<uint64_t>(total / split_bytes, 1, 1600);
+    ZipfDatasetOptions zopt = d.ZipfOptions();
+    zopt.num_records = records;
+    zopt.record_bytes = record_bytes;
+    zopt.num_splits = m;
+    ZipfDataset ds(zopt);
+    BuildOptions opt = d.Build();
+    std::vector<std::string> comm_row = {std::to_string(record_bytes),
+                                         std::to_string(m)};
+    std::vector<std::string> time_row = comm_row;
+    for (AlgorithmKind a : algos) {
+      Measurement meas = Run(ds, a, opt, nullptr);
+      comm_row.push_back(FmtBytes(meas.comm_bytes));
+      time_row.push_back(FmtSeconds(meas.seconds));
+    }
+    comm.AddRow(comm_row);
+    time.AddRow(time_row);
+  }
+  comm.Print();
+  time.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavemr
+
+int main() { wavemr::bench::Main(); }

@@ -1,0 +1,48 @@
+// Figure 12: communication (a) and running time (b) vs domain size u -- the
+// one experiment that includes Send-Coef, whose nonzero local coefficient
+// count grows with u until it loses to Send-V everywhere.
+#include "common/bench_common.h"
+
+namespace wavemr {
+namespace bench {
+namespace {
+
+void Main() {
+  BenchDefaults d = BenchDefaults::FromEnv();
+  PrintFigureHeader("Figure 12: cost analysis, vary u",
+                    "paper: log2(u) = 8..32 at fixed n; Send-Coef included", d);
+
+  const std::vector<AlgorithmKind> algos = {
+      AlgorithmKind::kSendV,     AlgorithmKind::kSendCoef,
+      AlgorithmKind::kHWTopk,    AlgorithmKind::kSendSketch,
+      AlgorithmKind::kImprovedS, AlgorithmKind::kTwoLevelS};
+  std::vector<std::string> cols = {"log2(u)"};
+  for (AlgorithmKind a : algos) cols.emplace_back(AlgorithmName(a));
+  Table comm("(a) communication (bytes)", cols);
+  Table time("(b) running time (seconds)", cols);
+
+  for (uint32_t log_u : {10u, 12u, 14u, 16u, 18u}) {
+    ZipfDatasetOptions zopt = d.ZipfOptions();
+    zopt.domain_size = uint64_t{1} << log_u;
+    ZipfDataset ds(zopt);
+    BuildOptions opt = d.Build();
+    opt.gcs.total_bytes = d.gcs_bytes_per_log_u * log_u;  // paper's space rule
+    std::vector<std::string> comm_row = {std::to_string(log_u)};
+    std::vector<std::string> time_row = {std::to_string(log_u)};
+    for (AlgorithmKind a : algos) {
+      Measurement m = Run(ds, a, opt, nullptr);
+      comm_row.push_back(FmtBytes(m.comm_bytes));
+      time_row.push_back(FmtSeconds(m.seconds));
+    }
+    comm.AddRow(comm_row);
+    time.AddRow(time_row);
+  }
+  comm.Print();
+  time.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavemr
+
+int main() { wavemr::bench::Main(); }

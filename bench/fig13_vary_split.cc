@@ -1,0 +1,52 @@
+// Figure 13: communication (a) and running time (b) vs split size beta, with
+// n fixed (so m shrinks as splits grow). Rows are labeled with the
+// paper-equivalent split size.
+#include "common/bench_common.h"
+
+namespace wavemr {
+namespace bench {
+namespace {
+
+void Main() {
+  BenchDefaults d = BenchDefaults::FromEnv();
+  PrintFigureHeader("Figure 13: cost analysis, vary split size beta",
+                    "paper: beta = 64..512MB, m = 800..100 on the 50GB set", d);
+
+  const std::vector<AlgorithmKind> algos = {
+      AlgorithmKind::kSendV, AlgorithmKind::kHWTopk, AlgorithmKind::kSendSketch,
+      AlgorithmKind::kImprovedS, AlgorithmKind::kTwoLevelS};
+  std::vector<std::string> cols = {"beta(paper)", "m"};
+  for (AlgorithmKind a : algos) cols.emplace_back(AlgorithmName(a));
+  Table comm("(a) communication (bytes)", cols);
+  Table time("(b) running time (seconds)", cols);
+
+  struct Point {
+    const char* beta;
+    uint64_t m;
+  };
+  // m scales inversely with beta; d.m corresponds to the paper's 256MB.
+  for (Point p : {Point{"64MB", d.m * 4}, Point{"128MB", d.m * 2},
+                  Point{"256MB", d.m}, Point{"512MB", d.m / 2}}) {
+    ZipfDatasetOptions zopt = d.ZipfOptions();
+    zopt.num_splits = p.m;
+    ZipfDataset ds(zopt);
+    BuildOptions opt = d.Build();
+    std::vector<std::string> comm_row = {p.beta, std::to_string(p.m)};
+    std::vector<std::string> time_row = comm_row;
+    for (AlgorithmKind a : algos) {
+      Measurement m = Run(ds, a, opt, nullptr);
+      comm_row.push_back(FmtBytes(m.comm_bytes));
+      time_row.push_back(FmtSeconds(m.seconds));
+    }
+    comm.AddRow(comm_row);
+    time.AddRow(time_row);
+  }
+  comm.Print();
+  time.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavemr
+
+int main() { wavemr::bench::Main(); }

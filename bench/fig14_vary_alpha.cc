@@ -1,0 +1,48 @@
+// Figure 14: communication (a) and running time (b) vs Zipf skewness alpha.
+#include "common/bench_common.h"
+
+namespace wavemr {
+namespace bench {
+namespace {
+
+void Main() {
+  BenchDefaults d = BenchDefaults::FromEnv();
+  PrintFigureHeader("Figure 14: cost analysis, vary skewness alpha",
+                    "paper: alpha in {0.8, 1.1, 1.4}; less skew => more "
+                    "distinct keys per split => Send-V pays more",
+                    d);
+
+  const std::vector<AlgorithmKind> algos = {
+      AlgorithmKind::kSendV, AlgorithmKind::kHWTopk, AlgorithmKind::kSendSketch,
+      AlgorithmKind::kImprovedS, AlgorithmKind::kTwoLevelS};
+  std::vector<std::string> cols = {"alpha"};
+  for (AlgorithmKind a : algos) cols.emplace_back(AlgorithmName(a));
+  Table comm("(a) communication (bytes)", cols);
+  Table time("(b) running time (seconds)", cols);
+
+  for (double alpha : {0.8, 1.1, 1.4}) {
+    ZipfDatasetOptions zopt = d.ZipfOptions();
+    zopt.alpha = alpha;
+    ZipfDataset ds(zopt);
+    BuildOptions opt = d.Build();
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.1f", alpha);
+    std::vector<std::string> comm_row = {label};
+    std::vector<std::string> time_row = {label};
+    for (AlgorithmKind a : algos) {
+      Measurement m = Run(ds, a, opt, nullptr);
+      comm_row.push_back(FmtBytes(m.comm_bytes));
+      time_row.push_back(FmtSeconds(m.seconds));
+    }
+    comm.AddRow(comm_row);
+    time.AddRow(time_row);
+  }
+  comm.Print();
+  time.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavemr
+
+int main() { wavemr::bench::Main(); }

@@ -1,0 +1,44 @@
+// Figure 15: SSE vs Zipf skewness alpha; TwoLevel-S stays the best
+// approximation at every skew level.
+#include "common/bench_common.h"
+
+namespace wavemr {
+namespace bench {
+namespace {
+
+void Main() {
+  BenchDefaults d = BenchDefaults::FromEnv();
+  PrintFigureHeader("Figure 15: SSE, vary skewness alpha",
+                    "paper: alpha in {0.8, 1.1, 1.4}", d);
+
+  const std::vector<AlgorithmKind> algos = {
+      AlgorithmKind::kSendV, AlgorithmKind::kHWTopk, AlgorithmKind::kSendSketch,
+      AlgorithmKind::kImprovedS, AlgorithmKind::kTwoLevelS};
+  std::vector<std::string> cols = {"alpha"};
+  for (AlgorithmKind a : algos) cols.emplace_back(AlgorithmName(a));
+  cols.emplace_back("Ideal SSE");
+  Table table("SSE", cols);
+
+  for (double alpha : {0.8, 1.1, 1.4}) {
+    ZipfDatasetOptions zopt = d.ZipfOptions();
+    zopt.alpha = alpha;
+    ZipfDataset ds(zopt);
+    std::vector<WCoeff> truth = TrueCoefficients(ds);
+    BuildOptions opt = d.Build();
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.1f", alpha);
+    std::vector<std::string> row = {label};
+    for (AlgorithmKind a : algos) {
+      row.push_back(FmtSci(Run(ds, a, opt, &truth).sse));
+    }
+    row.push_back(FmtSci(IdealSse(truth, opt.k)));
+    table.AddRow(row);
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavemr
+
+int main() { wavemr::bench::Main(); }

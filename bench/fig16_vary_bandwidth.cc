@@ -1,0 +1,39 @@
+// Figure 16: running time vs available network bandwidth B. Communication
+// volumes are unaffected; Send-V (shuffle-bound) speeds up almost linearly
+// with B while the others barely move.
+#include "common/bench_common.h"
+
+namespace wavemr {
+namespace bench {
+namespace {
+
+void Main() {
+  BenchDefaults d = BenchDefaults::FromEnv();
+  PrintFigureHeader("Figure 16: running time, vary bandwidth B",
+                    "paper: B = 10%..100% of the 100Mbps switch", d);
+
+  ZipfDataset ds(d.ZipfOptions());
+  const std::vector<AlgorithmKind> algos = {
+      AlgorithmKind::kSendV, AlgorithmKind::kHWTopk, AlgorithmKind::kSendSketch,
+      AlgorithmKind::kImprovedS, AlgorithmKind::kTwoLevelS};
+  std::vector<std::string> cols = {"B(%)"};
+  for (AlgorithmKind a : algos) cols.emplace_back(AlgorithmName(a));
+  Table time("running time (seconds)", cols);
+
+  for (double b : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    BuildOptions opt = d.Build();
+    opt.cost_model.bandwidth_fraction = b;
+    std::vector<std::string> row = {std::to_string(static_cast<int>(b * 100))};
+    for (AlgorithmKind a : algos) {
+      row.push_back(FmtSeconds(Run(ds, a, opt, nullptr).seconds));
+    }
+    time.AddRow(row);
+  }
+  time.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavemr
+
+int main() { wavemr::bench::Main(); }

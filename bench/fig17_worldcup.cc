@@ -1,0 +1,56 @@
+// Figure 17: communication (a) and running time (b) on the WorldCup-style
+// dataset (clientobject key over 10x4-byte records) at default parameters.
+#include "common/bench_common.h"
+
+namespace wavemr {
+namespace bench {
+namespace {
+
+WorldCupDatasetOptions ScaledWorldCup(const BenchDefaults& d) {
+  // Paper: 1.35e9 records, u ~ 2^29 with ~400M distinct pairs, 50GB.
+  // Scaled: same record count and split count as the Zipf defaults; the
+  // client x object grid gives u = d.u with a comparable distinct fraction.
+  WorldCupDatasetOptions wc;
+  wc.num_records = d.n;
+  wc.num_clients = d.u >> 6;
+  wc.num_objects = uint64_t{1} << 6;
+  wc.num_splits = d.m;
+  wc.seed = d.seed;
+  return wc;
+}
+
+void Main() {
+  BenchDefaults d = BenchDefaults::FromEnv();
+  PrintFigureHeader("Figure 17: cost analysis, WorldCup dataset",
+                    "paper: 1.35e9 access-log records, clientobject key, "
+                    "u ~ 2^29, 50GB",
+                    d);
+
+  WorldCupDataset ds(ScaledWorldCup(d));
+  std::printf("WorldCup scaled: n=%llu  u=2^%u  m=%llu  distinct keys=%llu\n",
+              static_cast<unsigned long long>(ds.info().num_records),
+              Log2Floor(ds.info().domain_size),
+              static_cast<unsigned long long>(ds.info().num_splits),
+              static_cast<unsigned long long>(CountDistinctKeys(ds)));
+
+  const std::vector<AlgorithmKind> algos = {
+      AlgorithmKind::kSendV, AlgorithmKind::kHWTopk, AlgorithmKind::kSendSketch,
+      AlgorithmKind::kImprovedS, AlgorithmKind::kTwoLevelS};
+  Table comm("(a) communication (bytes)", {"algorithm", "bytes"});
+  Table time("(b) running time (seconds)", {"algorithm", "seconds"});
+  BuildOptions opt = d.Build();
+  opt.gcs.total_bytes = d.gcs_bytes_per_log_u * Log2Floor(ds.info().domain_size);
+  for (AlgorithmKind a : algos) {
+    Measurement m = Run(ds, a, opt, nullptr);
+    comm.AddRow({AlgorithmName(a), FmtBytes(m.comm_bytes)});
+    time.AddRow({AlgorithmName(a), FmtSeconds(m.seconds)});
+  }
+  comm.Print();
+  time.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavemr
+
+int main() { wavemr::bench::Main(); }

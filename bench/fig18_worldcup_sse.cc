@@ -1,0 +1,38 @@
+// Figure 18: SSE of all methods on the WorldCup-style dataset.
+#include "common/bench_common.h"
+
+namespace wavemr {
+namespace bench {
+namespace {
+
+void Main() {
+  BenchDefaults d = BenchDefaults::FromEnv();
+  PrintFigureHeader("Figure 18: SSE on the WorldCup dataset",
+                    "same trends as the Zipf datasets (paper Figure 15)", d);
+
+  WorldCupDatasetOptions wc;
+  wc.num_records = d.n;
+  wc.num_clients = d.u >> 6;
+  wc.num_objects = uint64_t{1} << 6;
+  wc.num_splits = d.m;
+  wc.seed = d.seed;
+  WorldCupDataset ds(wc);
+  std::vector<WCoeff> truth = TrueCoefficients(ds);
+  BuildOptions opt = d.Build();
+  opt.gcs.total_bytes = d.gcs_bytes_per_log_u * Log2Floor(ds.info().domain_size);
+
+  Table table("SSE", {"algorithm", "SSE"});
+  for (AlgorithmKind a :
+       {AlgorithmKind::kSendV, AlgorithmKind::kHWTopk, AlgorithmKind::kSendSketch,
+        AlgorithmKind::kImprovedS, AlgorithmKind::kTwoLevelS}) {
+    table.AddRow({AlgorithmName(a), FmtSci(Run(ds, a, opt, &truth).sse)});
+  }
+  table.AddRow({"Ideal SSE", FmtSci(IdealSse(truth, opt.k))});
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavemr
+
+int main() { wavemr::bench::Main(); }

@@ -1,0 +1,52 @@
+// Figure 19: communication (a) and running time (b) vs achieved SSE on the
+// WorldCup-style dataset (knob sweep per approximate method).
+#include "common/bench_common.h"
+
+namespace wavemr {
+namespace bench {
+namespace {
+
+void Main() {
+  BenchDefaults d = BenchDefaults::FromEnv();
+  PrintFigureHeader("Figure 19: cost vs SSE on the WorldCup dataset",
+                    "knob sweep per approximation method", d);
+
+  WorldCupDatasetOptions wc;
+  wc.num_records = d.n;
+  wc.num_clients = d.u >> 6;
+  wc.num_objects = uint64_t{1} << 6;
+  wc.num_splits = d.m;
+  wc.seed = d.seed;
+  WorldCupDataset ds(wc);
+  std::vector<WCoeff> truth = TrueCoefficients(ds);
+  const uint64_t gcs_default =
+      d.gcs_bytes_per_log_u * Log2Floor(ds.info().domain_size);
+
+  Table table("cost vs SSE ('*' marks the default setting)",
+              {"method", "knob", "SSE", "comm (bytes)", "time (s)"});
+  for (double eps : {0.002, 0.005, 0.01, 0.02, 0.05}) {
+    for (AlgorithmKind a : {AlgorithmKind::kImprovedS, AlgorithmKind::kTwoLevelS}) {
+      BuildOptions opt = d.Build();
+      opt.epsilon = eps;
+      Measurement m = Run(ds, a, opt, &truth);
+      std::string knob = "eps=" + FmtSci(eps) + (eps == d.epsilon ? " *" : "");
+      table.AddRow({AlgorithmName(a), knob, FmtSci(m.sse), FmtBytes(m.comm_bytes),
+                    FmtSeconds(m.seconds)});
+    }
+  }
+  for (uint64_t bytes : {gcs_default / 4, gcs_default, gcs_default * 4}) {
+    BuildOptions opt = d.Build();
+    opt.gcs.total_bytes = bytes;
+    Measurement m = Run(ds, AlgorithmKind::kSendSketch, opt, &truth);
+    std::string knob = "space=" + FmtBytes(bytes) + (bytes == gcs_default ? " *" : "");
+    table.AddRow({"Send-Sketch", knob, FmtSci(m.sse), FmtBytes(m.comm_bytes),
+                  FmtSeconds(m.seconds)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavemr
+
+int main() { wavemr::bench::Main(); }

@@ -1,0 +1,75 @@
+// Microbenchmarks of the data substrate (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "data/record_format.h"
+#include "data/zipf.h"
+
+namespace wavemr {
+namespace {
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution zipf(uint64_t{1} << state.range(0), 1.1);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(16)->Arg(29);
+
+void BM_DatasetScan(benchmark::State& state) {
+  ZipfDatasetOptions opt;
+  opt.num_records = 1 << 18;
+  opt.domain_size = 1 << 16;
+  opt.num_splits = 16;
+  ZipfDataset ds(opt);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    ds.ScanSplit(0, [&sum](uint64_t key) { sum += key; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * ds.SplitRecords(0));
+}
+BENCHMARK(BM_DatasetScan);
+
+void BM_DatasetRandomAccess(benchmark::State& state) {
+  ZipfDatasetOptions opt;
+  opt.num_records = 1 << 18;
+  opt.domain_size = 1 << 16;
+  opt.num_splits = 16;
+  ZipfDataset ds(opt);
+  Rng rng(9);
+  uint64_t n = ds.SplitRecords(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.KeyAt(0, rng.NextBounded(n)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DatasetRandomAccess);
+
+void BM_SampleDistinctIndices(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SampleDistinctIndices(1 << 20, static_cast<uint64_t>(state.range(0)), rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SampleDistinctIndices)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_FeistelApply(benchmark::State& state) {
+  FeistelPermutation perm(11, 29);
+  uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perm.Apply(x++ & ((uint64_t{1} << 29) - 1)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FeistelApply);
+
+}  // namespace
+}  // namespace wavemr
+
+BENCHMARK_MAIN();

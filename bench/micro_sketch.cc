@@ -1,0 +1,62 @@
+// Microbenchmarks of the sketch substrate (google-benchmark). The GCS vs
+// AMS update gap is the reason the paper implements Send-Sketch with GCS.
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "sketch/ams_sketch.h"
+#include "sketch/count_sketch.h"
+#include "sketch/wavelet_gcs.h"
+
+namespace wavemr {
+namespace {
+
+void BM_CountSketchUpdate(benchmark::State& state) {
+  CountSketch sketch(1, 5, 1 << 12);
+  Rng rng(2);
+  for (auto _ : state) {
+    sketch.Update(rng.NextBounded(1 << 20), 1.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountSketchUpdate);
+
+void BM_AmsSketchUpdate(benchmark::State& state) {
+  AmsSketch sketch(1, 5, static_cast<size_t>(state.range(0)));
+  Rng rng(2);
+  for (auto _ : state) {
+    sketch.Update(rng.NextBounded(1 << 20), 1.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AmsSketchUpdate)->Arg(64)->Arg(256);
+
+void BM_WaveletGcsDataUpdate(benchmark::State& state) {
+  const uint64_t u = uint64_t{1} << state.range(0);
+  WaveletGcsOptions opt;
+  opt.total_bytes = 20480ull * state.range(0);
+  WaveletGcs sketch(u, opt);
+  Rng rng(2);
+  for (auto _ : state) {
+    sketch.UpdateData(rng.NextBounded(u), 1.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WaveletGcsDataUpdate)->Arg(16)->Arg(20);
+
+void BM_WaveletGcsTopK(benchmark::State& state) {
+  const uint64_t u = 1 << 16;
+  WaveletGcsOptions opt;
+  opt.total_bytes = 20480ull * 16;
+  WaveletGcs sketch(u, opt);
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) sketch.UpdateData(rng.NextBounded(u), 5.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.FindTopK(30));
+  }
+}
+BENCHMARK(BM_WaveletGcsTopK);
+
+}  // namespace
+}  // namespace wavemr
+
+BENCHMARK_MAIN();

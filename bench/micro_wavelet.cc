@@ -1,0 +1,68 @@
+// Microbenchmarks of the wavelet core (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "wavelet/haar.h"
+#include "wavelet/sparse.h"
+#include "wavelet/topk.h"
+
+namespace wavemr {
+namespace {
+
+std::vector<double> Signal(uint64_t u) {
+  Rng rng(7);
+  std::vector<double> v(u);
+  for (double& x : v) x = rng.NextDouble() * 100.0;
+  return v;
+}
+
+void BM_ForwardHaar(benchmark::State& state) {
+  std::vector<double> v = Signal(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ForwardHaar(v));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ForwardHaar)->Range(1 << 10, 1 << 18);
+
+void BM_InverseHaar(benchmark::State& state) {
+  std::vector<double> w = ForwardHaar(Signal(static_cast<uint64_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InverseHaar(w));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InverseHaar)->Range(1 << 10, 1 << 18);
+
+void BM_SparseHaar(benchmark::State& state) {
+  const uint64_t u = 1 << 20;
+  Rng rng(3);
+  SparseVector v;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    v.emplace_back(rng.NextBounded(u), 1.0 + rng.NextBounded(100));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SparseHaar(v, u));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SparseHaar)->Range(1 << 8, 1 << 14);
+
+void BM_TopKByMagnitude(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<WCoeff> coeffs;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    coeffs.push_back({static_cast<uint64_t>(i), rng.NextDouble() - 0.5});
+  }
+  for (auto _ : state) {
+    std::vector<WCoeff> copy = coeffs;
+    benchmark::DoNotOptimize(TopKByMagnitude(std::move(copy), 30));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TopKByMagnitude)->Range(1 << 10, 1 << 16);
+
+}  // namespace
+}  // namespace wavemr
+
+BENCHMARK_MAIN();

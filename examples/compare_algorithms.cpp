@@ -1,0 +1,58 @@
+// Runs all seven algorithms from the paper over the same dataset and prints
+// the three-way comparison (communication, simulated time, SSE) -- a
+// miniature of the paper's Figures 5 and 6 in one table.
+//
+//   ./examples/compare_algorithms
+#include <cstdio>
+
+#include "data/frequency.h"
+#include "histogram/builder.h"
+
+int main() {
+  using namespace wavemr;
+
+  ZipfDatasetOptions data;
+  data.num_records = 1 << 21;
+  data.domain_size = 1 << 16;
+  data.alpha = 1.1;
+  data.num_splits = 48;
+  ZipfDataset dataset(data);
+
+  BuildOptions options;
+  options.k = 30;
+  options.epsilon = 0.008;
+  options.gcs.total_bytes = 64 * 1024;
+
+  std::vector<WCoeff> truth = TrueCoefficients(dataset);
+  double ideal = IdealSse(truth, options.k);
+
+  std::printf("n=%llu  u=%llu  m=%llu  k=%zu  eps=%g\n",
+              static_cast<unsigned long long>(dataset.info().num_records),
+              static_cast<unsigned long long>(dataset.info().domain_size),
+              static_cast<unsigned long long>(dataset.info().num_splits),
+              options.k, options.epsilon);
+  std::printf("ideal SSE (best possible k-term synopsis): %.3e\n\n", ideal);
+  std::printf("%-12s %7s %14s %12s %14s\n", "algorithm", "rounds", "comm (bytes)",
+              "time (s)", "SSE");
+
+  for (AlgorithmKind kind : AllAlgorithms()) {
+    auto result = BuildWaveletHistogram(dataset, kind, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", AlgorithmName(kind),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-12s %7zu %14llu %12.1f %14.3e\n", AlgorithmName(kind),
+                result->stats.NumRounds(),
+                static_cast<unsigned long long>(result->stats.TotalCommBytes()),
+                result->stats.TotalSeconds(),
+                SseAgainstTrueCoefficients(result->histogram, truth));
+  }
+
+  std::printf(
+      "\nExact methods (Send-V, Send-Coef, H-WTopk) hit the ideal SSE;\n"
+      "H-WTopk does so with orders of magnitude less communication.\n"
+      "TwoLevel-S gets within a few percent of ideal for a tiny fraction\n"
+      "of the cost -- the paper's conclusion.\n");
+  return 0;
+}

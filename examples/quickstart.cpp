@@ -1,0 +1,78 @@
+// Quickstart: build an approximate wavelet histogram of a Zipf dataset with
+// TwoLevel-S (the paper's recommended method) and poke at the result.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "data/frequency.h"
+#include "histogram/builder.h"
+
+int main() {
+  using namespace wavemr;
+
+  // A 1M-record Zipf(1.1) dataset over 2^16 keys, stored as 32 splits of the
+  // simulated distributed file system.
+  ZipfDatasetOptions data;
+  data.num_records = 1 << 20;
+  data.domain_size = 1 << 16;
+  data.alpha = 1.1;
+  data.num_splits = 32;
+  // Monotone key layout (frequency decreasing in key): coarse coefficients
+  // then dominate the synopsis, which is the textbook range-selectivity
+  // setting. The default (permuted) layout concentrates the synopsis on
+  // per-key spikes instead.
+  data.permute_keys = false;
+  ZipfDataset dataset(data);
+
+  // Build a 30-term synopsis with two-level sampling: one MapReduce round,
+  // O(sqrt(m)/eps) communication (Theorem 3).
+  BuildOptions options;
+  options.k = 30;
+  options.epsilon = 0.01;
+  auto result = BuildWaveletHistogram(dataset, AlgorithmKind::kTwoLevelS, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  const WaveletHistogram& hist = result->histogram;
+  std::printf("built a %zu-term wavelet histogram over [0, %llu)\n",
+              hist.num_terms(),
+              static_cast<unsigned long long>(hist.domain_size()));
+  std::printf("communication: %llu bytes   simulated time: %.1f s   rounds: %zu\n\n",
+              static_cast<unsigned long long>(result->stats.TotalCommBytes()),
+              result->stats.TotalSeconds(), result->stats.NumRounds());
+
+  // Compare a few point and range estimates against the exact answers.
+  FrequencyMap truth = BuildFrequencyMap(dataset);
+  uint64_t heavy = 0, best = 0;
+  for (const auto& [key, count] : truth) {
+    if (count > best) {
+      best = count;
+      heavy = key;
+    }
+  }
+  std::printf("heaviest key %llu: true frequency %llu, estimate %.0f\n",
+              static_cast<unsigned long long>(heavy),
+              static_cast<unsigned long long>(best), hist.PointEstimate(heavy));
+
+  uint64_t u = dataset.info().domain_size;
+  for (uint64_t lo : {uint64_t{0}, u / 4, u / 2}) {
+    uint64_t hi = lo + u / 4;
+    uint64_t exact = 0;
+    for (const auto& [key, count] : truth) {
+      if (key >= lo && key < hi) exact += count;
+    }
+    std::printf("range [%llu, %llu): true count %llu, estimate %.0f\n",
+                static_cast<unsigned long long>(lo),
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(exact), hist.RangeSum(lo, hi));
+  }
+
+  // And the quality metric the paper uses: SSE vs the best possible k terms.
+  std::vector<WCoeff> coeffs = TrueCoefficients(dataset);
+  std::printf("\nSSE: %.3e (best possible with k=%zu terms: %.3e)\n",
+              SseAgainstTrueCoefficients(hist, coeffs), options.k,
+              IdealSse(coeffs, options.k));
+  return 0;
+}

@@ -1,0 +1,46 @@
+#ifndef WAVEMR_APPROX_SAMPLERS_H_
+#define WAVEMR_APPROX_SAMPLERS_H_
+
+#include "histogram/algorithm.h"
+
+namespace wavemr {
+
+/// Basic-S (Section 4): level-1 sample at rate p = 1/(eps^2 n); every
+/// sampled key is shipped with its local sample count (aggregated per split
+/// by the Combine step, as the paper's "straightforward improvement").
+/// Unbiased, O(1/eps^2) communication worst case.
+class BasicSampling : public HistogramAlgorithm {
+ public:
+  std::string name() const override { return "Basic-S"; }
+  StatusOr<BuildResult> Build(const Dataset& dataset,
+                              const BuildOptions& options) override;
+};
+
+/// Improved-S: a split only ships keys with s_j(x) >= eps * t_j, keeping
+/// total communication at O(m/eps) -- but the estimator becomes biased
+/// (small counts are silently dropped), which is what ruins its SSE in
+/// Figures 6/7.
+class ImprovedSampling : public HistogramAlgorithm {
+ public:
+  std::string name() const override { return "Improved-S"; }
+  StatusOr<BuildResult> Build(const Dataset& dataset,
+                              const BuildOptions& options) override;
+};
+
+/// TwoLevel-S (the paper's contribution, Section 4 + Appendix B): keys with
+/// s_j(x) >= 1/(eps sqrt(m)) ship their exact count; lighter keys survive
+/// into a second-level Bernoulli sample with probability
+/// eps*sqrt(m)*s_j(x) and ship as (x, NULL). The reducer's estimator
+/// s_hat(x) = rho(x) + M/(eps sqrt(m)) is unbiased with sd <= 1/eps
+/// (Theorem 1), v_hat = s_hat / p (Corollary 1), and total communication is
+/// O(sqrt(m)/eps) (Theorem 3).
+class TwoLevelSampling : public HistogramAlgorithm {
+ public:
+  std::string name() const override { return "TwoLevel-S"; }
+  StatusOr<BuildResult> Build(const Dataset& dataset,
+                              const BuildOptions& options) override;
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_APPROX_SAMPLERS_H_

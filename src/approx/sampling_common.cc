@@ -1,0 +1,50 @@
+#include "approx/sampling_common.h"
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "data/record_format.h"
+#include "histogram/algorithm.h"
+#include "wavelet/sparse.h"
+#include "wavelet/topk.h"
+
+namespace wavemr {
+
+double LevelOneProbability(double epsilon, uint64_t num_records) {
+  double p = 1.0 / (epsilon * epsilon * static_cast<double>(num_records));
+  return p > 1.0 ? 1.0 : p;
+}
+
+LocalSample DrawLevelOneSample(SplitAccess& input, double p, uint64_t seed) {
+  LocalSample sample;
+  uint64_t n_j = input.num_records();
+  uint64_t t_j = static_cast<uint64_t>(std::llround(p * static_cast<double>(n_j)));
+  if (t_j > n_j) t_j = n_j;
+  sample.t_j = t_j;
+  if (t_j == 0) return sample;
+
+  Rng rng(Mix64(seed ^ (input.split_id() * 0x9e3779b97f4a7c15ULL + 1)));
+  std::vector<uint64_t> offsets = SampleDistinctIndices(n_j, t_j, rng);
+  sample.counts.reserve(t_j * 2);
+  for (uint64_t off : offsets) {
+    ++sample.counts[input.KeyAt(off)];
+  }
+  input.ChargeRandomRead(t_j);
+  return sample;
+}
+
+std::vector<WCoeff> TopKFromEstimatedFrequencies(
+    const std::unordered_map<uint64_t, double>& vhat, uint64_t u, size_t k,
+    const std::function<void(double)>& charge_cpu_ns) {
+  SparseVector v;
+  v.reserve(vhat.size());
+  for (const auto& [key, est] : vhat) {
+    if (est != 0.0) v.emplace_back(key, est);
+  }
+  charge_cpu_ns(static_cast<double>(v.size()) * PointUpdateFanout(u) * kCoeffOpNs);
+  std::vector<WCoeff> coeffs = SparseHaar(v, u);
+  charge_cpu_ns(static_cast<double>(coeffs.size()) * kTopKSelectNs);
+  return TopKByMagnitude(std::move(coeffs), k);
+}
+
+}  // namespace wavemr

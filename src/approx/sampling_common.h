@@ -1,0 +1,38 @@
+#ifndef WAVEMR_APPROX_SAMPLING_COMMON_H_
+#define WAVEMR_APPROX_SAMPLING_COMMON_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mapreduce/job.h"
+#include "wavelet/coefficient.h"
+
+namespace wavemr {
+
+/// The level-1 sample of one split: the frequency vector s_j of t_j records
+/// drawn without replacement via sorted random offsets (the paper's
+/// RandomRecordReader; Appendix B).
+struct LocalSample {
+  std::unordered_map<uint64_t, uint64_t> counts;  // s_j(x)
+  uint64_t t_j = 0;                               // records sampled
+};
+
+/// Draws the level-1 sample with per-record probability p (t_j = round(p *
+/// n_j) records without replacement -- the paper notes coin-flip sampling
+/// and sampling without replacement behave identically here). Charges the
+/// random-read cost to the task.
+LocalSample DrawLevelOneSample(SplitAccess& input, double p, uint64_t seed);
+
+/// Level-1 sampling probability p = min(1, 1/(eps^2 n)).
+double LevelOneProbability(double epsilon, uint64_t num_records);
+
+/// Shared reducer tail: estimated frequency vector -> sparse transform ->
+/// top-k, charging the transform CPU. `vhat` maps key -> estimated v(x).
+std::vector<WCoeff> TopKFromEstimatedFrequencies(
+    const std::unordered_map<uint64_t, double>& vhat, uint64_t u, size_t k,
+    const std::function<void(double)>& charge_cpu_ns);
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_APPROX_SAMPLING_COMMON_H_

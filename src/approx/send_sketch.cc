@@ -1,0 +1,98 @@
+#include "approx/send_sketch.h"
+
+#include <unordered_map>
+
+#include "core/rng.h"
+#include "mapreduce/job.h"
+#include "sketch/wavelet_gcs.h"
+
+namespace wavemr {
+
+namespace {
+
+// Wire: 4-byte counter id + 8-byte double (the paper represents sketch
+// entries as 8-byte doubles).
+constexpr uint64_t kPairBytes = 12;
+
+class SketchMapper : public Mapper<uint64_t, double> {
+ public:
+  SketchMapper(uint64_t u, const WaveletGcsOptions& gcs_options)
+      : u_(u), gcs_options_(gcs_options) {}
+
+  void Run(MapContext<uint64_t, double>& ctx) override {
+    std::unordered_map<uint64_t, uint64_t> freq;
+    ctx.input().Scan([&freq](uint64_t key) { ++freq[key]; });
+
+    WaveletGcs sketch(u_, gcs_options_);
+    // One sketch update per distinct key, weighted by its count.
+    ctx.ChargeCpuNs(static_cast<double>(freq.size()) *
+                    static_cast<double>(sketch.CounterUpdatesPerDataPoint()) *
+                    kSketchCounterNs);
+    for (const auto& [key, count] : freq) {
+      sketch.UpdateData(key, static_cast<double>(count));
+    }
+    sketch.ForEachNonzeroCounter(
+        [&ctx](uint64_t flat_index, double value) { ctx.Emit(flat_index, value); });
+  }
+
+ private:
+  uint64_t u_;
+  WaveletGcsOptions gcs_options_;
+};
+
+class SketchReducer : public Reducer<uint64_t, double> {
+ public:
+  SketchReducer(uint64_t u, size_t k, const WaveletGcsOptions& gcs_options)
+      : k_(k), sketch_(u, gcs_options) {}
+
+  void Absorb(const uint64_t& flat_index, const double& value,
+              ReduceContext<uint64_t, double>& ctx) override {
+    (void)ctx;
+    sketch_.AddToFlatCounter(flat_index, value);
+  }
+
+  void Finish(ReduceContext<uint64_t, double>& ctx) override {
+    // Hierarchical search: a few group-energy queries per expanded node.
+    result_ = sketch_.FindTopK(k_);
+    ctx.ChargeCpuNs(static_cast<double>(k_) * 64.0 * kSketchCounterNs);
+  }
+
+  std::vector<WCoeff> TakeResult() { return std::move(result_); }
+
+ private:
+  size_t k_;
+  WaveletGcs sketch_;
+  std::vector<WCoeff> result_;
+};
+
+}  // namespace
+
+StatusOr<BuildResult> SendSketch::Build(const Dataset& dataset,
+                                        const BuildOptions& options) {
+  MrEnv env;
+  env.cluster = options.cluster;
+  env.cost_model = options.cost_model;
+
+  const uint64_t u = dataset.info().domain_size;
+  // All mappers and the reducer must draw identical hash functions; derive
+  // the sketch seed from the run seed.
+  WaveletGcsOptions gcs = options.gcs;
+  gcs.seed = Mix64(options.seed ^ 0x9c75e5eed123ULL);
+
+  SketchReducer reducer(u, options.k, gcs);
+  JobPlan<uint64_t, double> plan;
+  plan.name = "send-sketch";
+  plan.mapper_factory = [u, gcs](uint64_t) {
+    return std::make_unique<SketchMapper>(u, gcs);
+  };
+  plan.reducer = &reducer;
+  plan.wire_bytes = [](const uint64_t&, const double&) { return kPairBytes; };
+  RunRound(plan, dataset, &env);
+
+  BuildResult result;
+  result.histogram = WaveletHistogram(u, reducer.TakeResult());
+  result.stats = std::move(env.stats);
+  return result;
+}
+
+}  // namespace wavemr

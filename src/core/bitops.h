@@ -1,0 +1,32 @@
+#ifndef WAVEMR_CORE_BITOPS_H_
+#define WAVEMR_CORE_BITOPS_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "core/logging.h"
+
+namespace wavemr {
+
+/// True if x is a power of two (0 is not).
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)); requires x > 0.
+constexpr uint32_t Log2Floor(uint64_t x) {
+  return 63 - static_cast<uint32_t>(std::countl_zero(x));
+}
+
+/// ceil(log2(x)); requires x > 0. Log2Ceil(1) == 0.
+constexpr uint32_t Log2Ceil(uint64_t x) {
+  return x <= 1 ? 0 : Log2Floor(x - 1) + 1;
+}
+
+/// Smallest power of two >= x; requires x >= 1 and x <= 2^63.
+constexpr uint64_t CeilPow2(uint64_t x) { return uint64_t{1} << Log2Ceil(x); }
+
+/// ceil(a / b) for b > 0.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_CORE_BITOPS_H_

@@ -1,0 +1,39 @@
+#include "core/hash.h"
+
+#include "core/logging.h"
+
+namespace wavemr {
+
+uint64_t MulMod61(uint64_t a, uint64_t b) {
+  __uint128_t prod = static_cast<__uint128_t>(a) * b;
+  uint64_t lo = static_cast<uint64_t>(prod & PolyHash::kPrime);
+  uint64_t hi = static_cast<uint64_t>(prod >> 61);
+  uint64_t res = lo + hi;
+  if (res >= PolyHash::kPrime) res -= PolyHash::kPrime;
+  return res;
+}
+
+PolyHash::PolyHash(uint64_t seed, int degree) {
+  WAVEMR_CHECK_GE(degree, 1);
+  Rng rng(seed);
+  coeffs_.reserve(static_cast<size_t>(degree));
+  for (int i = 0; i < degree; ++i) {
+    coeffs_.push_back(rng.NextU64() % kPrime);
+  }
+  // The leading coefficient must be nonzero for full independence.
+  if (coeffs_.back() == 0) coeffs_.back() = 1;
+}
+
+uint64_t PolyHash::Hash(uint64_t x) const {
+  uint64_t xr = x % kPrime;
+  // Horner evaluation: c0 + c1*x + c2*x^2 + ...
+  uint64_t acc = 0;
+  for (size_t i = coeffs_.size(); i-- > 0;) {
+    acc = MulMod61(acc, xr);
+    acc += coeffs_[i];
+    if (acc >= kPrime) acc -= kPrime;
+  }
+  return acc;
+}
+
+}  // namespace wavemr

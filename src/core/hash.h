@@ -1,0 +1,40 @@
+#ifndef WAVEMR_CORE_HASH_H_
+#define WAVEMR_CORE_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace wavemr {
+
+/// Polynomial hash over the Mersenne prime 2^61 - 1 with k random
+/// coefficients, giving a k-wise independent family. Sketches (Count-Sketch,
+/// AMS, GCS) need 2- and 4-wise independence for their variance guarantees;
+/// this is the standard construction used by streaming implementations.
+class PolyHash {
+ public:
+  static constexpr uint64_t kPrime = (uint64_t{1} << 61) - 1;
+
+  /// degree k >= 1: number of coefficients (k-wise independence).
+  PolyHash(uint64_t seed, int degree);
+
+  /// Raw hash value in [0, 2^61 - 1).
+  uint64_t Hash(uint64_t x) const;
+
+  /// Hash reduced to [0, range).
+  uint64_t Bucket(uint64_t x, uint64_t range) const { return Hash(x) % range; }
+
+  /// +1/-1 sign derived from the low bit of the hash.
+  int Sign(uint64_t x) const { return (Hash(x) & 1) ? 1 : -1; }
+
+ private:
+  std::vector<uint64_t> coeffs_;
+};
+
+/// Multiplies a*b mod (2^61 - 1) without overflow using 128-bit arithmetic.
+uint64_t MulMod61(uint64_t a, uint64_t b);
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_CORE_HASH_H_

@@ -1,0 +1,72 @@
+#ifndef WAVEMR_CORE_LOGGING_H_
+#define WAVEMR_CORE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace wavemr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal_logging {
+
+/// Collects a log line via operator<< and emits it (to stderr) on
+/// destruction; aborts the process for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Minimum level actually emitted; default kInfo. Not thread-safe to set
+/// concurrently with logging (set it once at startup).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+#define WAVEMR_LOG(level)                                                    \
+  ::wavemr::internal_logging::LogMessage(::wavemr::LogLevel::k##level,      \
+                                         __FILE__, __LINE__)
+
+/// CHECK aborts on violated invariants. These are programming errors, not
+/// recoverable conditions (those return Status).
+#define WAVEMR_CHECK(cond)                                       \
+  if (!(cond))                                                   \
+  WAVEMR_LOG(Fatal) << "Check failed: " #cond " "
+
+#define WAVEMR_CHECK_OP(a, b, op)                                            \
+  if (!((a)op(b)))                                                           \
+  WAVEMR_LOG(Fatal) << "Check failed: " #a " " #op " " #b " (" << (a)        \
+                    << " vs " << (b) << ") "
+
+#define WAVEMR_CHECK_EQ(a, b) WAVEMR_CHECK_OP(a, b, ==)
+#define WAVEMR_CHECK_NE(a, b) WAVEMR_CHECK_OP(a, b, !=)
+#define WAVEMR_CHECK_LT(a, b) WAVEMR_CHECK_OP(a, b, <)
+#define WAVEMR_CHECK_LE(a, b) WAVEMR_CHECK_OP(a, b, <=)
+#define WAVEMR_CHECK_GT(a, b) WAVEMR_CHECK_OP(a, b, >)
+#define WAVEMR_CHECK_GE(a, b) WAVEMR_CHECK_OP(a, b, >=)
+
+#ifdef NDEBUG
+#define WAVEMR_DCHECK(cond) \
+  if (false) WAVEMR_LOG(Fatal)
+#else
+#define WAVEMR_DCHECK(cond) WAVEMR_CHECK(cond)
+#endif
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_CORE_LOGGING_H_

@@ -1,0 +1,67 @@
+#include "core/rng.h"
+
+#include "core/logging.h"
+
+namespace wavemr {
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  WAVEMR_CHECK_GT(bound, 0u);
+  // Rejection sampling on the top bits to avoid modulo bias.
+  uint64_t threshold = (0 - bound) % bound;  // == 2^64 mod bound
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+FeistelPermutation::FeistelPermutation(uint64_t seed, uint32_t bits) : bits_(bits) {
+  WAVEMR_CHECK_GE(bits, 2u);
+  WAVEMR_CHECK_LE(bits, 62u);
+  // Round up to an even bit count internally; Apply() cycles values that
+  // fall outside [0, 2^bits) back into range (cycle-walking).
+  half_bits_ = (bits + 1) / 2;
+  half_mask_ = (uint64_t{1} << half_bits_) - 1;
+  for (int r = 0; r < kRounds; ++r) {
+    keys_[r] = Mix64(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(r + 1)));
+  }
+}
+
+uint64_t FeistelPermutation::Apply(uint64_t x) const {
+  const uint64_t domain = uint64_t{1} << bits_;
+  WAVEMR_DCHECK(x < domain);
+  // Cycle-walk: the Feistel network permutes [0, 2^(2*half_bits)); repeat
+  // until the image lands back inside [0, 2^bits).
+  uint64_t v = x;
+  do {
+    uint64_t left = v >> half_bits_;
+    uint64_t right = v & half_mask_;
+    for (int r = 0; r < kRounds; ++r) {
+      uint64_t f = Mix64(right ^ keys_[r]) & half_mask_;
+      uint64_t new_left = right;
+      right = left ^ f;
+      left = new_left;
+    }
+    v = (left << half_bits_) | right;
+  } while (v >= domain);
+  return v;
+}
+
+uint64_t FeistelPermutation::Invert(uint64_t y) const {
+  const uint64_t domain = uint64_t{1} << bits_;
+  WAVEMR_DCHECK(y < domain);
+  uint64_t v = y;
+  do {
+    uint64_t left = v >> half_bits_;
+    uint64_t right = v & half_mask_;
+    for (int r = kRounds - 1; r >= 0; --r) {
+      uint64_t f = Mix64(left ^ keys_[r]) & half_mask_;
+      uint64_t new_right = left;
+      left = right ^ f;
+      right = new_right;
+    }
+    v = (left << half_bits_) | right;
+  } while (v >= domain);
+  return v;
+}
+
+}  // namespace wavemr

@@ -1,0 +1,76 @@
+#ifndef WAVEMR_CORE_SERIALIZE_H_
+#define WAVEMR_CORE_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/logging.h"
+
+namespace wavemr {
+
+/// Minimal little-endian POD serialization used for split state files and
+/// the distributed cache. Fixed-width only; no varints -- sizes here feed the
+/// communication accounting, so they must be predictable.
+class Serializer {
+ public:
+  template <typename T>
+  void Put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    size_t off = buf_.size();
+    buf_.resize(off + sizeof(T));
+    std::memcpy(buf_.data() + off, &v, sizeof(T));
+  }
+
+  template <typename T>
+  void PutVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Put<uint64_t>(v.size());
+    size_t off = buf_.size();
+    buf_.resize(off + v.size() * sizeof(T));
+    if (!v.empty()) std::memcpy(buf_.data() + off, v.data(), v.size() * sizeof(T));
+  }
+
+  const std::string& str() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class Deserializer {
+ public:
+  explicit Deserializer(const std::string& buf) : buf_(buf) {}
+
+  template <typename T>
+  T Get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WAVEMR_CHECK_LE(pos_ + sizeof(T), buf_.size());
+    T v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  template <typename T>
+  std::vector<T> GetVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = Get<uint64_t>();
+    WAVEMR_CHECK_LE(pos_ + n * sizeof(T), buf_.size());
+    std::vector<T> v(n);
+    if (n > 0) std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  bool Done() const { return pos_ == buf_.size(); }
+
+ private:
+  const std::string& buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_CORE_SERIALIZE_H_

@@ -1,0 +1,129 @@
+#include "data/dataset.h"
+
+#include "core/bitops.h"
+#include "core/logging.h"
+
+namespace wavemr {
+
+namespace {
+
+// Records are dealt to splits as evenly as possible: the first
+// (n mod m) splits get one extra record.
+uint64_t RecordsInSplit(uint64_t n, uint64_t m, uint64_t split) {
+  WAVEMR_CHECK_LT(split, m);
+  uint64_t base = n / m;
+  return base + (split < n % m ? 1 : 0);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- ZipfDataset
+
+ZipfDataset::ZipfDataset(const ZipfDatasetOptions& options)
+    : options_(options),
+      zipf_(options.domain_size, options.alpha),
+      perm_(options.seed ^ 0xfeedface12345678ULL, Log2Floor(options.domain_size)) {
+  WAVEMR_CHECK(IsPowerOfTwo(options.domain_size));
+  WAVEMR_CHECK_GE(options.domain_size, 4u);
+  WAVEMR_CHECK_GE(options.num_splits, 1u);
+  WAVEMR_CHECK_GE(options.record_bytes, 4u);
+  info_.num_records = options.num_records;
+  info_.domain_size = options.domain_size;
+  info_.num_splits = options.num_splits;
+  info_.record_bytes = options.record_bytes;
+}
+
+uint64_t ZipfDataset::SplitRecords(uint64_t split) const {
+  return RecordsInSplit(options_.num_records, options_.num_splits, split);
+}
+
+uint64_t ZipfDataset::RankToKey(uint64_t rank) const {
+  // rank is 1-based; keys are 0-based.
+  uint64_t key = rank - 1;
+  return options_.permute_keys ? perm_.Apply(key) : key;
+}
+
+uint64_t ZipfDataset::KeyAt(uint64_t split, uint64_t index) const {
+  WAVEMR_DCHECK(index < SplitRecords(split));
+  CounterRng rng(options_.seed, split, index);
+  return RankToKey(zipf_.Sample(rng));
+}
+
+void ZipfDataset::ScanSplit(uint64_t split,
+                            const std::function<void(uint64_t)>& fn) const {
+  uint64_t n = SplitRecords(split);
+  for (uint64_t i = 0; i < n; ++i) {
+    CounterRng rng(options_.seed, split, i);
+    fn(RankToKey(zipf_.Sample(rng)));
+  }
+}
+
+// ----------------------------------------------------------- WorldCupDataset
+
+WorldCupDataset::WorldCupDataset(const WorldCupDatasetOptions& options)
+    : options_(options),
+      client_zipf_(options.num_clients, options.client_alpha),
+      object_zipf_(options.num_objects, options.object_alpha),
+      perm_(options.seed ^ 0xabcdef0122334455ULL,
+            Log2Floor(options.num_clients * options.num_objects)) {
+  WAVEMR_CHECK(IsPowerOfTwo(options.num_clients));
+  WAVEMR_CHECK(IsPowerOfTwo(options.num_objects));
+  info_.num_records = options.num_records;
+  info_.domain_size = options.num_clients * options.num_objects;
+  info_.num_splits = options.num_splits;
+  info_.record_bytes = 40;  // the WorldCup schema: 10 x 4-byte fields
+}
+
+uint64_t WorldCupDataset::SplitRecords(uint64_t split) const {
+  return RecordsInSplit(options_.num_records, options_.num_splits, split);
+}
+
+uint64_t WorldCupDataset::KeyAt(uint64_t split, uint64_t index) const {
+  WAVEMR_DCHECK(index < SplitRecords(split));
+  CounterRng rng(options_.seed, split, index);
+  uint64_t client = client_zipf_.Sample(rng) - 1;
+  uint64_t object = object_zipf_.Sample(rng) - 1;
+  return perm_.Apply(client * options_.num_objects + object);
+}
+
+void WorldCupDataset::ScanSplit(uint64_t split,
+                                const std::function<void(uint64_t)>& fn) const {
+  uint64_t n = SplitRecords(split);
+  for (uint64_t i = 0; i < n; ++i) fn(KeyAt(split, i));
+}
+
+// ----------------------------------------------------------- InMemoryDataset
+
+InMemoryDataset::InMemoryDataset(std::vector<std::vector<uint64_t>> splits,
+                                 uint64_t domain_size, uint32_t record_bytes)
+    : splits_(std::move(splits)) {
+  WAVEMR_CHECK(IsPowerOfTwo(domain_size));
+  uint64_t n = 0;
+  for (const auto& s : splits_) {
+    for (uint64_t key : s) WAVEMR_CHECK_LT(key, domain_size);
+    n += s.size();
+  }
+  info_.num_records = n;
+  info_.domain_size = domain_size;
+  info_.num_splits = splits_.size();
+  info_.record_bytes = record_bytes;
+}
+
+uint64_t InMemoryDataset::SplitRecords(uint64_t split) const {
+  WAVEMR_CHECK_LT(split, splits_.size());
+  return splits_[split].size();
+}
+
+uint64_t InMemoryDataset::KeyAt(uint64_t split, uint64_t index) const {
+  WAVEMR_CHECK_LT(split, splits_.size());
+  WAVEMR_CHECK_LT(index, splits_[split].size());
+  return splits_[split][index];
+}
+
+void InMemoryDataset::ScanSplit(uint64_t split,
+                                const std::function<void(uint64_t)>& fn) const {
+  WAVEMR_CHECK_LT(split, splits_.size());
+  for (uint64_t key : splits_[split]) fn(key);
+}
+
+}  // namespace wavemr

@@ -1,0 +1,137 @@
+#ifndef WAVEMR_DATA_DATASET_H_
+#define WAVEMR_DATA_DATASET_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/zipf.h"
+
+namespace wavemr {
+
+/// Static description of a dataset living in the (simulated) distributed
+/// file system: n records with integer keys from [0, u), stored as m splits
+/// of fixed-size binary records.
+struct DatasetInfo {
+  uint64_t num_records = 0;  // n
+  uint64_t domain_size = 1;  // u, a power of two
+  uint64_t num_splits = 1;   // m
+  uint32_t record_bytes = 4;  // on-disk record size (key + payload)
+  uint32_t key_bytes = 4;     // wire size of a key in emitted pairs
+};
+
+/// Abstract dataset: what a Hadoop InputFormat sees. Implementations must be
+/// deterministic: ScanSplit visits records in "file order", and KeyAt(j, i)
+/// returns the key of the i-th record of split j -- the primitive the
+/// paper's RandomRecordReader needs (seek to a random record).
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  virtual const DatasetInfo& info() const = 0;
+
+  /// Number of records in split j (splits may be uneven).
+  virtual uint64_t SplitRecords(uint64_t split) const = 0;
+
+  /// Sequential scan of split j in record order.
+  virtual void ScanSplit(uint64_t split,
+                         const std::function<void(uint64_t key)>& fn) const = 0;
+
+  /// Random access to the key of record `index` (0-based) of split j.
+  virtual uint64_t KeyAt(uint64_t split, uint64_t index) const = 0;
+
+  /// Bytes of split j on disk.
+  uint64_t SplitBytes(uint64_t split) const {
+    return SplitRecords(split) * info().record_bytes;
+  }
+};
+
+/// Parameters of a synthetic Zipf dataset (the paper's default workload).
+struct ZipfDatasetOptions {
+  uint64_t num_records = 1 << 22;
+  uint64_t domain_size = 1 << 18;  // power of two
+  double alpha = 1.1;
+  uint64_t num_splits = 128;
+  uint32_t record_bytes = 4;
+  uint64_t seed = 42;
+  /// Scatter Zipf ranks over the key domain with a Feistel permutation so
+  /// frequency is not monotone in key value (see DESIGN.md). The paper's
+  /// permutation of record order falls out of the counter-based generation.
+  bool permute_keys = true;
+};
+
+/// Deterministic generated Zipf dataset: record (j, i) is produced by an
+/// independent counter-based RNG stream, so both sequential scans and O(1)
+/// random access are exactly reproducible without storing anything.
+class ZipfDataset : public Dataset {
+ public:
+  explicit ZipfDataset(const ZipfDatasetOptions& options);
+
+  const DatasetInfo& info() const override { return info_; }
+  uint64_t SplitRecords(uint64_t split) const override;
+  void ScanSplit(uint64_t split,
+                 const std::function<void(uint64_t)>& fn) const override;
+  uint64_t KeyAt(uint64_t split, uint64_t index) const override;
+
+ private:
+  uint64_t RankToKey(uint64_t rank) const;
+
+  ZipfDatasetOptions options_;
+  DatasetInfo info_;
+  ZipfDistribution zipf_;
+  FeistelPermutation perm_;
+};
+
+/// Synthetic stand-in for the WorldCup'98 click log (Figures 17-19): records
+/// carry 10 4-byte attributes; the key is the "clientobject" pair
+/// client_id x object_id, both Zipf-distributed, scattered over the domain.
+struct WorldCupDatasetOptions {
+  uint64_t num_records = 1 << 22;
+  uint64_t num_clients = 1 << 10;   // power of two
+  uint64_t num_objects = 1 << 8;    // power of two; u = clients * objects
+  double client_alpha = 1.2;        // client activity skew
+  double object_alpha = 1.0;        // object popularity skew
+  uint64_t num_splits = 128;
+  uint64_t seed = 7;
+};
+
+class WorldCupDataset : public Dataset {
+ public:
+  explicit WorldCupDataset(const WorldCupDatasetOptions& options);
+
+  const DatasetInfo& info() const override { return info_; }
+  uint64_t SplitRecords(uint64_t split) const override;
+  void ScanSplit(uint64_t split,
+                 const std::function<void(uint64_t)>& fn) const override;
+  uint64_t KeyAt(uint64_t split, uint64_t index) const override;
+
+ private:
+  WorldCupDatasetOptions options_;
+  DatasetInfo info_;
+  ZipfDistribution client_zipf_;
+  ZipfDistribution object_zipf_;
+  FeistelPermutation perm_;
+};
+
+/// Fully materialized dataset for unit tests: explicit keys per split.
+class InMemoryDataset : public Dataset {
+ public:
+  InMemoryDataset(std::vector<std::vector<uint64_t>> splits, uint64_t domain_size,
+                  uint32_t record_bytes = 4);
+
+  const DatasetInfo& info() const override { return info_; }
+  uint64_t SplitRecords(uint64_t split) const override;
+  void ScanSplit(uint64_t split,
+                 const std::function<void(uint64_t)>& fn) const override;
+  uint64_t KeyAt(uint64_t split, uint64_t index) const override;
+
+ private:
+  std::vector<std::vector<uint64_t>> splits_;
+  DatasetInfo info_;
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_DATA_DATASET_H_

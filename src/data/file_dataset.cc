@@ -1,0 +1,87 @@
+#include "data/file_dataset.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/bitops.h"
+#include "core/logging.h"
+#include "data/record_format.h"
+
+namespace wavemr {
+
+Status WriteFixedRecordFile(const std::string& path, const std::vector<uint64_t>& keys,
+                            uint32_t record_bytes) {
+  std::vector<uint8_t> bytes = EncodeFixedRecords(keys, record_bytes);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  size_t written = bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open for read: " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  size_t read = bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (read != bytes.size()) return Status::IOError("short read: " + path);
+  return bytes;
+}
+
+StatusOr<FileDataset> FileDataset::Open(const std::string& path, uint32_t record_bytes,
+                                        uint64_t domain_size, uint64_t num_splits) {
+  if (!IsPowerOfTwo(domain_size)) {
+    return Status::InvalidArgument("domain_size must be a power of two");
+  }
+  if (num_splits == 0) return Status::InvalidArgument("num_splits must be >= 1");
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  if (bytes->size() % record_bytes != 0) {
+    return Status::InvalidArgument("file size not a multiple of record size");
+  }
+  FileDataset ds;
+  ds.bytes_ = std::move(*bytes);
+  ds.info_.num_records = ds.bytes_.size() / record_bytes;
+  ds.info_.domain_size = domain_size;
+  ds.info_.num_splits = num_splits;
+  ds.info_.record_bytes = record_bytes;
+  return ds;
+}
+
+uint64_t FileDataset::SplitStartRecord(uint64_t split) const {
+  uint64_t n = info_.num_records, m = info_.num_splits;
+  uint64_t base = n / m, extra = n % m;
+  // First `extra` splits hold base+1 records.
+  return split * base + std::min<uint64_t>(split, extra);
+}
+
+uint64_t FileDataset::SplitRecords(uint64_t split) const {
+  WAVEMR_CHECK_LT(split, info_.num_splits);
+  return SplitStartRecord(split + 1) - SplitStartRecord(split);
+}
+
+uint64_t FileDataset::KeyAt(uint64_t split, uint64_t index) const {
+  WAVEMR_CHECK_LT(index, SplitRecords(split));
+  uint64_t rec = SplitStartRecord(split) + index;
+  uint32_t key;
+  std::memcpy(&key, bytes_.data() + rec * info_.record_bytes, sizeof(key));
+  return key;
+}
+
+void FileDataset::ScanSplit(uint64_t split,
+                            const std::function<void(uint64_t)>& fn) const {
+  uint64_t n = SplitRecords(split);
+  uint64_t start = SplitStartRecord(split);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t key;
+    std::memcpy(&key, bytes_.data() + (start + i) * info_.record_bytes, sizeof(key));
+    fn(key);
+  }
+}
+
+}  // namespace wavemr

@@ -1,0 +1,46 @@
+#ifndef WAVEMR_DATA_FILE_DATASET_H_
+#define WAVEMR_DATA_FILE_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "data/dataset.h"
+
+namespace wavemr {
+
+/// Writes keys as a fixed-length-record binary file (the on-disk format the
+/// paper stores its datasets in).
+Status WriteFixedRecordFile(const std::string& path, const std::vector<uint64_t>& keys,
+                            uint32_t record_bytes);
+
+/// Reads an entire file into memory.
+StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+
+/// Dataset backed by a binary file of fixed-length records, divided into m
+/// contiguous splits (record-aligned byte ranges) like HDFS chunks with
+/// replication 1. The file is loaded into memory on open; intended for
+/// tests and examples, not the synthetic-at-scale benchmarks.
+class FileDataset : public Dataset {
+ public:
+  static StatusOr<FileDataset> Open(const std::string& path, uint32_t record_bytes,
+                                    uint64_t domain_size, uint64_t num_splits);
+
+  const DatasetInfo& info() const override { return info_; }
+  uint64_t SplitRecords(uint64_t split) const override;
+  void ScanSplit(uint64_t split,
+                 const std::function<void(uint64_t)>& fn) const override;
+  uint64_t KeyAt(uint64_t split, uint64_t index) const override;
+
+ private:
+  FileDataset() = default;
+
+  uint64_t SplitStartRecord(uint64_t split) const;
+
+  std::vector<uint8_t> bytes_;
+  DatasetInfo info_;
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_DATA_FILE_DATASET_H_

@@ -1,0 +1,37 @@
+#include "data/frequency.h"
+
+namespace wavemr {
+
+FrequencyMap BuildFrequencyMap(const Dataset& dataset) {
+  FrequencyMap freq;
+  for (uint64_t j = 0; j < dataset.info().num_splits; ++j) {
+    dataset.ScanSplit(j, [&freq](uint64_t key) { ++freq[key]; });
+  }
+  return freq;
+}
+
+FrequencyMap BuildSplitFrequencyMap(const Dataset& dataset, uint64_t split) {
+  FrequencyMap freq;
+  dataset.ScanSplit(split, [&freq](uint64_t key) { ++freq[key]; });
+  return freq;
+}
+
+SparseVector ToSparseVector(const FrequencyMap& freq) {
+  SparseVector v;
+  v.reserve(freq.size());
+  for (const auto& [key, count] : freq) {
+    v.emplace_back(key, static_cast<double>(count));
+  }
+  return v;
+}
+
+std::vector<WCoeff> TrueCoefficients(const Dataset& dataset) {
+  FrequencyMap freq = BuildFrequencyMap(dataset);
+  return SparseHaar(ToSparseVector(freq), dataset.info().domain_size);
+}
+
+uint64_t CountDistinctKeys(const Dataset& dataset) {
+  return BuildFrequencyMap(dataset).size();
+}
+
+}  // namespace wavemr

@@ -1,0 +1,35 @@
+#ifndef WAVEMR_DATA_FREQUENCY_H_
+#define WAVEMR_DATA_FREQUENCY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.h"
+#include "wavelet/coefficient.h"
+#include "wavelet/sparse.h"
+
+namespace wavemr {
+
+/// Key -> count map (a sparse frequency vector with integer counts).
+using FrequencyMap = std::unordered_map<uint64_t, uint64_t>;
+
+/// Exact global frequency vector v of the dataset (scans every split).
+FrequencyMap BuildFrequencyMap(const Dataset& dataset);
+
+/// Exact local frequency vector v_j of one split.
+FrequencyMap BuildSplitFrequencyMap(const Dataset& dataset, uint64_t split);
+
+/// Converts counts to the (key, weight) form the wavelet code consumes.
+SparseVector ToSparseVector(const FrequencyMap& freq);
+
+/// Exact (nonzero) wavelet coefficients of the dataset's frequency vector.
+/// Uses the O(|v| log u) sparse transform; the ground truth for SSE.
+std::vector<WCoeff> TrueCoefficients(const Dataset& dataset);
+
+/// Number of distinct keys in the dataset (scans every split).
+uint64_t CountDistinctKeys(const Dataset& dataset);
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_DATA_FREQUENCY_H_

@@ -1,0 +1,207 @@
+#include "data/record_format.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <queue>
+#include <unordered_set>
+
+#include "core/logging.h"
+
+namespace wavemr {
+
+namespace {
+
+uint32_t LoadU32(std::span<const uint8_t> bytes, uint64_t off) {
+  uint32_t v;
+  std::memcpy(&v, bytes.data() + off, sizeof(v));
+  return v;
+}
+
+void StoreU32(std::vector<uint8_t>* out, uint32_t v) {
+  size_t off = out->size();
+  out->resize(off + sizeof(v));
+  std::memcpy(out->data() + off, &v, sizeof(v));
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ fixed length
+
+std::vector<uint8_t> EncodeFixedRecords(const std::vector<uint64_t>& keys,
+                                        uint32_t record_bytes) {
+  WAVEMR_CHECK_GE(record_bytes, 4u);
+  std::vector<uint8_t> out(keys.size() * record_bytes, 0);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    WAVEMR_CHECK_LE(keys[i], 0xFFFFFFFFu);
+    uint32_t k = static_cast<uint32_t>(keys[i]);
+    std::memcpy(out.data() + i * record_bytes, &k, sizeof(k));
+  }
+  return out;
+}
+
+FixedRecordReader::FixedRecordReader(std::span<const uint8_t> bytes,
+                                     uint32_t record_bytes)
+    : bytes_(bytes), record_bytes_(record_bytes) {
+  WAVEMR_CHECK_GE(record_bytes, 4u);
+  WAVEMR_CHECK_EQ(bytes.size() % record_bytes, 0u);
+  num_records_ = bytes.size() / record_bytes;
+}
+
+std::optional<uint64_t> FixedRecordReader::Next() {
+  if (pos_ >= num_records_) return std::nullopt;
+  return KeyAt(pos_++);
+}
+
+uint64_t FixedRecordReader::KeyAt(uint64_t i) const {
+  WAVEMR_CHECK_LT(i, num_records_);
+  return LoadU32(bytes_, i * record_bytes_);
+}
+
+// --------------------------------------------------------- variable length
+
+StatusOr<std::vector<uint8_t>> EncodeVarRecords(const std::vector<VarRecord>& records) {
+  std::vector<uint8_t> out;
+  for (const VarRecord& rec : records) {
+    if (rec.payload.size() < 4) {
+      return Status::InvalidArgument("payload must hold at least the 4 key bytes");
+    }
+    if (rec.payload.size() >= (1u << 24)) {
+      return Status::InvalidArgument("payload too large for delimiter-free length");
+    }
+    for (char c : rec.payload) {
+      if (static_cast<uint8_t>(c) == kVarRecordDelimiter) {
+        return Status::InvalidArgument("payload contains the delimiter byte");
+      }
+    }
+    size_t off = out.size();
+    out.resize(off + rec.payload.size());
+    std::memcpy(out.data() + off, rec.payload.data(), rec.payload.size());
+    // Patch the first 4 payload bytes with the key.
+    uint32_t k = static_cast<uint32_t>(rec.key);
+    std::memcpy(out.data() + off, &k, sizeof(k));
+    StoreU32(&out, static_cast<uint32_t>(rec.payload.size()));
+    out.push_back(kVarRecordDelimiter);
+  }
+  return out;
+}
+
+VarRecord MakeVarRecord(uint64_t key, uint32_t payload_bytes) {
+  WAVEMR_CHECK_GE(payload_bytes, 4u);
+  VarRecord rec;
+  rec.key = key;
+  rec.payload.assign(payload_bytes, '\x2A');  // filler != delimiter
+  uint32_t k = static_cast<uint32_t>(key);
+  // Key bytes may not contain the delimiter either; keys < 2^24 with the
+  // high byte zeroed are always safe. Callers with larger keys must ensure
+  // no byte equals 0xFF; we CHECK it here.
+  std::memcpy(rec.payload.data(), &k, sizeof(k));
+  for (int i = 0; i < 4; ++i) {
+    WAVEMR_CHECK_NE(static_cast<uint8_t>(rec.payload[i]), kVarRecordDelimiter)
+        << "key byte collides with delimiter: " << key;
+  }
+  return rec;
+}
+
+std::optional<VarRecordReader::View> VarRecordReader::Next() {
+  auto view = RecordContaining(pos_);
+  if (!view.has_value()) return std::nullopt;
+  pos_ = view->start_offset + view->payload.size() + 5;  // past trailer
+  return view;
+}
+
+std::optional<VarRecordReader::View> VarRecordReader::RecordContaining(
+    uint64_t off) const {
+  if (off >= bytes_.size()) return std::nullopt;
+  // Forward scan to the first delimiter: by format construction this is the
+  // trailer of the record containing `off`.
+  uint64_t d = off;
+  while (d < bytes_.size() && bytes_[d] != kVarRecordDelimiter) ++d;
+  if (d >= bytes_.size()) return std::nullopt;  // trailing garbage
+  WAVEMR_CHECK_GE(d, 4u) << "corrupt variable-length split";
+  uint32_t len = LoadU32(bytes_, d - 4);
+  WAVEMR_CHECK_GE(d - 4, len) << "corrupt record length";
+  uint64_t start = d - 4 - len;
+  View view;
+  view.start_offset = start;
+  view.payload = bytes_.subspan(start, len);
+  view.key = LoadU32(bytes_, start);
+  return view;
+}
+
+// ------------------------------------------------------------- sampling
+
+std::vector<uint64_t> SampleDistinctIndices(uint64_t n, uint64_t count, Rng& rng) {
+  std::vector<uint64_t> out;
+  if (count >= n) {
+    out.resize(n);
+    for (uint64_t i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+  // Floyd's algorithm: exactly `count` distinct values, O(count) expected.
+  std::unordered_set<uint64_t> chosen;
+  chosen.reserve(count * 2);
+  for (uint64_t j = n - count; j < n; ++j) {
+    uint64_t t = rng.NextBounded(j + 1);
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  out.assign(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<uint64_t> SampleVarRecordOffsets(std::span<const uint8_t> bytes,
+                                             uint64_t count, Rng& rng) {
+  VarRecordReader reader(bytes);
+  const uint64_t size = bytes.size();
+  if (size == 0 || count == 0) return {};
+
+  // Q: pending random byte offsets, smallest first (the paper's priority
+  // queue); H: start offsets of records already sampled.
+  std::priority_queue<uint64_t, std::vector<uint64_t>, std::greater<>> pending;
+  std::map<uint64_t, uint64_t> sampled;  // start -> record end (exclusive)
+  for (uint64_t i = 0; i < count; ++i) pending.push(rng.NextBounded(size));
+
+  // A redraw bound keeps the loop finite when count approaches the number of
+  // records; after the bound we fall back to a sweep over unsampled records.
+  uint64_t redraws_left = 16 * count + 64;
+  while (!pending.empty()) {
+    uint64_t off = pending.top();
+    pending.pop();
+    auto view = reader.RecordContaining(off);
+    if (!view.has_value()) {
+      // Offset in trailing bytes; wrap to the head of the split.
+      if (redraws_left > 0) {
+        --redraws_left;
+        pending.push(rng.NextBounded(size));
+      }
+      continue;
+    }
+    uint64_t start = view->start_offset;
+    uint64_t end = start + view->payload.size() + 5;
+    if (sampled.emplace(start, end).second) continue;  // fresh record
+    // Duplicate: redraw an offset outside all sampled intervals, as in
+    // Appendix B.
+    if (redraws_left == 0) continue;
+    for (; redraws_left > 0; --redraws_left) {
+      uint64_t fresh = rng.NextBounded(size);
+      auto it = sampled.upper_bound(fresh);
+      bool covered = false;
+      if (it != sampled.begin()) {
+        --it;
+        covered = fresh < it->second;
+      }
+      if (!covered) {
+        pending.push(fresh);
+        break;
+      }
+    }
+  }
+
+  std::vector<uint64_t> out;
+  out.reserve(sampled.size());
+  for (const auto& [start, end] : sampled) out.push_back(start);
+  return out;
+}
+
+}  // namespace wavemr

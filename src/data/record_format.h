@@ -1,0 +1,120 @@
+#ifndef WAVEMR_DATA_RECORD_FORMAT_H_
+#define WAVEMR_DATA_RECORD_FORMAT_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+
+namespace wavemr {
+
+// --------------------------------------------------------------------------
+// Fixed-length records (the paper's default: a 4-byte key plus padding).
+// --------------------------------------------------------------------------
+
+/// Encodes keys as fixed-size records: little-endian uint32 key followed by
+/// zero padding up to record_bytes (>= 4). Keys must fit in 32 bits.
+std::vector<uint8_t> EncodeFixedRecords(const std::vector<uint64_t>& keys,
+                                        uint32_t record_bytes);
+
+/// Reader over a fixed-length-record split. Supports both sequential reads
+/// and O(1) random access -- exactly the contract the paper's
+/// RandomInputFile format needs.
+class FixedRecordReader {
+ public:
+  FixedRecordReader(std::span<const uint8_t> bytes, uint32_t record_bytes);
+
+  uint64_t num_records() const { return num_records_; }
+
+  /// Sequential: returns the next key or nullopt at end-of-split.
+  std::optional<uint64_t> Next();
+
+  /// Random access to record i's key.
+  uint64_t KeyAt(uint64_t i) const;
+
+  void Reset() { pos_ = 0; }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  uint32_t record_bytes_;
+  uint64_t num_records_;
+  uint64_t pos_ = 0;  // record index
+};
+
+// --------------------------------------------------------------------------
+// Variable-length records (paper Appendix B).
+//
+// Layout per record: payload (len bytes) | uint32 len | delimiter 0xFF.
+// Constraint (documented in the paper as "a few-bytes look-ahead"): neither
+// payload bytes nor the length field may contain the delimiter byte, so a
+// forward scan from any offset inside a record finds that record's trailer.
+// We enforce it by requiring payload bytes != 0xFF and len < 2^24.
+// The first 4 payload bytes are the little-endian record key.
+// --------------------------------------------------------------------------
+
+inline constexpr uint8_t kVarRecordDelimiter = 0xFF;
+
+struct VarRecord {
+  uint64_t key = 0;
+  std::string payload;  // includes the 4 key bytes
+};
+
+/// Encodes records in the variable-length format. Returns InvalidArgument if
+/// a payload contains the delimiter byte or is too large.
+StatusOr<std::vector<uint8_t>> EncodeVarRecords(const std::vector<VarRecord>& records);
+
+/// Builds a valid variable-length payload of exactly `payload_bytes` (>= 4)
+/// for the given key (filler avoids the delimiter byte).
+VarRecord MakeVarRecord(uint64_t key, uint32_t payload_bytes);
+
+/// Sequential reader for the variable-length format.
+class VarRecordReader {
+ public:
+  explicit VarRecordReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  /// Next record (key + payload view) or nullopt at end.
+  struct View {
+    uint64_t key;
+    std::span<const uint8_t> payload;
+    uint64_t start_offset;  // byte offset of the record in the split
+  };
+  std::optional<View> Next();
+
+  void Reset() { pos_ = 0; }
+
+  /// Resolves the record containing byte offset `off` by scanning forward to
+  /// its trailer (the Appendix B look-ahead trick). Returns nullopt past the
+  /// last record.
+  std::optional<View> RecordContaining(uint64_t off) const;
+
+ private:
+  std::span<const uint8_t> bytes_;
+  uint64_t pos_ = 0;  // byte offset
+};
+
+// --------------------------------------------------------------------------
+// Random sampling of records from a split.
+// --------------------------------------------------------------------------
+
+/// Draws `count` distinct indices uniformly from [0, n) and returns them in
+/// ascending order (the paper keeps sampled offsets in a priority queue so
+/// the split is read in one forward pass). count may exceed n, in which case
+/// all indices are returned. Sampling is *without replacement*, matching the
+/// paper's RandomRecordReader.
+std::vector<uint64_t> SampleDistinctIndices(uint64_t n, uint64_t count, Rng& rng);
+
+/// Appendix B algorithm for variable-length records: sample `count` distinct
+/// records by drawing random byte offsets, resolving each to its containing
+/// record, and re-drawing offsets that land in already-sampled records
+/// (tracking sampled intervals in a heap-ordered structure). Returns the
+/// sampled records' start offsets in ascending order.
+std::vector<uint64_t> SampleVarRecordOffsets(std::span<const uint8_t> bytes,
+                                             uint64_t count, Rng& rng);
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_DATA_RECORD_FORMAT_H_

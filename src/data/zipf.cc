@@ -1,0 +1,24 @@
+#include "data/zipf.h"
+
+namespace wavemr {
+
+ZipfDistribution::ZipfDistribution(uint64_t num_elements, double alpha)
+    : n_(num_elements), alpha_(alpha) {
+  WAVEMR_CHECK_GE(num_elements, 1u);
+  WAVEMR_CHECK_GT(alpha, 0.0);
+  h_integral_x1_ = HIntegral(1.5) - 1.0;
+  h_integral_n_ = HIntegral(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - HIntegralInverse(HIntegral(2.5) - H(2.0));
+}
+
+double ZipfDistribution::Pmf(uint64_t k) const {
+  WAVEMR_CHECK_GE(k, 1u);
+  WAVEMR_CHECK_LE(k, n_);
+  double norm = 0.0;
+  for (uint64_t i = 1; i <= n_; ++i) {
+    norm += std::pow(static_cast<double>(i), -alpha_);
+  }
+  return std::pow(static_cast<double>(k), -alpha_) / norm;
+}
+
+}  // namespace wavemr

@@ -1,0 +1,78 @@
+#ifndef WAVEMR_DATA_ZIPF_H_
+#define WAVEMR_DATA_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/logging.h"
+
+namespace wavemr {
+
+/// Zipf(alpha) sampler over ranks {1, ..., n} using Hoermann's
+/// rejection-inversion method: O(1) expected time per sample and O(1) memory
+/// for *any* domain size -- no alias table. This is what lets datasets in
+/// this library expose random access to individual records (needed by the
+/// paper's RandomRecordReader) without materializing anything.
+///
+/// P(rank = k) is proportional to k^-alpha; alpha > 0 (alpha == 1 handled via
+/// series expansions).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t num_elements, double alpha);
+
+  uint64_t num_elements() const { return n_; }
+  double alpha() const { return alpha_; }
+
+  /// Draws one rank in [1, n]. RngT must provide double NextDouble() in
+  /// [0,1). Expected < 2 uniforms per draw.
+  template <typename RngT>
+  uint64_t Sample(RngT& rng) const {
+    if (n_ == 1) return 1;
+    for (;;) {
+      double u = h_integral_n_ + rng.NextDouble() * (h_integral_x1_ - h_integral_n_);
+      double x = HIntegralInverse(u);
+      uint64_t k = static_cast<uint64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+      if (static_cast<double>(k) - x <= s_) return k;
+      if (u >= HIntegral(static_cast<double>(k) + 0.5) - H(static_cast<double>(k))) {
+        return k;
+      }
+    }
+  }
+
+  /// Exact probability of rank k (for tests): k^-alpha / H_n(alpha).
+  /// O(n) the first call per distribution would be needed for the constant,
+  /// so this recomputes the normalizer every call -- use on small n only.
+  double Pmf(uint64_t k) const;
+
+ private:
+  // h(x) = x^-alpha; HIntegral is its antiderivative; both written with
+  // expm1/log1p helpers so alpha == 1 is continuous.
+  double H(double x) const { return std::exp(-alpha_ * std::log(x)); }
+  double HIntegral(double x) const {
+    double log_x = std::log(x);
+    return Helper2((1.0 - alpha_) * log_x) * log_x;
+  }
+  double HIntegralInverse(double x) const {
+    double t = x * (1.0 - alpha_);
+    if (t < -1.0) t = -1.0;  // guard rounding at the left boundary
+    return std::exp(Helper1(t) * x);
+  }
+  static double Helper1(double x) {
+    return std::fabs(x) > 1e-8 ? std::log1p(x) / x : 1.0 - x / 2.0 + x * x / 3.0;
+  }
+  static double Helper2(double x) {
+    return std::fabs(x) > 1e-8 ? std::expm1(x) / x : 1.0 + x / 2.0 + x * x / 6.0;
+  }
+
+  uint64_t n_;
+  double alpha_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_;
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_DATA_ZIPF_H_

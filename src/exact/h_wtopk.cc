@@ -1,0 +1,502 @@
+#include "exact/h_wtopk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "core/serialize.h"
+#include "mapreduce/job.h"
+#include "wavelet/haar.h"
+#include "wavelet/sparse.h"
+#include "wavelet/topk.h"
+
+namespace wavemr {
+
+namespace {
+
+// Intermediate value: (split j, w_{i,j}) with flags marking the sender's
+// k-th highest / k-th lowest coefficient. The paper encodes the marks by
+// offsetting j by m or 2m; the wire size is the same 4+4+8 = 16 bytes
+// either way (key included).
+struct HwMsg {
+  uint32_t split = 0;
+  double value = 0.0;
+  uint8_t flags = 0;
+};
+constexpr uint8_t kMarksKthHigh = 1;
+constexpr uint8_t kMarksKthLow = 2;
+constexpr uint64_t kPairBytes = 16;
+
+constexpr char kConfigT1OverM[] = "hwtopk.t1_over_m";
+constexpr char kCacheCandidates[] = "hwtopk.R";
+
+// ---------------------------------------------------------------------------
+// Split state file: the not-yet-sent local coefficients.
+// ---------------------------------------------------------------------------
+
+std::string SerializeCoeffs(const std::vector<WCoeff>& coeffs) {
+  Serializer s;
+  s.Put<uint64_t>(coeffs.size());
+  for (const WCoeff& c : coeffs) {
+    s.Put<uint64_t>(c.index);
+    s.Put<double>(c.value);
+  }
+  return s.Release();
+}
+
+std::vector<WCoeff> DeserializeCoeffs(const std::string& blob) {
+  Deserializer d(blob);
+  uint64_t n = d.Get<uint64_t>();
+  std::vector<WCoeff> coeffs(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    coeffs[i].index = d.Get<uint64_t>();
+    coeffs[i].value = d.Get<double>();
+  }
+  return coeffs;
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator state, persisted on the reducer machine between rounds.
+// ---------------------------------------------------------------------------
+
+struct CoordItem {
+  double partial = 0.0;
+  std::vector<bool> from;  // from[j]: split j's exact score is in `partial`
+};
+
+struct CoordState {
+  uint64_t m = 0;
+  double t1 = 0.0;
+  std::unordered_map<uint64_t, CoordItem> items;
+
+  std::string Serialize() const {
+    Serializer s;
+    s.Put<uint64_t>(m);
+    s.Put<double>(t1);
+    s.Put<uint64_t>(items.size());
+    for (const auto& [index, item] : items) {
+      s.Put<uint64_t>(index);
+      s.Put<double>(item.partial);
+      // Bit-packed sender set.
+      uint64_t words = (m + 63) / 64;
+      for (uint64_t w = 0; w < words; ++w) {
+        uint64_t bits = 0;
+        for (uint64_t b = 0; b < 64 && w * 64 + b < m; ++b) {
+          if (item.from[w * 64 + b]) bits |= uint64_t{1} << b;
+        }
+        s.Put<uint64_t>(bits);
+      }
+    }
+    return s.Release();
+  }
+
+  static CoordState Deserialize(const std::string& blob) {
+    Deserializer d(blob);
+    CoordState state;
+    state.m = d.Get<uint64_t>();
+    state.t1 = d.Get<double>();
+    uint64_t n = d.Get<uint64_t>();
+    state.items.reserve(n * 2);
+    uint64_t words = (state.m + 63) / 64;
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t index = d.Get<uint64_t>();
+      CoordItem item;
+      item.partial = d.Get<double>();
+      item.from.assign(state.m, false);
+      for (uint64_t w = 0; w < words; ++w) {
+        uint64_t bits = d.Get<uint64_t>();
+        for (uint64_t b = 0; b < 64 && w * 64 + b < state.m; ++b) {
+          item.from[w * 64 + b] = (bits >> b) & 1;
+        }
+      }
+      state.items.emplace(index, std::move(item));
+    }
+    return state;
+  }
+};
+
+// tau(x) = 0 when the bounds straddle zero, else min(|tau+|, |tau-|).
+double MagnitudeLowerBound(double tau_plus, double tau_minus) {
+  if ((tau_plus >= 0) != (tau_minus >= 0)) return 0.0;
+  return std::min(std::fabs(tau_plus), std::fabs(tau_minus));
+}
+
+double KthLargest(std::vector<double> vals, size_t k) {
+  if (vals.size() < k || k == 0) return 0.0;
+  std::nth_element(vals.begin(), vals.begin() + (k - 1), vals.end(),
+                   std::greater<>());
+  return vals[k - 1];
+}
+
+// ---------------------------------------------------------------------------
+// Round 1
+// ---------------------------------------------------------------------------
+
+class Round1Mapper : public Mapper<uint64_t, HwMsg> {
+ public:
+  Round1Mapper(uint64_t split, const BuildOptions& options)
+      : split_(static_cast<uint32_t>(split)), options_(options) {}
+
+  void Run(MapContext<uint64_t, HwMsg>& ctx) override {
+    const uint64_t u = ctx.input().dataset_info().domain_size;
+    std::unordered_map<uint64_t, uint64_t> freq;
+    ctx.input().Scan([&freq](uint64_t key) { ++freq[key]; });
+
+    std::vector<WCoeff> coeffs;
+    if (options_.use_dense_local_transform) {
+      std::vector<double> dense(u, 0.0);
+      for (const auto& [key, count] : freq) dense[key] = static_cast<double>(count);
+      ctx.ChargeCpuNs(static_cast<double>(u) * kCoeffOpNs);
+      std::vector<double> w = ForwardHaar(dense);
+      for (uint64_t i = 0; i < u; ++i) {
+        if (w[i] != 0.0) coeffs.push_back({i, w[i]});
+      }
+    } else {
+      SparseVector v;
+      v.reserve(freq.size());
+      for (const auto& [key, count] : freq) {
+        v.emplace_back(key, static_cast<double>(count));
+      }
+      ctx.ChargeCpuNs(static_cast<double>(v.size()) * PointUpdateFanout(u) *
+                      kCoeffOpNs);
+      coeffs = SparseHaar(v, u);
+    }
+    ctx.ChargeCpuNs(static_cast<double>(coeffs.size()) * kTopKSelectNs);
+
+    // k highest positive and k lowest negative coefficients. Absent
+    // coefficients are exactly zero, so when a split has fewer than k
+    // positive (negative) entries the k-th bound is 0 and no mark is sent;
+    // the coordinator defaults those bounds to 0.
+    const size_t k = options_.k;
+    std::vector<WCoeff> pos, neg;
+    for (const WCoeff& c : coeffs) {
+      (c.value > 0 ? pos : neg).push_back(c);
+    }
+    size_t tp = std::min(pos.size(), k);
+    std::partial_sort(pos.begin(), pos.begin() + tp, pos.end(),
+                      [](const WCoeff& a, const WCoeff& b) {
+                        if (a.value != b.value) return a.value > b.value;
+                        return a.index < b.index;
+                      });
+    size_t tn = std::min(neg.size(), k);
+    std::partial_sort(neg.begin(), neg.begin() + tn, neg.end(),
+                      [](const WCoeff& a, const WCoeff& b) {
+                        if (a.value != b.value) return a.value < b.value;
+                        return a.index < b.index;
+                      });
+
+    std::unordered_map<uint64_t, uint8_t> emitted;  // index -> flags
+    for (size_t t = 0; t < tp; ++t) {
+      uint8_t flags = (t == k - 1 && pos.size() >= k) ? kMarksKthHigh : 0;
+      emitted.emplace(pos[t].index, flags);
+    }
+    for (size_t t = 0; t < tn; ++t) {
+      uint8_t flags = (t == k - 1 && neg.size() >= k) ? kMarksKthLow : 0;
+      auto [it, inserted] = emitted.emplace(neg[t].index, flags);
+      if (!inserted) it->second |= flags;  // cannot happen (sign-disjoint)
+    }
+
+    std::vector<WCoeff> unsent;
+    unsent.reserve(coeffs.size() - emitted.size());
+    for (const WCoeff& c : coeffs) {
+      auto it = emitted.find(c.index);
+      if (it == emitted.end()) {
+        unsent.push_back(c);
+      } else {
+        ctx.Emit(c.index, HwMsg{split_, c.value, it->second});
+      }
+    }
+    ctx.SaveState(SerializeCoeffs(unsent));
+  }
+
+ private:
+  uint32_t split_;
+  const BuildOptions& options_;
+};
+
+class Round1Reducer : public Reducer<uint64_t, HwMsg> {
+ public:
+  Round1Reducer(uint64_t m, size_t k) : m_(m), k_(k) {
+    kth_high_.assign(m, 0.0);
+    kth_low_.assign(m, 0.0);
+    state_.m = m;
+  }
+
+  void Absorb(const uint64_t& index, const HwMsg& msg,
+              ReduceContext<uint64_t, HwMsg>& ctx) override {
+    (void)ctx;
+    CoordItem& item = state_.items[index];
+    if (item.from.empty()) item.from.assign(m_, false);
+    if (!item.from[msg.split]) {
+      item.partial += msg.value;
+      item.from[msg.split] = true;
+    }
+    if (msg.flags & kMarksKthHigh) kth_high_[msg.split] = msg.value;
+    if (msg.flags & kMarksKthLow) kth_low_[msg.split] = msg.value;
+  }
+
+  void Finish(ReduceContext<uint64_t, HwMsg>& ctx) override {
+    double total_high = 0.0, total_low = 0.0;
+    for (uint64_t j = 0; j < m_; ++j) {
+      total_high += kth_high_[j];
+      total_low += kth_low_[j];
+    }
+    std::vector<double> taus;
+    taus.reserve(state_.items.size());
+    for (const auto& [index, item] : state_.items) {
+      double tau_plus = item.partial + total_high;
+      double tau_minus = item.partial + total_low;
+      for (uint64_t j = 0; j < m_; ++j) {
+        if (item.from[j]) {
+          tau_plus -= kth_high_[j];
+          tau_minus -= kth_low_[j];
+        }
+      }
+      taus.push_back(MagnitudeLowerBound(tau_plus, tau_minus));
+    }
+    ctx.ChargeCpuNs(static_cast<double>(state_.items.size()) * m_ * 2.0);
+    state_.t1 = KthLargest(std::move(taus), k_);
+    ctx.SaveState(state_.Serialize());
+  }
+
+  double t1() const { return state_.t1; }
+
+ private:
+  uint64_t m_;
+  size_t k_;
+  std::vector<double> kth_high_, kth_low_;
+  CoordState state_;
+};
+
+// ---------------------------------------------------------------------------
+// Round 2
+// ---------------------------------------------------------------------------
+
+class Round2Mapper : public Mapper<uint64_t, HwMsg> {
+ public:
+  explicit Round2Mapper(uint64_t split) : split_(static_cast<uint32_t>(split)) {}
+
+  void Run(MapContext<uint64_t, HwMsg>& ctx) override {
+    // No input-split scan in this round: only the state file is read.
+    auto blob = ctx.LoadState();
+    WAVEMR_CHECK(blob.ok()) << "round-2 mapper missing split state";
+    std::vector<WCoeff> coeffs = DeserializeCoeffs(*blob);
+    double threshold = ctx.config().GetDouble(kConfigT1OverM).value();
+    ctx.ChargeCpuNs(static_cast<double>(coeffs.size()) * kStateEntryNs);
+
+    std::vector<WCoeff> unsent;
+    unsent.reserve(coeffs.size());
+    for (const WCoeff& c : coeffs) {
+      if (std::fabs(c.value) > threshold) {
+        ctx.Emit(c.index, HwMsg{split_, c.value, 0});
+      } else {
+        unsent.push_back(c);
+      }
+    }
+    ctx.SaveState(SerializeCoeffs(unsent));
+  }
+
+ private:
+  uint32_t split_;
+};
+
+class Round2Reducer : public Reducer<uint64_t, HwMsg> {
+ public:
+  explicit Round2Reducer(size_t k) : k_(k) {}
+
+  void Start(ReduceContext<uint64_t, HwMsg>& ctx) override {
+    auto blob = ctx.LoadState();
+    WAVEMR_CHECK(blob.ok()) << "round-2 reducer missing coordinator state";
+    state_ = CoordState::Deserialize(*blob);
+  }
+
+  void Absorb(const uint64_t& index, const HwMsg& msg,
+              ReduceContext<uint64_t, HwMsg>& ctx) override {
+    (void)ctx;
+    CoordItem& item = state_.items[index];
+    if (item.from.empty()) item.from.assign(state_.m, false);
+    if (!item.from[msg.split]) {
+      item.partial += msg.value;
+      item.from[msg.split] = true;
+    }
+  }
+
+  void Finish(ReduceContext<uint64_t, HwMsg>& ctx) override {
+    const double threshold = state_.t1 / static_cast<double>(state_.m);
+    std::vector<double> taus;
+    std::vector<std::pair<uint64_t, double>> prune_bound;
+    taus.reserve(state_.items.size());
+    prune_bound.reserve(state_.items.size());
+    for (const auto& [index, item] : state_.items) {
+      uint64_t missing = 0;
+      for (bool got : item.from) missing += got ? 0 : 1;
+      double slack = static_cast<double>(missing) * threshold;
+      double tau_plus = item.partial + slack;
+      double tau_minus = item.partial - slack;
+      taus.push_back(MagnitudeLowerBound(tau_plus, tau_minus));
+      prune_bound.emplace_back(index,
+                               std::max(std::fabs(tau_plus), std::fabs(tau_minus)));
+    }
+    ctx.ChargeCpuNs(static_cast<double>(state_.items.size()) * state_.m);
+    t2_ = KthLargest(taus, k_);
+
+    // Keep only candidates: items whose refined bound can still reach T2.
+    std::vector<uint32_t> candidates;
+    for (const auto& [index, bound] : prune_bound) {
+      if (bound >= t2_) {
+        candidates.push_back(static_cast<uint32_t>(index));
+      } else {
+        state_.items.erase(index);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+
+    // Publish R through the Distributed Cache (4 bytes per candidate id,
+    // like the paper's 4-byte coefficient indices).
+    Serializer s;
+    for (uint32_t c : candidates) s.Put<uint32_t>(c);
+    ctx.PublishToCache(kCacheCandidates, s.Release());
+    ctx.SaveState(state_.Serialize());
+  }
+
+  double t2() const { return t2_; }
+
+ private:
+  size_t k_;
+  double t2_ = 0.0;
+  CoordState state_;
+};
+
+// ---------------------------------------------------------------------------
+// Round 3
+// ---------------------------------------------------------------------------
+
+class Round3Mapper : public Mapper<uint64_t, HwMsg> {
+ public:
+  explicit Round3Mapper(uint64_t split) : split_(static_cast<uint32_t>(split)) {}
+
+  void Run(MapContext<uint64_t, HwMsg>& ctx) override {
+    auto blob = ctx.LoadState();
+    WAVEMR_CHECK(blob.ok()) << "round-3 mapper missing split state";
+    std::vector<WCoeff> coeffs = DeserializeCoeffs(*blob);
+
+    auto cache_blob = ctx.cache().Get(kCacheCandidates);
+    WAVEMR_CHECK(cache_blob.ok()) << "round-3 mapper missing candidate set";
+    Deserializer d(*cache_blob);
+    std::unordered_map<uint64_t, bool> in_r;
+    while (!d.Done()) in_r.emplace(d.Get<uint32_t>(), true);
+
+    ctx.ChargeCpuNs(static_cast<double>(coeffs.size()) * kStateEntryNs);
+    // Everything left in the state file was never sent (|w| <= T1/m); emit
+    // the candidates' scores so the coordinator can finalize exact sums.
+    for (const WCoeff& c : coeffs) {
+      if (in_r.count(c.index) > 0) ctx.Emit(c.index, HwMsg{split_, c.value, 0});
+    }
+  }
+
+ private:
+  uint32_t split_;
+};
+
+class Round3Reducer : public Reducer<uint64_t, HwMsg> {
+ public:
+  explicit Round3Reducer(size_t k) : k_(k) {}
+
+  void Start(ReduceContext<uint64_t, HwMsg>& ctx) override {
+    auto blob = ctx.LoadState();
+    WAVEMR_CHECK(blob.ok()) << "round-3 reducer missing coordinator state";
+    state_ = CoordState::Deserialize(*blob);
+  }
+
+  void Absorb(const uint64_t& index, const HwMsg& msg,
+              ReduceContext<uint64_t, HwMsg>& ctx) override {
+    (void)ctx;
+    auto it = state_.items.find(index);
+    if (it == state_.items.end()) return;  // not a candidate
+    if (!it->second.from[msg.split]) {
+      it->second.partial += msg.value;
+      it->second.from[msg.split] = true;
+    }
+  }
+
+  void Finish(ReduceContext<uint64_t, HwMsg>& ctx) override {
+    std::vector<WCoeff> finals;
+    finals.reserve(state_.items.size());
+    for (const auto& [index, item] : state_.items) {
+      finals.push_back({index, item.partial});
+    }
+    ctx.ChargeCpuNs(static_cast<double>(finals.size()) * kTopKSelectNs);
+    result_ = TopKByMagnitude(std::move(finals), k_);
+  }
+
+  std::vector<WCoeff> TakeResult() { return std::move(result_); }
+
+ private:
+  size_t k_;
+  CoordState state_;
+  std::vector<WCoeff> result_;
+};
+
+}  // namespace
+
+StatusOr<BuildResult> HWTopk::Build(const Dataset& dataset,
+                                    const BuildOptions& options) {
+  MrEnv env;
+  env.cluster = options.cluster;
+  env.cost_model = options.cost_model;
+
+  const uint64_t m = dataset.info().num_splits;
+  if (dataset.info().domain_size > (uint64_t{1} << 32)) {
+    return Status::InvalidArgument("H-WTopk wire format assumes u <= 2^32");
+  }
+  auto wire = [](const uint64_t&, const HwMsg&) { return kPairBytes; };
+
+  // ---- Round 1.
+  Round1Reducer r1(m, options.k);
+  {
+    JobPlan<uint64_t, HwMsg> plan;
+    plan.name = "h-wtopk-round1";
+    plan.mapper_factory = [&options](uint64_t split) {
+      return std::make_unique<Round1Mapper>(split, options);
+    };
+    plan.reducer = &r1;
+    plan.wire_bytes = wire;
+    RunRound(plan, dataset, &env);
+  }
+
+  // The driver ships T1/m to every round-2 task via the Job Configuration.
+  env.config.SetDouble(kConfigT1OverM, r1.t1() / static_cast<double>(m));
+
+  // ---- Round 2.
+  Round2Reducer r2(options.k);
+  {
+    JobPlan<uint64_t, HwMsg> plan;
+    plan.name = "h-wtopk-round2";
+    plan.mapper_factory = [](uint64_t split) {
+      return std::make_unique<Round2Mapper>(split);
+    };
+    plan.reducer = &r2;
+    plan.wire_bytes = wire;
+    RunRound(plan, dataset, &env);
+  }
+
+  // ---- Round 3.
+  Round3Reducer r3(options.k);
+  {
+    JobPlan<uint64_t, HwMsg> plan;
+    plan.name = "h-wtopk-round3";
+    plan.mapper_factory = [](uint64_t split) {
+      return std::make_unique<Round3Mapper>(split);
+    };
+    plan.reducer = &r3;
+    plan.wire_bytes = wire;
+    RunRound(plan, dataset, &env);
+  }
+
+  BuildResult result;
+  result.histogram = WaveletHistogram(dataset.info().domain_size, r3.TakeResult());
+  result.stats = std::move(env.stats);
+  return result;
+}
+
+}  // namespace wavemr

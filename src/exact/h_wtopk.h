@@ -1,0 +1,35 @@
+#ifndef WAVEMR_EXACT_H_WTOPK_H_
+#define WAVEMR_EXACT_H_WTOPK_H_
+
+#include "histogram/algorithm.h"
+
+namespace wavemr {
+
+/// The paper's exact algorithm (Section 3 + Appendix A): a three-round
+/// modified TPUT over local wavelet coefficients, handling positive and
+/// negative scores and maximizing |aggregate|.
+///
+///   Round 1: each split computes its local coefficients (sparse transform),
+///            emits its k highest and k lowest, marking the k-th of each so
+///            the coordinator learns the per-split bounds w~+_j / w~-_j;
+///            unemitted coefficients are persisted in the split's state file.
+///   Round 2: T1/m is broadcast via the Job Configuration; splits emit every
+///            unsent coefficient with |w| > T1/m; the coordinator refines
+///            bounds to +-(missing * T1/m), computes T2, prunes, and
+///            publishes the candidate set R through the Distributed Cache.
+///   Round 3: splits emit their remaining scores for items in R; the
+///            coordinator now has exact sums and returns the top-k by
+///            magnitude.
+///
+/// The result is exactly the best k-term representation (ties broken
+/// arbitrarily, as in any top-k).
+class HWTopk : public HistogramAlgorithm {
+ public:
+  std::string name() const override { return "H-WTopk"; }
+  StatusOr<BuildResult> Build(const Dataset& dataset,
+                              const BuildOptions& options) override;
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_EXACT_H_WTOPK_H_

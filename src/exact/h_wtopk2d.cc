@@ -1,0 +1,38 @@
+#include "exact/h_wtopk2d.h"
+
+#include "core/bitops.h"
+
+namespace wavemr {
+
+StatusOr<Topk2DResult> HWTopk2D(const std::vector<std::vector<Cell2D>>& splits,
+                                uint64_t rows, uint64_t cols, size_t k) {
+  if (!IsPowerOfTwo(rows) || !IsPowerOfTwo(cols)) {
+    return Status::InvalidArgument("2-D domain sides must be powers of two");
+  }
+  // Local 2-D transforms: each split's nonzero coefficients become its local
+  // score table; the coordinator protocol is dimension-agnostic from here.
+  std::vector<LocalScores> nodes;
+  nodes.reserve(splits.size());
+  for (const std::vector<Cell2D>& cells : splits) {
+    for (const Cell2D& cell : cells) {
+      if (cell.x >= rows || cell.y >= cols) {
+        return Status::InvalidArgument("cell outside the 2-D domain");
+      }
+    }
+    LocalScores scores;
+    for (const auto& [index, value] : SparseHaar2DMap(cells, rows, cols)) {
+      if (value != 0.0) scores.emplace(index, value);
+    }
+    nodes.push_back(std::move(scores));
+  }
+
+  Topk2DResult result;
+  result.protocol = TwoSidedTput(nodes, k);
+  result.topk.reserve(result.protocol.topk.size());
+  for (const auto& [index, value] : result.protocol.topk) {
+    result.topk.push_back({index, value});
+  }
+  return result;
+}
+
+}  // namespace wavemr

@@ -1,0 +1,33 @@
+#ifndef WAVEMR_EXACT_H_WTOPK2D_H_
+#define WAVEMR_EXACT_H_WTOPK2D_H_
+
+#include <vector>
+
+#include "core/status.h"
+#include "exact/tput.h"
+#include "wavelet/transform2d.h"
+
+namespace wavemr {
+
+/// The paper's multi-dimensional extension of H-WTopk (Section 3): the 2-D
+/// transform is linear, so any 2-D coefficient is still the sum of the
+/// corresponding local 2-D coefficients, and the same two-sided TPUT finds
+/// the top-k by magnitude. This entry point runs the coordinator protocol
+/// over per-split 2-D cell lists; the returned TputResult carries the
+/// per-round message counts (the communication the MapReduce rounds would
+/// shuffle).
+struct Topk2DResult {
+  /// Flattened coefficient ids (Coeff2DIndex) with exact values, descending
+  /// by |value|.
+  std::vector<WCoeff> topk;
+  TputResult protocol;
+};
+
+/// splits[j] holds split j's nonzero cells (x < rows, y < cols; rows and
+/// cols powers of two). k is the synopsis size.
+StatusOr<Topk2DResult> HWTopk2D(const std::vector<std::vector<Cell2D>>& splits,
+                                uint64_t rows, uint64_t cols, size_t k);
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_EXACT_H_WTOPK2D_H_

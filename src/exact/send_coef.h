@@ -1,0 +1,23 @@
+#ifndef WAVEMR_EXACT_SEND_COEF_H_
+#define WAVEMR_EXACT_SEND_COEF_H_
+
+#include "histogram/algorithm.h"
+
+namespace wavemr {
+
+/// The paper's second baseline (Section 3): because the transform is linear,
+/// w_i = sum_j <v_j, psi_i>, so each mapper computes its *local* wavelet
+/// coefficients and emits every nonzero (i, w_{i,j}); the reducer sums them
+/// and selects the top-k. The number of nonzero local coefficients grows
+/// like |v_j| log u, so Send-Coef loses to Send-V at every tested domain
+/// size (Figure 12) -- which is why the paper drops it from the other plots.
+class SendCoef : public HistogramAlgorithm {
+ public:
+  std::string name() const override { return "Send-Coef"; }
+  StatusOr<BuildResult> Build(const Dataset& dataset,
+                              const BuildOptions& options) override;
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_EXACT_SEND_COEF_H_

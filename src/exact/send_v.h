@@ -1,0 +1,23 @@
+#ifndef WAVEMR_EXACT_SEND_V_H_
+#define WAVEMR_EXACT_SEND_V_H_
+
+#include "histogram/algorithm.h"
+
+namespace wavemr {
+
+/// The paper's first baseline (Section 3): every mapper computes its local
+/// frequency vector v_j and emits one (x, v_j(x)) pair per distinct key; the
+/// single reducer aggregates the global frequency vector and runs the
+/// centralized best-k-term algorithm. Exact, one round, O(m u) pairs in the
+/// worst case -- the communication hog every other method is measured
+/// against.
+class SendV : public HistogramAlgorithm {
+ public:
+  std::string name() const override { return "Send-V"; }
+  StatusOr<BuildResult> Build(const Dataset& dataset,
+                              const BuildOptions& options) override;
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_EXACT_SEND_V_H_

@@ -1,0 +1,271 @@
+#include "exact/tput.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "core/logging.h"
+
+namespace wavemr {
+
+namespace {
+
+bool MagnitudeGreater(const std::pair<uint64_t, double>& a,
+                      const std::pair<uint64_t, double>& b) {
+  double ma = std::fabs(a.second), mb = std::fabs(b.second);
+  if (ma != mb) return ma > mb;
+  return a.first < b.first;
+}
+
+// k-th largest element of vals (1-based); 0 if fewer than k values.
+double KthLargest(std::vector<double> vals, size_t k) {
+  if (vals.size() < k || k == 0) return 0.0;
+  std::nth_element(vals.begin(), vals.begin() + (k - 1), vals.end(),
+                   std::greater<>());
+  return vals[k - 1];
+}
+
+}  // namespace
+
+std::vector<std::pair<uint64_t, double>> ExactTopKByMagnitude(
+    const std::vector<LocalScores>& nodes, size_t k) {
+  std::unordered_map<uint64_t, double> total;
+  for (const LocalScores& node : nodes) {
+    for (const auto& [item, score] : node) total[item] += score;
+  }
+  std::vector<std::pair<uint64_t, double>> all(total.begin(), total.end());
+  std::sort(all.begin(), all.end(), MagnitudeGreater);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+TputResult ClassicTput(const std::vector<LocalScores>& nodes, size_t k) {
+  const size_t m = nodes.size();
+  TputResult result;
+
+  // Round 1: each node sends its k highest-scored items.
+  struct Seen {
+    double partial = 0.0;
+    std::vector<bool> from;
+  };
+  std::unordered_map<uint64_t, Seen> seen;
+  std::vector<double> kth_high(m, 0.0);
+
+  for (size_t j = 0; j < m; ++j) {
+    std::vector<std::pair<uint64_t, double>> local(nodes[j].begin(), nodes[j].end());
+    for (const auto& [item, score] : local) {
+      WAVEMR_CHECK_GE(score, 0.0) << "ClassicTput requires non-negative scores";
+    }
+    size_t take = std::min(local.size(), k);
+    std::partial_sort(local.begin(), local.begin() + take, local.end(),
+                      [](const auto& a, const auto& b) { return a.second > b.second; });
+    kth_high[j] = local.size() >= k ? local[k - 1].second : 0.0;
+    for (size_t t = 0; t < take; ++t) {
+      auto& s = seen[local[t].first];
+      if (s.from.empty()) s.from.assign(m, false);
+      s.partial += local[t].second;
+      s.from[j] = true;
+      ++result.round1_messages;
+    }
+  }
+
+  // T1 = k-th largest partial sum (missing scores assumed 0).
+  {
+    std::vector<double> partials;
+    partials.reserve(seen.size());
+    for (const auto& [item, s] : seen) partials.push_back(s.partial);
+    result.t1 = KthLargest(std::move(partials), k);
+  }
+
+  // Round 2: each node sends every item with score > T1/m not sent before.
+  double threshold = result.t1 / static_cast<double>(m);
+  for (size_t j = 0; j < m; ++j) {
+    for (const auto& [item, score] : nodes[j]) {
+      auto it = seen.find(item);
+      bool already = it != seen.end() && !it->second.from.empty() && it->second.from[j];
+      if (already || score <= threshold) continue;
+      auto& s = seen[item];
+      if (s.from.empty()) s.from.assign(m, false);
+      s.partial += score;
+      s.from[j] = true;
+      ++result.round2_messages;
+    }
+  }
+
+  // T2 and pruning with refined upper bounds.
+  {
+    std::vector<double> partials;
+    partials.reserve(seen.size());
+    for (const auto& [item, s] : seen) partials.push_back(s.partial);
+    result.t2 = KthLargest(std::move(partials), k);
+  }
+  std::unordered_set<uint64_t> candidates;
+  for (const auto& [item, s] : seen) {
+    size_t missing = 0;
+    for (bool got : s.from) missing += got ? 0 : 1;
+    double upper = s.partial + static_cast<double>(missing) * threshold;
+    if (upper >= result.t2) candidates.insert(item);
+  }
+
+  // Round 3: fetch remaining scores of candidates.
+  for (uint64_t item : candidates) {
+    auto& s = seen[item];
+    for (size_t j = 0; j < m; ++j) {
+      if (s.from[j]) continue;
+      auto it = nodes[j].find(item);
+      if (it != nodes[j].end()) {
+        s.partial += it->second;
+        ++result.round3_messages;
+      }
+      s.from[j] = true;
+    }
+  }
+
+  std::vector<std::pair<uint64_t, double>> finals;
+  finals.reserve(candidates.size());
+  for (uint64_t item : candidates) finals.emplace_back(item, seen[item].partial);
+  std::sort(finals.begin(), finals.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (finals.size() > k) finals.resize(k);
+  result.topk = std::move(finals);
+  return result;
+}
+
+TputResult TwoSidedTput(const std::vector<LocalScores>& nodes, size_t k) {
+  const size_t m = nodes.size();
+  TputResult result;
+
+  struct Seen {
+    double partial = 0.0;
+    std::vector<bool> from;  // from[j]: node j's exact score known
+  };
+  std::unordered_map<uint64_t, Seen> seen;
+  std::vector<double> kth_high(m, 0.0);  // w~+_j
+  std::vector<double> kth_low(m, 0.0);   // w~-_j
+
+  auto record = [&](uint64_t item, size_t node, double score, uint64_t* counter) {
+    auto& s = seen[item];
+    if (s.from.empty()) s.from.assign(m, false);
+    if (s.from[node]) return;
+    s.partial += score;
+    s.from[node] = true;
+    ++*counter;
+  };
+
+  // ---- Round 1: k highest and k lowest per node. Zero scores of absent
+  // items participate implicitly: if a node has fewer than k positive
+  // (negative) scores, its k-th highest (lowest) bound is 0.
+  for (size_t j = 0; j < m; ++j) {
+    std::vector<std::pair<uint64_t, double>> pos, neg;
+    for (const auto& [item, score] : nodes[j]) {
+      if (score > 0) pos.emplace_back(item, score);
+      if (score < 0) neg.emplace_back(item, score);
+    }
+    size_t tp = std::min(pos.size(), k);
+    std::partial_sort(pos.begin(), pos.begin() + tp, pos.end(),
+                      [](const auto& a, const auto& b) { return a.second > b.second; });
+    size_t tn = std::min(neg.size(), k);
+    std::partial_sort(neg.begin(), neg.begin() + tn, neg.end(),
+                      [](const auto& a, const auto& b) { return a.second < b.second; });
+    kth_high[j] = pos.size() >= k ? pos[k - 1].second : 0.0;
+    kth_low[j] = neg.size() >= k ? neg[k - 1].second : 0.0;
+    for (size_t t = 0; t < tp; ++t) {
+      record(pos[t].first, j, pos[t].second, &result.round1_messages);
+    }
+    for (size_t t = 0; t < tn; ++t) {
+      record(neg[t].first, j, neg[t].second, &result.round1_messages);
+    }
+  }
+
+  double total_high = 0.0, total_low = 0.0;
+  for (size_t j = 0; j < m; ++j) {
+    total_high += kth_high[j];
+    total_low += kth_low[j];
+  }
+
+  // tau(x) = 0 if the bounds straddle zero, else min(|tau+|, |tau-|).
+  auto magnitude_lower_bound = [](double tau_plus, double tau_minus) {
+    if ((tau_plus >= 0) != (tau_minus >= 0)) return 0.0;
+    return std::min(std::fabs(tau_plus), std::fabs(tau_minus));
+  };
+
+  {
+    std::vector<double> taus;
+    taus.reserve(seen.size());
+    for (const auto& [item, s] : seen) {
+      double tau_plus = s.partial, tau_minus = s.partial;
+      // Add the per-node k-th bounds for nodes that did not send x.
+      tau_plus += total_high;
+      tau_minus += total_low;
+      for (size_t j = 0; j < m; ++j) {
+        if (s.from[j]) {
+          tau_plus -= kth_high[j];
+          tau_minus -= kth_low[j];
+        }
+      }
+      taus.push_back(magnitude_lower_bound(tau_plus, tau_minus));
+    }
+    result.t1 = KthLargest(std::move(taus), k);
+  }
+
+  // ---- Round 2: every item with |score| > T1/m, unless already sent.
+  const double threshold = result.t1 / static_cast<double>(m);
+  for (size_t j = 0; j < m; ++j) {
+    for (const auto& [item, score] : nodes[j]) {
+      auto it = seen.find(item);
+      bool already = it != seen.end() && it->second.from[j];
+      if (already || std::fabs(score) <= threshold) continue;
+      record(item, j, score, &result.round2_messages);
+    }
+  }
+
+  // Refined bounds: unseen local scores now bounded by +-T1/m.
+  std::vector<uint64_t> candidates;
+  {
+    std::vector<double> taus;
+    taus.reserve(seen.size());
+    std::vector<std::pair<uint64_t, double>> prune_bound;  // item -> tau'
+    for (const auto& [item, s] : seen) {
+      size_t missing = 0;
+      for (bool got : s.from) missing += got ? 0 : 1;
+      double slack = static_cast<double>(missing) * threshold;
+      double tau_plus = s.partial + slack;
+      double tau_minus = s.partial - slack;
+      taus.push_back(magnitude_lower_bound(tau_plus, tau_minus));
+      prune_bound.emplace_back(item,
+                               std::max(std::fabs(tau_plus), std::fabs(tau_minus)));
+    }
+    result.t2 = KthLargest(taus, k);
+    for (const auto& [item, bound] : prune_bound) {
+      if (bound >= result.t2) candidates.push_back(item);
+    }
+  }
+
+  // ---- Round 3: fetch candidates' remaining scores; aggregates now exact.
+  for (uint64_t item : candidates) {
+    auto& s = seen[item];
+    for (size_t j = 0; j < m; ++j) {
+      if (s.from[j]) continue;
+      auto it = nodes[j].find(item);
+      if (it != nodes[j].end()) {
+        s.partial += it->second;
+        ++result.round3_messages;
+      }
+      s.from[j] = true;
+    }
+  }
+
+  std::vector<std::pair<uint64_t, double>> finals;
+  finals.reserve(candidates.size());
+  for (uint64_t item : candidates) finals.emplace_back(item, seen[item].partial);
+  std::sort(finals.begin(), finals.end(), MagnitudeGreater);
+  if (finals.size() > k) finals.resize(k);
+  result.topk = std::move(finals);
+  return result;
+}
+
+}  // namespace wavemr

@@ -1,0 +1,50 @@
+#ifndef WAVEMR_EXACT_TPUT_H_
+#define WAVEMR_EXACT_TPUT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace wavemr {
+
+/// Local score table of one node: item -> score. Items absent from every
+/// node score zero.
+using LocalScores = std::unordered_map<uint64_t, double>;
+
+/// Result of a distributed top-k run, with per-round message counts so the
+/// algorithm's communication behaviour can be studied (and benchmarked)
+/// independently of the MapReduce plumbing.
+struct TputResult {
+  /// Exact aggregate of every item that survived to round 3, in descending
+  /// |score| (the first k are the answer).
+  std::vector<std::pair<uint64_t, double>> topk;
+  uint64_t round1_messages = 0;
+  uint64_t round2_messages = 0;
+  uint64_t round3_messages = 0;
+  double t1 = 0.0;  // round-1 pruning threshold
+  double t2 = 0.0;  // round-2 refined threshold
+  uint64_t Messages() const {
+    return round1_messages + round2_messages + round3_messages;
+  }
+};
+
+/// Classic TPUT (Cao & Wang, PODC'04): exact top-k by *signed sum* over
+/// non-negative scores, three rounds. Provided as the baseline the paper's
+/// modification departs from; CHECK-fails if any score is negative.
+TputResult ClassicTput(const std::vector<LocalScores>& nodes, size_t k);
+
+/// The paper's modified TPUT (Section 3): handles positive and negative
+/// scores and returns the top-k aggregates of largest |sum|, by interleaving
+/// two TPUT instances (upper bound tau+ from the k-th highest unseen scores,
+/// lower bound tau- from the k-th lowest; magnitude lower bound
+/// tau = 0 if the bounds straddle zero, else min(|tau+|, |tau-|)).
+TputResult TwoSidedTput(const std::vector<LocalScores>& nodes, size_t k);
+
+/// Brute-force reference: exact aggregates sorted by descending magnitude.
+std::vector<std::pair<uint64_t, double>> ExactTopKByMagnitude(
+    const std::vector<LocalScores>& nodes, size_t k);
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_EXACT_TPUT_H_

@@ -1,0 +1,78 @@
+#ifndef WAVEMR_HISTOGRAM_ALGORITHM_H_
+#define WAVEMR_HISTOGRAM_ALGORITHM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+#include "data/dataset.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/cost_model.h"
+#include "mapreduce/stats.h"
+#include "sketch/wavelet_gcs.h"
+#include "wavelet/histogram.h"
+
+namespace wavemr {
+
+/// Knobs shared by every histogram-construction algorithm. Defaults mirror
+/// the paper's defaults (k=30, epsilon scaled to the dataset, the 16-machine
+/// cluster, 50% available bandwidth).
+struct BuildOptions {
+  /// Number of retained wavelet coefficients (the paper's k, default 30).
+  size_t k = 30;
+
+  /// Sampling error parameter (sampling algorithms): level-1 rate is
+  /// p = min(1, 1/(epsilon^2 n)).
+  double epsilon = 0.01;
+
+  /// Randomness for samplers and sketches; fixed seed => reproducible runs.
+  uint64_t seed = 123;
+
+  /// GCS configuration for Send-Sketch (total_bytes 0 = paper's rule).
+  WaveletGcsOptions gcs;
+
+  /// Simulated execution environment.
+  ClusterSpec cluster = ClusterSpec::PaperCluster();
+  CostModel cost_model;
+
+  // ---- ablation switches (DESIGN.md section 5) ----
+
+  /// Send-V: emit one (x,1) pair per record and rely on the engine Combiner
+  /// instead of aggregating in the mapper's hash map (Hadoop's default
+  /// pipeline). Wire cost identical when the combiner is on.
+  bool send_v_emit_per_record = false;
+  /// Send-V: disable combining entirely (per-record pairs hit the network).
+  bool send_v_disable_combiner = false;
+  /// Exact mappers: use the dense O(u) local transform instead of the
+  /// O(|v| log u) sparse one (cost-accounting ablation; same results).
+  bool use_dense_local_transform = false;
+};
+
+/// What every algorithm returns: the k-term synopsis plus the measured
+/// communication and simulated running time.
+struct BuildResult {
+  WaveletHistogram histogram;
+  JobStats stats;
+};
+
+/// Interface of the seven algorithms evaluated in the paper.
+class HistogramAlgorithm {
+ public:
+  virtual ~HistogramAlgorithm() = default;
+  virtual std::string name() const = 0;
+  virtual StatusOr<BuildResult> Build(const Dataset& dataset,
+                                      const BuildOptions& options) = 0;
+};
+
+/// CPU cost constants charged by algorithm code on top of the engine's
+/// per-record / per-pair baselines (CostModel). One "coefficient op" is a
+/// hash-map update inside a transform; sketch counter updates are cheaper
+/// (array writes after two hashes).
+inline constexpr double kCoeffOpNs = 25.0;
+inline constexpr double kSketchCounterNs = 150.0;  // Java-era hashed update
+inline constexpr double kStateEntryNs = 10.0;
+inline constexpr double kTopKSelectNs = 15.0;
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_HISTOGRAM_ALGORITHM_H_

@@ -1,0 +1,75 @@
+#include "histogram/builder.h"
+
+#include "approx/samplers.h"
+#include "approx/send_sketch.h"
+#include "core/logging.h"
+#include "exact/h_wtopk.h"
+#include "exact/send_coef.h"
+#include "exact/send_v.h"
+
+namespace wavemr {
+
+const char* AlgorithmName(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kSendV:
+      return "Send-V";
+    case AlgorithmKind::kSendCoef:
+      return "Send-Coef";
+    case AlgorithmKind::kHWTopk:
+      return "H-WTopk";
+    case AlgorithmKind::kBasicS:
+      return "Basic-S";
+    case AlgorithmKind::kImprovedS:
+      return "Improved-S";
+    case AlgorithmKind::kTwoLevelS:
+      return "TwoLevel-S";
+    case AlgorithmKind::kSendSketch:
+      return "Send-Sketch";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<HistogramAlgorithm> MakeAlgorithm(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kSendV:
+      return std::make_unique<SendV>();
+    case AlgorithmKind::kSendCoef:
+      return std::make_unique<SendCoef>();
+    case AlgorithmKind::kHWTopk:
+      return std::make_unique<HWTopk>();
+    case AlgorithmKind::kBasicS:
+      return std::make_unique<BasicSampling>();
+    case AlgorithmKind::kImprovedS:
+      return std::make_unique<ImprovedSampling>();
+    case AlgorithmKind::kTwoLevelS:
+      return std::make_unique<TwoLevelSampling>();
+    case AlgorithmKind::kSendSketch:
+      return std::make_unique<SendSketch>();
+  }
+  WAVEMR_LOG(Fatal) << "unknown algorithm kind";
+  return nullptr;
+}
+
+StatusOr<BuildResult> BuildWaveletHistogram(const Dataset& dataset,
+                                            AlgorithmKind kind,
+                                            const BuildOptions& options) {
+  return MakeAlgorithm(kind)->Build(dataset, options);
+}
+
+std::vector<AlgorithmKind> AllAlgorithms() {
+  return {AlgorithmKind::kSendV,     AlgorithmKind::kSendCoef,
+          AlgorithmKind::kHWTopk,    AlgorithmKind::kBasicS,
+          AlgorithmKind::kImprovedS, AlgorithmKind::kTwoLevelS,
+          AlgorithmKind::kSendSketch};
+}
+
+std::vector<AlgorithmKind> ExactAlgorithms() {
+  return {AlgorithmKind::kSendV, AlgorithmKind::kSendCoef, AlgorithmKind::kHWTopk};
+}
+
+std::vector<AlgorithmKind> ApproximateAlgorithms() {
+  return {AlgorithmKind::kBasicS, AlgorithmKind::kImprovedS,
+          AlgorithmKind::kTwoLevelS, AlgorithmKind::kSendSketch};
+}
+
+}  // namespace wavemr

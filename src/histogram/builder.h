@@ -1,0 +1,43 @@
+#ifndef WAVEMR_HISTOGRAM_BUILDER_H_
+#define WAVEMR_HISTOGRAM_BUILDER_H_
+
+#include <memory>
+#include <vector>
+
+#include "histogram/algorithm.h"
+
+namespace wavemr {
+
+/// The seven algorithms evaluated in the paper.
+enum class AlgorithmKind {
+  kSendV,        // exact baseline: local frequency vectors
+  kSendCoef,     // exact baseline: local coefficients
+  kHWTopk,       // exact, 3-round modified TPUT (the paper's contribution)
+  kBasicS,       // sampling baseline
+  kImprovedS,    // sampling baseline with local threshold (biased)
+  kTwoLevelS,    // two-level sampling (the paper's contribution)
+  kSendSketch,   // GCS-sketch per split, merged at the reducer
+};
+
+/// Display name matching the paper's figures ("Send-V", "TwoLevel-S", ...).
+const char* AlgorithmName(AlgorithmKind kind);
+
+/// Factory for a fresh algorithm instance.
+std::unique_ptr<HistogramAlgorithm> MakeAlgorithm(AlgorithmKind kind);
+
+/// One-call convenience: build a k-term wavelet histogram of `dataset` with
+/// the chosen algorithm under the simulated cluster in `options`.
+StatusOr<BuildResult> BuildWaveletHistogram(const Dataset& dataset,
+                                            AlgorithmKind kind,
+                                            const BuildOptions& options);
+
+/// All kinds, in the paper's presentation order.
+std::vector<AlgorithmKind> AllAlgorithms();
+
+/// The exact methods / the approximate methods.
+std::vector<AlgorithmKind> ExactAlgorithms();
+std::vector<AlgorithmKind> ApproximateAlgorithms();
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_HISTOGRAM_BUILDER_H_

@@ -1,0 +1,61 @@
+#include "mapreduce/cluster.h"
+
+#include <queue>
+
+#include "core/logging.h"
+
+namespace wavemr {
+
+int ClusterSpec::TotalMapSlots() const {
+  int total = 0;
+  for (const NodeSpec& n : slaves) total += n.map_slots;
+  return total;
+}
+
+ClusterSpec ClusterSpec::PaperCluster() {
+  ClusterSpec spec;
+  auto add = [&spec](const std::string& prefix, int count, double speed) {
+    for (int i = 0; i < count; ++i) {
+      spec.slaves.push_back({prefix + std::to_string(i), speed, 2});
+    }
+  };
+  add("cfg1-xeon5120-", 9, 1.0);
+  add("cfg2-e5405-", 3, 1.15);   // 4th cfg2 machine is the master
+  add("cfg3-e5506-", 2, 1.35);
+  add("cfg4-core2-", 1, 0.9);
+  spec.reducer_slave = 12;  // first cfg3 machine
+  WAVEMR_CHECK_EQ(spec.slaves.size(), 15u);
+  return spec;
+}
+
+ClusterSpec ClusterSpec::Uniform(size_t num_slaves, double speed, int map_slots) {
+  WAVEMR_CHECK_GE(num_slaves, 1u);
+  ClusterSpec spec;
+  for (size_t i = 0; i < num_slaves; ++i) {
+    spec.slaves.push_back({"node-" + std::to_string(i), speed, map_slots});
+  }
+  spec.reducer_slave = 0;
+  return spec;
+}
+
+double ScheduleMakespan(const ClusterSpec& cluster,
+                        const std::vector<double>& task_seconds) {
+  WAVEMR_CHECK(!cluster.slaves.empty());
+  // Min-heap of (available_time, node_index), one entry per slot.
+  using Slot = std::pair<double, size_t>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> slots;
+  for (size_t n = 0; n < cluster.slaves.size(); ++n) {
+    for (int s = 0; s < cluster.slaves[n].map_slots; ++s) slots.push({0.0, n});
+  }
+  double makespan = 0.0;
+  for (double work : task_seconds) {
+    auto [avail, node] = slots.top();
+    slots.pop();
+    double finish = avail + work / cluster.slaves[node].speed;
+    makespan = std::max(makespan, finish);
+    slots.push({finish, node});
+  }
+  return makespan;
+}
+
+}  // namespace wavemr

@@ -1,0 +1,52 @@
+#ifndef WAVEMR_MAPREDUCE_CLUSTER_H_
+#define WAVEMR_MAPREDUCE_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wavemr {
+
+/// One slave machine (TaskTracker + DataNode).
+struct NodeSpec {
+  std::string name;
+  /// Relative CPU speed (1.0 = the paper's Xeon 5120 baseline). Task
+  /// durations divide by this.
+  double speed = 1.0;
+  /// Concurrent map tasks this node runs.
+  int map_slots = 2;
+};
+
+/// The cluster the jobs are simulated on: a set of slaves plus the index of
+/// the slave that hosts the single Reducer (the paper pins the Reducer to a
+/// designated machine via a customized JobTracker scheduler).
+struct ClusterSpec {
+  std::vector<NodeSpec> slaves;
+  size_t reducer_slave = 0;
+
+  int TotalMapSlots() const;
+  double ReducerSpeed() const { return slaves[reducer_slave].speed; }
+  size_t NumSlaves() const { return slaves.size(); }
+
+  /// The paper's heterogeneous 16-machine cluster: the master (JobTracker +
+  /// NameNode, config 2) is not a slave; 15 slaves remain -- 9x config 1
+  /// (Xeon 5120 1.86 GHz), 3x config 2 (Xeon E5405 2 GHz), 2x config 3
+  /// (Xeon E5506 2.13 GHz, one of which hosts the Reducer), 1x config 4
+  /// (Core2 6300 1.86 GHz).
+  static ClusterSpec PaperCluster();
+
+  /// A homogeneous cluster, for tests and ablations.
+  static ClusterSpec Uniform(size_t num_slaves, double speed = 1.0, int map_slots = 2);
+};
+
+/// Greedy slot scheduler: tasks (given as durations *at reference speed
+/// 1.0*) are assigned in order to the earliest-available map slot; a task on
+/// node d takes duration / d.speed. Returns the makespan in seconds.
+/// This models Hadoop's wave-by-wave map execution, including the straggler
+/// effect of slow nodes that the paper's heterogeneous cluster exhibits.
+double ScheduleMakespan(const ClusterSpec& cluster,
+                        const std::vector<double>& task_seconds);
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_MAPREDUCE_CLUSTER_H_

@@ -1,0 +1,29 @@
+#ifndef WAVEMR_MAPREDUCE_COUNTERS_H_
+#define WAVEMR_MAPREDUCE_COUNTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace wavemr {
+
+/// Hadoop-style named counters, aggregated across tasks and rounds.
+class Counters {
+ public:
+  void Add(const std::string& name, uint64_t delta) { values_[name] += delta; }
+  uint64_t Get(const std::string& name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, uint64_t>& values() const { return values_; }
+  void MergeFrom(const Counters& other) {
+    for (const auto& [k, v] : other.values_) values_[k] += v;
+  }
+
+ private:
+  std::map<std::string, uint64_t> values_;
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_MAPREDUCE_COUNTERS_H_

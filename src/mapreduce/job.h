@@ -1,0 +1,276 @@
+#ifndef WAVEMR_MAPREDUCE_JOB_H_
+#define WAVEMR_MAPREDUCE_JOB_H_
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/logging.h"
+#include "core/status.h"
+#include "data/dataset.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/cost_model.h"
+#include "mapreduce/counters.h"
+#include "mapreduce/job_config.h"
+#include "mapreduce/split_access.h"
+#include "mapreduce/state_store.h"
+#include "mapreduce/stats.h"
+
+namespace wavemr {
+
+/// Shared runtime of one algorithm execution: the simulated cluster, the
+/// cost model, the two master->worker broadcast channels (JobConfig and
+/// DistributedCache), per-task persistent state, counters, and the
+/// accumulated per-round statistics. Multi-round algorithms (H-WTopk) reuse
+/// one MrEnv across their rounds, exactly like the paper reuses the
+/// JobTracker + state files across its three MapReduce jobs.
+struct MrEnv {
+  ClusterSpec cluster = ClusterSpec::PaperCluster();
+  CostModel cost_model;
+  JobConfig config;
+  DistributedCache cache;
+  StateStore state;
+  JobStats stats;
+};
+
+/// Context handed to a Mapper: its input split, the broadcast channels,
+/// persistent state, counters, and the Emit sink. All interactions are cost
+/// accounted.
+template <typename K2, typename V2>
+class MapContext {
+ public:
+  using EmitFn = std::function<void(const K2&, const V2&)>;
+
+  MapContext(SplitAccess* input, MrEnv* env, TaskCost* cost, EmitFn emit)
+      : input_(input), env_(env), cost_(cost), emit_(std::move(emit)) {}
+
+  /// Emits an intermediate pair (charged per pair; wire bytes are accounted
+  /// after the optional combine stage).
+  void Emit(const K2& key, const V2& value) {
+    cost_->cpu_ns += env_->cost_model.emit_cpu_ns_per_pair;
+    env_->stats.counters.Add("map_output_pairs", 1);
+    emit_(key, value);
+  }
+
+  /// Charges algorithm-specific CPU work (e.g. a local wavelet transform).
+  void ChargeCpuNs(double ns) { cost_->cpu_ns += ns; }
+
+  SplitAccess& input() { return *input_; }
+  uint64_t split_id() const { return input_->split_id(); }
+  const JobConfig& config() const { return env_->config; }
+  const DistributedCache& cache() const { return env_->cache; }
+  Counters& counters() { return env_->stats.counters; }
+  const CostModel& cost_model() const { return env_->cost_model; }
+
+  /// Persistent state for this split across rounds (the paper's per-split
+  /// HDFS state file written from Close). Charged as local disk IO.
+  void SaveState(const std::string& blob) {
+    cost_->disk_bytes += blob.size();
+    WAVEMR_CHECK(env_->state.Put(StateKey(), blob).ok());
+  }
+  StatusOr<std::string> LoadState() {
+    auto blob = env_->state.Get(StateKey());
+    if (blob.ok()) cost_->disk_bytes += blob->size();
+    return blob;
+  }
+  bool HasState() const { return env_->state.Contains(StateKey()); }
+
+ private:
+  std::string StateKey() const {
+    return "split-" + std::to_string(input_->split_id());
+  }
+
+  SplitAccess* input_;
+  MrEnv* env_;
+  TaskCost* cost_;
+  EmitFn emit_;
+};
+
+/// A map task. One instance is created per split per round; Run() owns the
+/// whole task lifecycle (the paper's Map-per-record plus Close pattern).
+template <typename K2, typename V2>
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  virtual void Run(MapContext<K2, V2>& ctx) = 0;
+};
+
+/// Context handed to the (single) Reducer.
+template <typename K2, typename V2>
+class ReduceContext {
+ public:
+  ReduceContext(MrEnv* env, TaskCost* cost) : env_(env), cost_(cost) {}
+
+  void ChargeCpuNs(double ns) { cost_->cpu_ns += ns; }
+  const JobConfig& config() const { return env_->config; }
+  Counters& counters() { return env_->stats.counters; }
+  const CostModel& cost_model() const { return env_->cost_model; }
+
+  /// The reducer may publish a blob for the *next* round's mappers (the
+  /// paper writes the candidate set R to HDFS; the master moves it into the
+  /// Distributed Cache). Broadcast bytes are charged when that round runs.
+  void PublishToCache(const std::string& name, std::string blob) {
+    env_->cache.Put(name, std::move(blob));
+  }
+
+  /// Coordinator state persisted on the reducer's machine across rounds.
+  void SaveState(const std::string& blob) {
+    cost_->disk_bytes += blob.size();
+    WAVEMR_CHECK(env_->state.Put("coordinator", blob).ok());
+  }
+  StatusOr<std::string> LoadState() {
+    auto blob = env_->state.Get("coordinator");
+    if (blob.ok()) cost_->disk_bytes += blob->size();
+    return blob;
+  }
+
+ private:
+  MrEnv* env_;
+  TaskCost* cost_;
+};
+
+/// The single reduce task, in streaming form: Start, one Absorb per
+/// intermediate pair, Finish. With JobPlan::sorted_shuffle the engine
+/// delivers pairs grouped and sorted by key (Hadoop's semantics); otherwise
+/// pairs stream in mapper completion order, which every aggregation in this
+/// library is insensitive to -- and which keeps the shuffle from
+/// materializing in memory.
+template <typename K2, typename V2>
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual void Start(ReduceContext<K2, V2>& ctx) { (void)ctx; }
+  virtual void Absorb(const K2& key, const V2& value, ReduceContext<K2, V2>& ctx) = 0;
+  virtual void Finish(ReduceContext<K2, V2>& ctx) = 0;
+};
+
+/// Declarative description of one MapReduce round.
+template <typename K2, typename V2>
+struct JobPlan {
+  std::string name = "round";
+
+  /// Creates the map task for a split. Required.
+  std::function<std::unique_ptr<Mapper<K2, V2>>(uint64_t split)> mapper_factory;
+
+  /// The single reducer (the paper's coordinator). Owned by the caller so
+  /// the algorithm can read results out of it after the round. Required.
+  Reducer<K2, V2>* reducer = nullptr;
+
+  /// Wire size of one shuffled pair; defaults to sizeof(K2) + sizeof(V2).
+  /// The paper's accounting (4-byte keys, 4-byte local counts, 8-byte
+  /// coefficients) plugs in here.
+  std::function<uint64_t(const K2&, const V2&)> wire_bytes;
+
+  /// Optional combine function: merges values with equal keys inside each
+  /// map task before the shuffle (Hadoop's Combiner). Shuffle bytes are
+  /// counted after combining.
+  std::function<V2(const V2&, const V2&)> combiner;
+
+  /// Deliver pairs to the reducer sorted by key (materializes the shuffle).
+  bool sorted_shuffle = false;
+};
+
+/// Executes one round over all splits of `dataset` and appends a RoundStats
+/// to env->stats. Mapper/reducer code runs for real; seconds are simulated
+/// per the CostModel.
+template <typename K2, typename V2>
+RoundStats RunRound(const JobPlan<K2, V2>& plan, const Dataset& dataset, MrEnv* env) {
+  WAVEMR_CHECK(plan.mapper_factory != nullptr);
+  WAVEMR_CHECK(plan.reducer != nullptr);
+
+  RoundStats round;
+  round.name = plan.name;
+  round.overhead_s = env->cost_model.job_overhead_s;
+  round.map_tasks = dataset.info().num_splits;
+
+  // Master -> slaves broadcast. Only *data-dependent* broadcast counts as
+  // communication: distributed-cache blobs, replicated to every slave, are
+  // charged once, in the first round after they are added. The Job
+  // Configuration ships with every Hadoop job regardless of algorithm (the
+  // paper does not count it either); its transfer time is part of the
+  // per-round job overhead.
+  uint64_t slaves = env->cluster.NumSlaves();
+  round.broadcast_bytes = env->cache.TakeNewBytes() * slaves;
+
+  auto wire = plan.wire_bytes;
+  if (!wire) {
+    wire = [](const K2&, const V2&) -> uint64_t { return sizeof(K2) + sizeof(V2); };
+  }
+
+  TaskCost reduce_cost;
+  ReduceContext<K2, V2> reduce_ctx(env, &reduce_cost);
+
+  std::vector<std::pair<K2, V2>> materialized;  // only with sorted_shuffle
+  auto deliver = [&](const K2& k, const V2& v) {
+    round.shuffle_pairs += 1;
+    round.shuffle_bytes += wire(k, v);
+    reduce_cost.cpu_ns += env->cost_model.reduce_cpu_ns_per_pair;
+    if (plan.sorted_shuffle) {
+      materialized.emplace_back(k, v);
+    } else {
+      plan.reducer->Absorb(k, v, reduce_ctx);
+    }
+  };
+
+  if (!plan.sorted_shuffle) plan.reducer->Start(reduce_ctx);
+
+  std::vector<double> task_seconds;
+  task_seconds.reserve(dataset.info().num_splits);
+  for (uint64_t split = 0; split < dataset.info().num_splits; ++split) {
+    TaskCost cost;
+    SplitAccess access(dataset, split, env->cost_model, &cost);
+
+    std::unique_ptr<Mapper<K2, V2>> mapper = plan.mapper_factory(split);
+    if (plan.combiner) {
+      // Combine inside the task: aggregate emissions by key, flush at Close.
+      std::unordered_map<K2, V2> buffer;
+      MapContext<K2, V2> ctx(&access, env, &cost,
+                             [&buffer, &plan](const K2& k, const V2& v) {
+                               auto [it, inserted] = buffer.emplace(k, v);
+                               if (!inserted) it->second = plan.combiner(it->second, v);
+                             });
+      mapper->Run(ctx);
+      env->stats.counters.Add("combine_output_pairs", buffer.size());
+      for (const auto& [k, v] : buffer) deliver(k, v);
+    } else {
+      MapContext<K2, V2> ctx(&access, env, &cost, deliver);
+      mapper->Run(ctx);
+    }
+
+    task_seconds.push_back(env->cost_model.task_overhead_s +
+                           env->cost_model.time_scale *
+                               (env->cost_model.DiskSeconds(cost.disk_bytes) +
+                                cost.cpu_ns * 1e-9));
+    env->stats.counters.Add("map_records_read", cost.records_read);
+  }
+
+  if (plan.sorted_shuffle) {
+    std::stable_sort(
+        materialized.begin(), materialized.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    plan.reducer->Start(reduce_ctx);
+    for (const auto& [k, v] : materialized) plan.reducer->Absorb(k, v, reduce_ctx);
+  }
+  plan.reducer->Finish(reduce_ctx);
+
+  round.map_makespan_s = ScheduleMakespan(env->cluster, task_seconds);
+  round.shuffle_s =
+      env->cost_model.time_scale *
+      env->cost_model.NetworkSeconds(round.shuffle_bytes + round.broadcast_bytes);
+  round.reduce_s = env->cost_model.time_scale *
+                   (env->cost_model.DiskSeconds(reduce_cost.disk_bytes) +
+                    reduce_cost.cpu_ns * 1e-9) /
+                   env->cluster.ReducerSpeed();
+
+  env->stats.counters.Add("shuffle_pairs", round.shuffle_pairs);
+  env->stats.rounds.push_back(round);
+  return round;
+}
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_MAPREDUCE_JOB_H_

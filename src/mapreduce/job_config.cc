@@ -1,0 +1,79 @@
+#include "mapreduce/job_config.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace wavemr {
+
+void JobConfig::SetString(const std::string& key, std::string value) {
+  entries_[key] = std::move(value);
+}
+
+void JobConfig::SetUint(const std::string& key, uint64_t value) {
+  entries_[key] = std::to_string(value);
+}
+
+void JobConfig::SetDouble(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  entries_[key] = buf;
+}
+
+StatusOr<std::string> JobConfig::GetString(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return Status::NotFound("config key: " + key);
+  return it->second;
+}
+
+StatusOr<uint64_t> JobConfig::GetUint(const std::string& key) const {
+  auto s = GetString(key);
+  if (!s.ok()) return s.status();
+  uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s->data(), s->data() + s->size(), v);
+  if (ec != std::errc() || ptr != s->data() + s->size()) {
+    return Status::InvalidArgument("config key not a uint: " + key);
+  }
+  return v;
+}
+
+StatusOr<double> JobConfig::GetDouble(const std::string& key) const {
+  auto s = GetString(key);
+  if (!s.ok()) return s.status();
+  char* end = nullptr;
+  double v = std::strtod(s->c_str(), &end);
+  if (end != s->c_str() + s->size()) {
+    return Status::InvalidArgument("config key not a double: " + key);
+  }
+  return v;
+}
+
+uint64_t JobConfig::ByteSize() const {
+  uint64_t total = 0;
+  for (const auto& [k, v] : entries_) total += k.size() + v.size() + 8;
+  return total;
+}
+
+void DistributedCache::Put(const std::string& name, std::string blob) {
+  auto it = blobs_.find(name);
+  if (it != blobs_.end()) {
+    new_bytes_ += blob.size();
+    it->second = std::move(blob);
+  } else {
+    new_bytes_ += blob.size();
+    blobs_.emplace(name, std::move(blob));
+  }
+}
+
+StatusOr<std::string> DistributedCache::Get(const std::string& name) const {
+  auto it = blobs_.find(name);
+  if (it == blobs_.end()) return Status::NotFound("cache blob: " + name);
+  return it->second;
+}
+
+uint64_t DistributedCache::TakeNewBytes() {
+  uint64_t b = new_bytes_;
+  new_bytes_ = 0;
+  return b;
+}
+
+}  // namespace wavemr

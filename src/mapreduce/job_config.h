@@ -1,0 +1,56 @@
+#ifndef WAVEMR_MAPREDUCE_JOB_CONFIG_H_
+#define WAVEMR_MAPREDUCE_JOB_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/status.h"
+
+namespace wavemr {
+
+/// The small key-value blob Hadoop ships to every task at job start. The
+/// paper uses it for broadcasting thresholds (T1/m) to Round-2/3 mappers.
+/// Its size counts toward communication (it is replicated to every slave).
+class JobConfig {
+ public:
+  void SetString(const std::string& key, std::string value);
+  void SetUint(const std::string& key, uint64_t value);
+  void SetDouble(const std::string& key, double value);
+
+  StatusOr<std::string> GetString(const std::string& key) const;
+  StatusOr<uint64_t> GetUint(const std::string& key) const;
+  StatusOr<double> GetDouble(const std::string& key) const;
+  bool Contains(const std::string& key) const { return entries_.count(key) > 0; }
+
+  /// Serialized size used for broadcast accounting.
+  uint64_t ByteSize() const;
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+/// Hadoop's Distributed Cache: named blobs submitted at the master and
+/// replicated to every slave before the round runs. The paper broadcasts the
+/// Round-3 candidate set R through it. Blob bytes * num_slaves count toward
+/// communication, once, in the round after the blob is added.
+class DistributedCache {
+ public:
+  void Put(const std::string& name, std::string blob);
+  StatusOr<std::string> Get(const std::string& name) const;
+  bool Contains(const std::string& name) const { return blobs_.count(name) > 0; }
+
+  /// Bytes added since the last TakeNewBytes() call; used by the job driver
+  /// to account the broadcast exactly once.
+  uint64_t TakeNewBytes();
+
+ private:
+  std::map<std::string, std::string> blobs_;
+  uint64_t new_bytes_ = 0;
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_MAPREDUCE_JOB_CONFIG_H_

@@ -1,0 +1,66 @@
+#ifndef WAVEMR_MAPREDUCE_SPLIT_ACCESS_H_
+#define WAVEMR_MAPREDUCE_SPLIT_ACCESS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "data/dataset.h"
+#include "mapreduce/cost_model.h"
+#include "mapreduce/stats.h"
+
+namespace wavemr {
+
+/// A Mapper's cost-accounted view of its input split. The engine hands every
+/// mapper one of these instead of a raw Dataset so that whatever the
+/// algorithm does -- full scans (Send-V, H-WTopk round 1), random sampling
+/// (the samplers' RandomRecordReader), or nothing at all (H-WTopk rounds
+/// 2-3, which only read state files) -- is charged consistently.
+class SplitAccess {
+ public:
+  SplitAccess(const Dataset& dataset, uint64_t split, const CostModel& cost_model,
+              TaskCost* cost)
+      : dataset_(dataset), split_(split), cost_model_(cost_model), cost_(cost) {}
+
+  uint64_t split_id() const { return split_; }
+  uint64_t num_records() const { return dataset_.SplitRecords(split_); }
+  uint64_t split_bytes() const { return dataset_.SplitBytes(split_); }
+  const DatasetInfo& dataset_info() const { return dataset_.info(); }
+
+  /// Sequential scan of every record; charges disk for the whole split and
+  /// base map CPU per record.
+  void Scan(const std::function<void(uint64_t key)>& fn) {
+    cost_->disk_bytes += split_bytes();
+    uint64_t n = num_records();
+    cost_->records_read += n;
+    cost_->cpu_ns += static_cast<double>(n) * cost_model_.map_cpu_ns_per_record;
+    dataset_.ScanSplit(split_, fn);
+  }
+
+  /// Random access to one record's key. Charges CPU only; use
+  /// ChargeRandomRead once with the total sample count for the disk side.
+  uint64_t KeyAt(uint64_t index) {
+    cost_->records_read += 1;
+    cost_->cpu_ns += cost_model_.map_cpu_ns_per_record;
+    return dataset_.KeyAt(split_, index);
+  }
+
+  /// Disk charge for reading `sample_count` records at sorted random
+  /// offsets: one page each, capped at the split size (dense sampling
+  /// degrades to a sequential scan).
+  void ChargeRandomRead(uint64_t sample_count) {
+    double pages = static_cast<double>(sample_count) * cost_model_.seek_page_bytes;
+    cost_->disk_bytes += static_cast<uint64_t>(
+        std::min(pages, static_cast<double>(split_bytes())));
+  }
+
+ private:
+  const Dataset& dataset_;
+  uint64_t split_;
+  const CostModel& cost_model_;
+  TaskCost* cost_;
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_MAPREDUCE_SPLIT_ACCESS_H_

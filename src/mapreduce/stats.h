@@ -1,0 +1,57 @@
+#ifndef WAVEMR_MAPREDUCE_STATS_H_
+#define WAVEMR_MAPREDUCE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mapreduce/counters.h"
+
+namespace wavemr {
+
+/// Work performed by one task; converted to seconds by the CostModel.
+struct TaskCost {
+  uint64_t records_read = 0;
+  uint64_t disk_bytes = 0;   // split scan + state IO + sampled pages
+  double cpu_ns = 0.0;       // engine- and algorithm-charged CPU
+  uint64_t pairs_emitted = 0;
+};
+
+/// Measured + simulated outcome of one MapReduce round.
+struct RoundStats {
+  std::string name;
+  uint64_t map_tasks = 0;
+  uint64_t shuffle_pairs = 0;     // pairs leaving mappers (post-combine)
+  uint64_t shuffle_bytes = 0;     // wire bytes of those pairs
+  uint64_t broadcast_bytes = 0;   // job config + distributed cache replication
+  double map_makespan_s = 0.0;
+  double shuffle_s = 0.0;
+  double reduce_s = 0.0;
+  double overhead_s = 0.0;
+  double TotalSeconds() const {
+    return overhead_s + map_makespan_s + shuffle_s + reduce_s;
+  }
+  uint64_t CommBytes() const { return shuffle_bytes + broadcast_bytes; }
+};
+
+/// Aggregate over all rounds of one algorithm execution.
+struct JobStats {
+  std::vector<RoundStats> rounds;
+  Counters counters;
+
+  uint64_t TotalCommBytes() const {
+    uint64_t b = 0;
+    for (const RoundStats& r : rounds) b += r.CommBytes();
+    return b;
+  }
+  double TotalSeconds() const {
+    double s = 0.0;
+    for (const RoundStats& r : rounds) s += r.TotalSeconds();
+    return s;
+  }
+  size_t NumRounds() const { return rounds.size(); }
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_MAPREDUCE_STATS_H_

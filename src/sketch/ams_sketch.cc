@@ -1,0 +1,60 @@
+#include "sketch/ams_sketch.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace wavemr {
+
+AmsSketch::AmsSketch(uint64_t seed, size_t depth, size_t width)
+    : depth_(depth), width_(width), seed_(seed), table_(depth * width, 0.0) {
+  WAVEMR_CHECK_GE(depth, 1u);
+  WAVEMR_CHECK_GE(width, 1u);
+  sign_hash_.reserve(depth * width);
+  for (size_t i = 0; i < depth * width; ++i) {
+    sign_hash_.emplace_back(Mix64(seed ^ (i + 1)), 4);
+  }
+}
+
+void AmsSketch::Update(uint64_t item, double value) {
+  for (size_t i = 0; i < table_.size(); ++i) {
+    table_[i] += sign_hash_[i].Sign(item) * value;
+  }
+}
+
+double AmsSketch::EstimateF2() const {
+  std::vector<double> row_means(depth_);
+  for (size_t r = 0; r < depth_; ++r) {
+    double mean = 0.0;
+    for (size_t c = 0; c < width_; ++c) {
+      double z = table_[r * width_ + c];
+      mean += z * z;
+    }
+    row_means[r] = mean / static_cast<double>(width_);
+  }
+  std::nth_element(row_means.begin(), row_means.begin() + depth_ / 2, row_means.end());
+  return row_means[depth_ / 2];
+}
+
+double AmsSketch::EstimatePoint(uint64_t item) const {
+  std::vector<double> row_means(depth_);
+  for (size_t r = 0; r < depth_; ++r) {
+    double mean = 0.0;
+    for (size_t c = 0; c < width_; ++c) {
+      size_t i = r * width_ + c;
+      mean += sign_hash_[i].Sign(item) * table_[i];
+    }
+    row_means[r] = mean / static_cast<double>(width_);
+  }
+  std::nth_element(row_means.begin(), row_means.begin() + depth_ / 2, row_means.end());
+  return row_means[depth_ / 2];
+}
+
+void AmsSketch::Merge(const AmsSketch& other) {
+  WAVEMR_CHECK_EQ(depth_, other.depth_);
+  WAVEMR_CHECK_EQ(width_, other.width_);
+  WAVEMR_CHECK_EQ(seed_, other.seed_);
+  for (size_t i = 0; i < table_.size(); ++i) table_[i] += other.table_[i];
+}
+
+}  // namespace wavemr

@@ -1,0 +1,44 @@
+#ifndef WAVEMR_SKETCH_AMS_SKETCH_H_
+#define WAVEMR_SKETCH_AMS_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/hash.h"
+
+namespace wavemr {
+
+/// AMS "tug-of-war" sketch (Alon-Matias-Szegedy): depth x width atomic
+/// sketches z = sum_i v(i) * xi(i) with 4-wise independent signs. F2 (and
+/// point values) are estimated as medians of row means. Every update touches
+/// *every* counter, which is exactly the per-item cost problem the GCS
+/// sketch was invented to fix (paper Section 4 / related work [20], [13]).
+class AmsSketch {
+ public:
+  AmsSketch(uint64_t seed, size_t depth, size_t width);
+
+  void Update(uint64_t item, double value);
+
+  /// Estimate of sum_i v(i)^2 (the signal energy).
+  double EstimateF2() const;
+
+  /// Estimate of v(item).
+  double EstimatePoint(uint64_t item) const;
+
+  void Merge(const AmsSketch& other);
+
+  size_t depth() const { return depth_; }
+  size_t width() const { return width_; }
+
+ private:
+  size_t depth_;
+  size_t width_;
+  uint64_t seed_;
+  std::vector<PolyHash> sign_hash_;  // one 4-wise hash per cell
+  std::vector<double> table_;
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_SKETCH_AMS_SKETCH_H_

@@ -1,0 +1,51 @@
+#include "sketch/count_sketch.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace wavemr {
+
+CountSketch::CountSketch(uint64_t seed, size_t depth, size_t width)
+    : depth_(depth), width_(width), seed_(seed), table_(depth * width, 0.0) {
+  WAVEMR_CHECK_GE(depth, 1u);
+  WAVEMR_CHECK_GE(width, 1u);
+  bucket_hash_.reserve(depth);
+  sign_hash_.reserve(depth);
+  for (size_t r = 0; r < depth; ++r) {
+    bucket_hash_.emplace_back(Mix64(seed ^ (2 * r + 1)), 2);
+    sign_hash_.emplace_back(Mix64(seed ^ (2 * r + 2)), 4);
+  }
+}
+
+void CountSketch::Update(uint64_t item, double value) {
+  for (size_t r = 0; r < depth_; ++r) {
+    size_t bucket = bucket_hash_[r].Bucket(item, width_);
+    table_[r * width_ + bucket] += sign_hash_[r].Sign(item) * value;
+  }
+}
+
+double CountSketch::Estimate(uint64_t item) const {
+  std::vector<double> est(depth_);
+  for (size_t r = 0; r < depth_; ++r) {
+    size_t bucket = bucket_hash_[r].Bucket(item, width_);
+    est[r] = sign_hash_[r].Sign(item) * table_[r * width_ + bucket];
+  }
+  std::nth_element(est.begin(), est.begin() + est.size() / 2, est.end());
+  return est[est.size() / 2];
+}
+
+void CountSketch::Merge(const CountSketch& other) {
+  WAVEMR_CHECK_EQ(depth_, other.depth_);
+  WAVEMR_CHECK_EQ(width_, other.width_);
+  WAVEMR_CHECK_EQ(seed_, other.seed_);
+  for (size_t i = 0; i < table_.size(); ++i) table_[i] += other.table_[i];
+}
+
+uint64_t CountSketch::NonzeroCounters() const {
+  uint64_t n = 0;
+  for (double v : table_) n += (v != 0.0) ? 1 : 0;
+  return n;
+}
+
+}  // namespace wavemr

@@ -1,0 +1,44 @@
+#ifndef WAVEMR_SKETCH_COUNT_SKETCH_H_
+#define WAVEMR_SKETCH_COUNT_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/hash.h"
+
+namespace wavemr {
+
+/// Count-Sketch (Charikar-Chen-Farach-Colton): d rows of w counters; row r
+/// adds sign_r(i) * value at bucket h_r(i). Point estimates are medians of
+/// per-row estimates; the sketch is linear, so sketches over disjoint data
+/// partitions merge by addition -- the property Send-Sketch relies on.
+class CountSketch {
+ public:
+  CountSketch(uint64_t seed, size_t depth, size_t width);
+
+  void Update(uint64_t item, double value);
+  double Estimate(uint64_t item) const;
+
+  /// Adds other into this sketch; dimensions and seed must match.
+  void Merge(const CountSketch& other);
+
+  size_t depth() const { return depth_; }
+  size_t width() const { return width_; }
+  const std::vector<double>& counters() const { return table_; }
+
+  /// Number of non-zero counters (what a mapper actually ships).
+  uint64_t NonzeroCounters() const;
+
+ private:
+  size_t depth_;
+  size_t width_;
+  uint64_t seed_;
+  std::vector<PolyHash> bucket_hash_;  // 2-wise per row
+  std::vector<PolyHash> sign_hash_;    // 4-wise per row
+  std::vector<double> table_;          // depth x width, row-major
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_SKETCH_COUNT_SKETCH_H_

@@ -1,0 +1,77 @@
+#include "sketch/group_count_sketch.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace wavemr {
+
+GroupCountSketch::GroupCountSketch(uint64_t seed, size_t reps, size_t buckets,
+                                   size_t subbuckets)
+    : reps_(reps),
+      buckets_(buckets),
+      subbuckets_(subbuckets),
+      seed_(seed),
+      table_(reps * buckets * subbuckets, 0.0) {
+  WAVEMR_CHECK_GE(reps, 1u);
+  WAVEMR_CHECK_GE(buckets, 1u);
+  WAVEMR_CHECK_GE(subbuckets, 1u);
+  group_hash_.reserve(reps);
+  item_hash_.reserve(reps);
+  sign_hash_.reserve(reps);
+  for (size_t r = 0; r < reps; ++r) {
+    group_hash_.emplace_back(Mix64(seed ^ (3 * r + 1)), 2);
+    item_hash_.emplace_back(Mix64(seed ^ (3 * r + 2)), 2);
+    sign_hash_.emplace_back(Mix64(seed ^ (3 * r + 3)), 4);
+  }
+}
+
+size_t GroupCountSketch::CellIndex(size_t rep, uint64_t group, uint64_t item) const {
+  size_t bucket = group_hash_[rep].Bucket(group, buckets_);
+  size_t sub = item_hash_[rep].Bucket(item, subbuckets_);
+  return (rep * buckets_ + bucket) * subbuckets_ + sub;
+}
+
+void GroupCountSketch::Update(uint64_t group, uint64_t item, double value) {
+  for (size_t r = 0; r < reps_; ++r) {
+    table_[CellIndex(r, group, item)] += sign_hash_[r].Sign(item) * value;
+  }
+}
+
+double GroupCountSketch::GroupEnergy(uint64_t group) const {
+  std::vector<double> est(reps_);
+  for (size_t r = 0; r < reps_; ++r) {
+    size_t bucket = group_hash_[r].Bucket(group, buckets_);
+    const double* cell = &table_[(r * buckets_ + bucket) * subbuckets_];
+    double energy = 0.0;
+    for (size_t s = 0; s < subbuckets_; ++s) energy += cell[s] * cell[s];
+    est[r] = energy;
+  }
+  std::nth_element(est.begin(), est.begin() + reps_ / 2, est.end());
+  return est[reps_ / 2];
+}
+
+double GroupCountSketch::EstimateItem(uint64_t group, uint64_t item) const {
+  std::vector<double> est(reps_);
+  for (size_t r = 0; r < reps_; ++r) {
+    est[r] = sign_hash_[r].Sign(item) * table_[CellIndex(r, group, item)];
+  }
+  std::nth_element(est.begin(), est.begin() + reps_ / 2, est.end());
+  return est[reps_ / 2];
+}
+
+void GroupCountSketch::Merge(const GroupCountSketch& other) {
+  WAVEMR_CHECK_EQ(reps_, other.reps_);
+  WAVEMR_CHECK_EQ(buckets_, other.buckets_);
+  WAVEMR_CHECK_EQ(subbuckets_, other.subbuckets_);
+  WAVEMR_CHECK_EQ(seed_, other.seed_);
+  for (size_t i = 0; i < table_.size(); ++i) table_[i] += other.table_[i];
+}
+
+uint64_t GroupCountSketch::NonzeroCounters() const {
+  uint64_t n = 0;
+  for (double v : table_) n += (v != 0.0) ? 1 : 0;
+  return n;
+}
+
+}  // namespace wavemr

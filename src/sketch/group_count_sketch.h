@@ -1,0 +1,57 @@
+#ifndef WAVEMR_SKETCH_GROUP_COUNT_SKETCH_H_
+#define WAVEMR_SKETCH_GROUP_COUNT_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/hash.h"
+
+namespace wavemr {
+
+/// Group-Count Sketch (Cormode, Garofalakis, Sacharidis; EDBT'06): estimates
+/// the L2^2 energy of *groups* of items. Each of `reps` repetitions hashes a
+/// group to one of `buckets`, and the items of a group to one of `subbuckets`
+/// inside it, with a 4-wise sign:
+///     counters[rep][h_rep(group)][f_rep(item)] += sign_rep(item) * value.
+/// GroupEnergy(g) = median over reps of the summed squares of g's bucket.
+/// Linear in the input, so local sketches merge by addition.
+class GroupCountSketch {
+ public:
+  GroupCountSketch(uint64_t seed, size_t reps, size_t buckets, size_t subbuckets);
+
+  void Update(uint64_t group, uint64_t item, double value);
+
+  /// Estimate of sum over items i in `group` of value(i)^2.
+  double GroupEnergy(uint64_t group) const;
+
+  /// Count-Sketch-style point estimate of a single item's value (use when
+  /// groups are singletons, i.e. at the leaf level of a hierarchy).
+  double EstimateItem(uint64_t group, uint64_t item) const;
+
+  void Merge(const GroupCountSketch& other);
+
+  size_t reps() const { return reps_; }
+  size_t buckets() const { return buckets_; }
+  size_t subbuckets() const { return subbuckets_; }
+  size_t NumCounters() const { return table_.size(); }
+  uint64_t NonzeroCounters() const;
+  double CounterAt(size_t flat_index) const { return table_[flat_index]; }
+  void AddToCounter(size_t flat_index, double delta) { table_[flat_index] += delta; }
+
+ private:
+  size_t CellIndex(size_t rep, uint64_t group, uint64_t item) const;
+
+  size_t reps_;
+  size_t buckets_;
+  size_t subbuckets_;
+  uint64_t seed_;
+  std::vector<PolyHash> group_hash_;  // 2-wise per rep
+  std::vector<PolyHash> item_hash_;   // 2-wise per rep
+  std::vector<PolyHash> sign_hash_;   // 4-wise per rep
+  std::vector<double> table_;         // reps x buckets x subbuckets
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_SKETCH_GROUP_COUNT_SKETCH_H_

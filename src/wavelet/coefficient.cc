@@ -1,0 +1,56 @@
+#include "wavelet/coefficient.h"
+
+#include <cmath>
+
+namespace wavemr {
+
+double BasisValue(uint64_t index, uint64_t x, uint64_t u) {
+  WAVEMR_DCHECK(IsPowerOfTwo(u));
+  WAVEMR_DCHECK(x < u);
+  if (index == 0) return 1.0 / std::sqrt(static_cast<double>(u));
+  uint32_t j = Log2Floor(index);
+  uint64_t k = index - (uint64_t{1} << j);
+  uint64_t block = u >> j;
+  uint64_t start = k * block;
+  if (x < start || x >= start + block) return 0.0;
+  double mag = 1.0 / std::sqrt(static_cast<double>(block));
+  return (x - start < block / 2) ? -mag : mag;
+}
+
+double BasisRangeSum(uint64_t index, uint64_t lo, uint64_t hi, uint64_t u) {
+  WAVEMR_DCHECK(lo <= hi);
+  WAVEMR_DCHECK(hi <= u);
+  if (lo >= hi) return 0.0;
+  if (index == 0) {
+    return static_cast<double>(hi - lo) / std::sqrt(static_cast<double>(u));
+  }
+  CoeffSupport s = CoefficientSupport(index, u);
+  uint64_t block = s.hi - s.lo;
+  uint64_t mid = s.lo + block / 2;
+  // Overlap of [lo,hi) with the negative half [s.lo, mid) and the positive
+  // half [mid, s.hi).
+  auto overlap = [](uint64_t a_lo, uint64_t a_hi, uint64_t b_lo, uint64_t b_hi) {
+    uint64_t l = std::max(a_lo, b_lo);
+    uint64_t h = std::min(a_hi, b_hi);
+    return h > l ? h - l : 0;
+  };
+  double neg = static_cast<double>(overlap(lo, hi, s.lo, mid));
+  double pos = static_cast<double>(overlap(lo, hi, mid, s.hi));
+  return (pos - neg) / std::sqrt(static_cast<double>(block));
+}
+
+std::vector<uint64_t> PathIndices(uint64_t x, uint64_t u) {
+  WAVEMR_DCHECK(IsPowerOfTwo(u));
+  WAVEMR_DCHECK(x < u);
+  uint32_t levels = Log2Floor(u);
+  std::vector<uint64_t> out;
+  out.reserve(levels + 1);
+  out.push_back(0);
+  for (uint32_t j = 0; j < levels; ++j) {
+    uint64_t k = x >> (levels - j);  // ancestor block of x at level j
+    out.push_back((uint64_t{1} << j) + k);
+  }
+  return out;
+}
+
+}  // namespace wavemr

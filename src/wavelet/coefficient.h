@@ -1,0 +1,66 @@
+#ifndef WAVEMR_WAVELET_COEFFICIENT_H_
+#define WAVEMR_WAVELET_COEFFICIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bitops.h"
+#include "core/logging.h"
+
+namespace wavemr {
+
+/// One normalized Haar wavelet coefficient. Indexing is 0-based:
+///   index 0             -> the overall-average coefficient (basis 1/sqrt(u)),
+///   index 2^j + k       -> the detail coefficient of level j (j = 0 ..
+///                          log2(u)-1) and block k (k = 0 .. 2^j - 1).
+/// This matches the paper's 1-based w_i via index = i - 1.
+struct WCoeff {
+  uint64_t index = 0;
+  double value = 0.0;
+
+  friend bool operator==(const WCoeff& a, const WCoeff& b) {
+    return a.index == b.index && a.value == b.value;
+  }
+};
+
+/// Level j of a detail coefficient; index 0 (the average) reports level 0.
+inline uint32_t CoefficientLevel(uint64_t index) {
+  return index == 0 ? 0 : Log2Floor(index);
+}
+
+/// Half-open support [lo, hi) of the basis vector of `index` over domain
+/// [0, u). The average coefficient covers the whole domain.
+struct CoeffSupport {
+  uint64_t lo;
+  uint64_t hi;
+};
+
+inline CoeffSupport CoefficientSupport(uint64_t index, uint64_t u) {
+  WAVEMR_DCHECK(IsPowerOfTwo(u));
+  if (index == 0) return {0, u};
+  uint32_t j = Log2Floor(index);
+  uint64_t k = index - (uint64_t{1} << j);
+  uint64_t block = u >> j;  // support length u / 2^j
+  return {k * block, k * block + block};
+}
+
+/// Value of the normalized basis vector psi_index at position x, i.e. the
+/// weight by which v(x) contributes to coefficient `index`:
+///   index 0: 1/sqrt(u) everywhere;
+///   detail:  -1/sqrt(u/2^j) on the left half of its support,
+///            +1/sqrt(u/2^j) on the right half, 0 outside.
+double BasisValue(uint64_t index, uint64_t x, uint64_t u);
+
+/// Sum of psi_index over the key range [lo, hi) -- the O(1) building block of
+/// range-sum estimation from a wavelet synopsis.
+double BasisRangeSum(uint64_t index, uint64_t lo, uint64_t hi, uint64_t u);
+
+/// The log2(u)+1 coefficient indices whose basis vectors are non-zero at x:
+/// the average plus one detail per level (the root-to-leaf path in the error
+/// tree). This is the core identity behind the sparse transform, sketch
+/// updates, and point reconstruction.
+std::vector<uint64_t> PathIndices(uint64_t x, uint64_t u);
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_WAVELET_COEFFICIENT_H_

@@ -1,0 +1,67 @@
+#include "wavelet/haar.h"
+
+#include <cmath>
+
+#include "core/bitops.h"
+#include "core/logging.h"
+
+namespace wavemr {
+
+std::vector<double> ForwardHaar(std::span<const double> v) {
+  const uint64_t u = v.size();
+  WAVEMR_CHECK(IsPowerOfTwo(u)) << "ForwardHaar requires power-of-two size, got " << u;
+  std::vector<double> coeffs(u, 0.0);
+  std::vector<double> sums(v.begin(), v.end());
+  const uint32_t levels = Log2Floor(u);
+  // Bottom-up: at step t the `sums` array holds block sums of width 2^t.
+  // Pairing blocks (2k, 2k+1) of width 2^t yields the detail coefficient of
+  // level j = levels - t - 1 with normalization 1/sqrt(u / 2^j).
+  uint64_t size = u;
+  for (uint32_t t = 0; t < levels; ++t) {
+    uint32_t j = levels - t - 1;
+    double norm = 1.0 / std::sqrt(static_cast<double>(u >> j));
+    uint64_t half = size / 2;
+    for (uint64_t k = 0; k < half; ++k) {
+      double left = sums[2 * k];
+      double right = sums[2 * k + 1];
+      coeffs[(uint64_t{1} << j) + k] = (right - left) * norm;
+      sums[k] = left + right;
+    }
+    size = half;
+  }
+  coeffs[0] = sums[0] / std::sqrt(static_cast<double>(u));
+  return coeffs;
+}
+
+std::vector<double> InverseHaar(std::span<const double> coeffs) {
+  const uint64_t u = coeffs.size();
+  WAVEMR_CHECK(IsPowerOfTwo(u)) << "InverseHaar requires power-of-two size, got " << u;
+  const uint32_t levels = Log2Floor(u);
+  // Top-down: reconstruct block sums. sums[k] at granularity 2^j holds the
+  // total of block k (width u/2^j).
+  std::vector<double> sums(u, 0.0);
+  sums[0] = coeffs[0] * std::sqrt(static_cast<double>(u));
+  uint64_t size = 1;
+  for (uint32_t j = 0; j < levels; ++j) {
+    double norm = std::sqrt(static_cast<double>(u >> j));
+    // Expand in place from the back so we can reuse the same buffer.
+    for (uint64_t k = size; k-- > 0;) {
+      double total = sums[k];
+      double d = coeffs[(uint64_t{1} << j) + k] * norm;  // right sum - left sum
+      sums[2 * k] = (total - d) / 2.0;
+      sums[2 * k + 1] = (total + d) / 2.0;
+    }
+    size *= 2;
+  }
+  return sums;
+}
+
+std::vector<double> PadToPow2(std::span<const double> v) {
+  uint64_t n = v.size();
+  uint64_t u = n == 0 ? 1 : CeilPow2(n);
+  std::vector<double> out(v.begin(), v.end());
+  out.resize(u, 0.0);
+  return out;
+}
+
+}  // namespace wavemr

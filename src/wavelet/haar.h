@@ -1,0 +1,25 @@
+#ifndef WAVEMR_WAVELET_HAAR_H_
+#define WAVEMR_WAVELET_HAAR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wavemr {
+
+/// Dense forward Haar transform (normalized basis) in O(u) time.
+/// v.size() must be a power of two. Returns the u coefficients in the
+/// indexing scheme of coefficient.h; Parseval holds:
+/// sum v(x)^2 == sum w_i^2 (up to floating point).
+std::vector<double> ForwardHaar(std::span<const double> v);
+
+/// Dense inverse Haar transform in O(u) time; exact inverse of ForwardHaar.
+std::vector<double> InverseHaar(std::span<const double> coeffs);
+
+/// Zero-pads v up to the next power of two (no-op if already a power of two
+/// or empty -> size 1).
+std::vector<double> PadToPow2(std::span<const double> v);
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_WAVELET_HAAR_H_

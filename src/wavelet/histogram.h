@@ -1,0 +1,65 @@
+#ifndef WAVEMR_WAVELET_HISTOGRAM_H_
+#define WAVEMR_WAVELET_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "wavelet/coefficient.h"
+#include "wavelet/sparse.h"
+
+namespace wavemr {
+
+/// A k-term wavelet synopsis of a frequency vector over domain [0, u):
+/// the retained coefficients (typically the k of largest magnitude), with
+/// everything else treated as zero. This is the object every algorithm in
+/// the paper ultimately produces.
+class WaveletHistogram {
+ public:
+  WaveletHistogram() : u_(1) {}
+
+  /// coeffs need not be sorted; they are stored sorted by index. u must be a
+  /// power of two and every index < u.
+  WaveletHistogram(uint64_t u, std::vector<WCoeff> coeffs);
+
+  uint64_t domain_size() const { return u_; }
+  size_t num_terms() const { return coeffs_.size(); }
+  const std::vector<WCoeff>& coefficients() const { return coeffs_; }
+
+  /// Estimated frequency of key x: sum over retained coefficients of
+  /// value * psi_index(x). O(k) worst case, O(log u) if coefficients lie on
+  /// few paths.
+  double PointEstimate(uint64_t x) const;
+
+  /// Estimated sum of frequencies over [lo, hi) -- range selectivity. O(k).
+  double RangeSum(uint64_t lo, uint64_t hi) const;
+
+  /// Full reconstructed frequency vector (length u). O(u) via the dense
+  /// inverse transform; intended for small domains / testing.
+  std::vector<double> Reconstruct() const;
+
+  /// Energy of the synopsis = sum of squared retained coefficients.
+  double Energy() const;
+
+ private:
+  uint64_t u_;
+  std::vector<WCoeff> coeffs_;  // sorted by index
+};
+
+/// Sum of squared errors between the signal represented by `hist` and the
+/// true signal whose complete (nonzero) coefficient set is `true_coeffs`.
+/// By Parseval: SSE = sum_{kept i} (w_i - what_i)^2 + sum_{dropped i} w_i^2.
+/// true_coeffs must be the exact transform of the true frequency vector.
+double SseAgainstTrueCoefficients(const WaveletHistogram& hist,
+                                  const std::vector<WCoeff>& true_coeffs);
+
+/// SSE of the *best possible* k-term synopsis (keep the k largest magnitude
+/// true coefficients): total energy minus retained energy. This is the
+/// "Ideal SSE" line in Figures 6/7.
+double IdealSse(const std::vector<WCoeff>& true_coeffs, size_t k);
+
+/// Total energy sum w_i^2 of a coefficient set (== ||v||^2 by Parseval).
+double TotalEnergy(const std::vector<WCoeff>& coeffs);
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_WAVELET_HISTOGRAM_H_

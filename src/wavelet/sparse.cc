@@ -1,0 +1,52 @@
+#include "wavelet/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bitops.h"
+#include "core/logging.h"
+
+namespace wavemr {
+
+void AccumulatePointUpdate(uint64_t x, double weight, uint64_t u,
+                           std::unordered_map<uint64_t, double>* coeffs) {
+  WAVEMR_DCHECK(IsPowerOfTwo(u));
+  WAVEMR_DCHECK(x < u);
+  const uint32_t levels = Log2Floor(u);
+  (*coeffs)[0] += weight / std::sqrt(static_cast<double>(u));
+  for (uint32_t j = 0; j < levels; ++j) {
+    uint64_t block = u >> j;
+    uint64_t k = x / block;
+    uint64_t offset = x - k * block;
+    double mag = weight / std::sqrt(static_cast<double>(block));
+    uint64_t index = (uint64_t{1} << j) + k;
+    (*coeffs)[index] += (offset < block / 2) ? -mag : mag;
+  }
+}
+
+uint32_t PointUpdateFanout(uint64_t u) { return Log2Floor(u) + 1; }
+
+std::unordered_map<uint64_t, double> SparseHaarMap(const SparseVector& v, uint64_t u) {
+  std::unordered_map<uint64_t, double> coeffs;
+  coeffs.reserve(v.size() * 2);
+  for (const auto& [key, weight] : v) {
+    AccumulatePointUpdate(key, weight, u, &coeffs);
+  }
+  return coeffs;
+}
+
+std::vector<WCoeff> SparseHaar(const SparseVector& v, uint64_t u) {
+  auto map = SparseHaarMap(v, u);
+  std::vector<WCoeff> out;
+  out.reserve(map.size());
+  // Contributions can cancel exactly (balanced blocks); drop the zeros so
+  // downstream code really sees only nonzero coefficients.
+  for (const auto& [idx, val] : map) {
+    if (val != 0.0) out.push_back({idx, val});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WCoeff& a, const WCoeff& b) { return a.index < b.index; });
+  return out;
+}
+
+}  // namespace wavemr

@@ -1,0 +1,58 @@
+#include "wavelet/topk.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wavemr {
+
+namespace {
+
+bool MagnitudeGreater(const WCoeff& a, const WCoeff& b) {
+  double ma = std::fabs(a.value), mb = std::fabs(b.value);
+  if (ma != mb) return ma > mb;
+  return a.index < b.index;
+}
+
+bool ValueGreater(const WCoeff& a, const WCoeff& b) {
+  if (a.value != b.value) return a.value > b.value;
+  return a.index < b.index;
+}
+
+bool ValueLess(const WCoeff& a, const WCoeff& b) {
+  if (a.value != b.value) return a.value < b.value;
+  return a.index < b.index;
+}
+
+}  // namespace
+
+std::vector<WCoeff> TopKByMagnitude(std::vector<WCoeff> coeffs, size_t k) {
+  if (coeffs.size() > k) {
+    std::nth_element(coeffs.begin(), coeffs.begin() + k, coeffs.end(),
+                     MagnitudeGreater);
+    coeffs.resize(k);
+  }
+  std::sort(coeffs.begin(), coeffs.end(), MagnitudeGreater);
+  return coeffs;
+}
+
+TopBottomK SelectTopBottomK(const std::vector<WCoeff>& coeffs, size_t k) {
+  TopBottomK out;
+  out.top = coeffs;
+  if (out.top.size() > k) {
+    std::nth_element(out.top.begin(), out.top.begin() + k, out.top.end(),
+                     ValueGreater);
+    out.top.resize(k);
+  }
+  std::sort(out.top.begin(), out.top.end(), ValueGreater);
+
+  out.bottom = coeffs;
+  if (out.bottom.size() > k) {
+    std::nth_element(out.bottom.begin(), out.bottom.begin() + k, out.bottom.end(),
+                     ValueLess);
+    out.bottom.resize(k);
+  }
+  std::sort(out.bottom.begin(), out.bottom.end(), ValueLess);
+  return out;
+}
+
+}  // namespace wavemr

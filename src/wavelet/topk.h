@@ -1,0 +1,26 @@
+#ifndef WAVEMR_WAVELET_TOPK_H_
+#define WAVEMR_WAVELET_TOPK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "wavelet/coefficient.h"
+
+namespace wavemr {
+
+/// The k coefficients of largest |value|, sorted by descending magnitude
+/// (ties broken by ascending index so results are deterministic). If
+/// coeffs.size() <= k, returns all of them sorted the same way.
+std::vector<WCoeff> TopKByMagnitude(std::vector<WCoeff> coeffs, size_t k);
+
+/// The paper's Round-1 primitive: the k highest-valued and k lowest-valued
+/// (most negative) entries by *signed* value. Ties broken by index.
+struct TopBottomK {
+  std::vector<WCoeff> top;     // descending by value
+  std::vector<WCoeff> bottom;  // ascending by value
+};
+TopBottomK SelectTopBottomK(const std::vector<WCoeff>& coeffs, size_t k);
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_WAVELET_TOPK_H_

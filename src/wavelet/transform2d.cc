@@ -1,0 +1,96 @@
+#include "wavelet/transform2d.h"
+
+#include <algorithm>
+
+#include "core/bitops.h"
+#include "core/logging.h"
+#include "wavelet/haar.h"
+
+namespace wavemr {
+
+namespace {
+
+void CheckDims(size_t size, uint64_t rows, uint64_t cols) {
+  WAVEMR_CHECK(IsPowerOfTwo(rows));
+  WAVEMR_CHECK(IsPowerOfTwo(cols));
+  WAVEMR_CHECK_EQ(size, rows * cols);
+}
+
+}  // namespace
+
+std::vector<double> ForwardHaar2D(const std::vector<double>& v, uint64_t rows,
+                                  uint64_t cols) {
+  CheckDims(v.size(), rows, cols);
+  std::vector<double> out(v.size());
+  // Rows.
+  std::vector<double> row(cols);
+  for (uint64_t r = 0; r < rows; ++r) {
+    std::copy_n(v.begin() + r * cols, cols, row.begin());
+    std::vector<double> t = ForwardHaar(row);
+    std::copy(t.begin(), t.end(), out.begin() + r * cols);
+  }
+  // Columns.
+  std::vector<double> col(rows);
+  for (uint64_t c = 0; c < cols; ++c) {
+    for (uint64_t r = 0; r < rows; ++r) col[r] = out[r * cols + c];
+    std::vector<double> t = ForwardHaar(col);
+    for (uint64_t r = 0; r < rows; ++r) out[r * cols + c] = t[r];
+  }
+  return out;
+}
+
+std::vector<double> InverseHaar2D(const std::vector<double>& coeffs, uint64_t rows,
+                                  uint64_t cols) {
+  CheckDims(coeffs.size(), rows, cols);
+  std::vector<double> out = coeffs;
+  // Columns first (inverse order of the forward pass).
+  std::vector<double> col(rows);
+  for (uint64_t c = 0; c < cols; ++c) {
+    for (uint64_t r = 0; r < rows; ++r) col[r] = out[r * cols + c];
+    std::vector<double> t = InverseHaar(col);
+    for (uint64_t r = 0; r < rows; ++r) out[r * cols + c] = t[r];
+  }
+  // Rows.
+  std::vector<double> row(cols);
+  for (uint64_t r = 0; r < rows; ++r) {
+    std::copy_n(out.begin() + r * cols, cols, row.begin());
+    std::vector<double> t = InverseHaar(row);
+    std::copy(t.begin(), t.end(), out.begin() + r * cols);
+  }
+  return out;
+}
+
+std::unordered_map<uint64_t, double> SparseHaar2DMap(const std::vector<Cell2D>& cells,
+                                                     uint64_t rows, uint64_t cols) {
+  WAVEMR_CHECK(IsPowerOfTwo(rows));
+  WAVEMR_CHECK(IsPowerOfTwo(cols));
+  std::unordered_map<uint64_t, double> out;
+  out.reserve(cells.size() * 4);
+  for (const Cell2D& cell : cells) {
+    WAVEMR_CHECK_LT(cell.x, rows);
+    WAVEMR_CHECK_LT(cell.y, cols);
+    std::vector<uint64_t> row_path = PathIndices(cell.x, rows);
+    std::vector<uint64_t> col_path = PathIndices(cell.y, cols);
+    for (uint64_t a : row_path) {
+      double pa = BasisValue(a, cell.x, rows);
+      for (uint64_t b : col_path) {
+        double pb = BasisValue(b, cell.y, cols);
+        out[Coeff2DIndex(a, b, cols)] += cell.weight * pa * pb;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<WCoeff> SparseHaar2D(const std::vector<Cell2D>& cells, uint64_t rows,
+                                 uint64_t cols) {
+  auto map = SparseHaar2DMap(cells, rows, cols);
+  std::vector<WCoeff> out;
+  out.reserve(map.size());
+  for (const auto& [idx, val] : map) out.push_back({idx, val});
+  std::sort(out.begin(), out.end(),
+            [](const WCoeff& a, const WCoeff& b) { return a.index < b.index; });
+  return out;
+}
+
+}  // namespace wavemr

@@ -1,0 +1,47 @@
+#ifndef WAVEMR_WAVELET_TRANSFORM2D_H_
+#define WAVEMR_WAVELET_TRANSFORM2D_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "wavelet/coefficient.h"
+
+namespace wavemr {
+
+/// Standard 2-D Haar decomposition (Section 2.1 of the paper): a 1-D
+/// transform over every row, then a 1-D transform over every column of the
+/// result. Coefficient (a, b) equals psi_a^T V psi_b, so the transform stays
+/// linear in v -- which is what lets H-WTopk run unchanged in 2-D.
+///
+/// Matrices are row-major with dimensions rows x cols, both powers of two.
+std::vector<double> ForwardHaar2D(const std::vector<double>& v, uint64_t rows,
+                                  uint64_t cols);
+
+/// Exact inverse of ForwardHaar2D.
+std::vector<double> InverseHaar2D(const std::vector<double>& coeffs, uint64_t rows,
+                                  uint64_t cols);
+
+/// Flattened coefficient id for the 2-D coefficient (a, b): a * cols + b.
+inline uint64_t Coeff2DIndex(uint64_t a, uint64_t b, uint64_t cols) {
+  return a * cols + b;
+}
+
+/// Sparse 2-D transform: each nonzero cell (x, y, weight) contributes to
+/// (log2(rows)+1) * (log2(cols)+1) coefficients -- the tensor product of the
+/// two 1-D error-tree paths. O(|v| log^2) time.
+struct Cell2D {
+  uint64_t x = 0;  // row
+  uint64_t y = 0;  // column
+  double weight = 0.0;
+};
+std::unordered_map<uint64_t, double> SparseHaar2DMap(const std::vector<Cell2D>& cells,
+                                                     uint64_t rows, uint64_t cols);
+
+/// Sorted-by-index vector form of SparseHaar2DMap.
+std::vector<WCoeff> SparseHaar2D(const std::vector<Cell2D>& cells, uint64_t rows,
+                                 uint64_t cols);
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_WAVELET_TRANSFORM2D_H_

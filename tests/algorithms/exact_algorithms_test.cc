@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/frequency.h"
+#include "histogram/builder.h"
+#include "wavelet/topk.h"
+
+namespace wavemr {
+namespace {
+
+// Small but non-trivial Zipf dataset shared by the exact-method tests.
+ZipfDataset TestDataset(uint64_t seed = 5) {
+  ZipfDatasetOptions opt;
+  opt.num_records = 20000;
+  opt.domain_size = 1 << 10;
+  opt.alpha = 1.1;
+  opt.num_splits = 9;
+  opt.seed = seed;
+  return ZipfDataset(opt);
+}
+
+BuildOptions TestOptions() {
+  BuildOptions opt;
+  opt.k = 12;
+  return opt;
+}
+
+// Exact methods may tie-break differently; compare magnitude sequences and
+// the SSE against truth (which is tie-invariant).
+void ExpectIdealTopK(const BuildResult& result, const std::vector<WCoeff>& truth,
+                     size_t k) {
+  std::vector<WCoeff> ideal = TopKByMagnitude(truth, k);
+  ASSERT_EQ(result.histogram.num_terms(), ideal.size());
+  // Coefficients sorted by index in the histogram; compare via SSE and via
+  // magnitude multiset.
+  std::vector<double> got_mags, want_mags;
+  for (const WCoeff& c : result.histogram.coefficients()) {
+    got_mags.push_back(std::fabs(c.value));
+  }
+  for (const WCoeff& c : ideal) want_mags.push_back(std::fabs(c.value));
+  std::sort(got_mags.begin(), got_mags.end());
+  std::sort(want_mags.begin(), want_mags.end());
+  for (size_t i = 0; i < got_mags.size(); ++i) {
+    EXPECT_NEAR(got_mags[i], want_mags[i], 1e-6) << "rank " << i;
+  }
+  double ideal_sse = IdealSse(truth, k);
+  EXPECT_NEAR(SseAgainstTrueCoefficients(result.histogram, truth), ideal_sse,
+              1e-6 * (1.0 + ideal_sse));
+}
+
+TEST(SendVTest, ProducesIdealTopK) {
+  ZipfDataset ds = TestDataset();
+  std::vector<WCoeff> truth = TrueCoefficients(ds);
+  auto result = BuildWaveletHistogram(ds, AlgorithmKind::kSendV, TestOptions());
+  ASSERT_TRUE(result.ok());
+  ExpectIdealTopK(*result, truth, TestOptions().k);
+  EXPECT_EQ(result->stats.NumRounds(), 1u);
+}
+
+TEST(SendVTest, CommunicationCountsDistinctKeysPerSplit) {
+  ZipfDataset ds = TestDataset();
+  auto result = BuildWaveletHistogram(ds, AlgorithmKind::kSendV, TestOptions());
+  ASSERT_TRUE(result.ok());
+  uint64_t pairs = 0;
+  for (uint64_t j = 0; j < ds.info().num_splits; ++j) {
+    pairs += BuildSplitFrequencyMap(ds, j).size();
+  }
+  EXPECT_EQ(result->stats.rounds[0].shuffle_pairs, pairs);
+  EXPECT_EQ(result->stats.rounds[0].shuffle_bytes, pairs * 8);
+}
+
+TEST(SendVTest, PerRecordEmissionWithCombinerMatchesAggregated) {
+  ZipfDataset ds = TestDataset();
+  std::vector<WCoeff> truth = TrueCoefficients(ds);
+  BuildOptions opt = TestOptions();
+  opt.send_v_emit_per_record = true;  // combiner on by default
+  auto result = BuildWaveletHistogram(ds, AlgorithmKind::kSendV, opt);
+  ASSERT_TRUE(result.ok());
+  ExpectIdealTopK(*result, truth, opt.k);
+
+  // Without the combiner the answer is identical but the shuffle explodes
+  // to one pair per record.
+  opt.send_v_disable_combiner = true;
+  auto nocombine = BuildWaveletHistogram(ds, AlgorithmKind::kSendV, opt);
+  ASSERT_TRUE(nocombine.ok());
+  ExpectIdealTopK(*nocombine, truth, opt.k);
+  EXPECT_EQ(nocombine->stats.rounds[0].shuffle_pairs, ds.info().num_records);
+  EXPECT_GT(nocombine->stats.rounds[0].shuffle_bytes,
+            result->stats.rounds[0].shuffle_bytes);
+}
+
+TEST(SendCoefTest, ProducesIdealTopK) {
+  ZipfDataset ds = TestDataset();
+  std::vector<WCoeff> truth = TrueCoefficients(ds);
+  auto result = BuildWaveletHistogram(ds, AlgorithmKind::kSendCoef, TestOptions());
+  ASSERT_TRUE(result.ok());
+  ExpectIdealTopK(*result, truth, TestOptions().k);
+}
+
+TEST(SendCoefTest, DenseAblationMatchesSparse) {
+  ZipfDatasetOptions small;
+  small.num_records = 4000;
+  small.domain_size = 1 << 8;
+  small.num_splits = 5;
+  ZipfDataset ds(small);
+  std::vector<WCoeff> truth = TrueCoefficients(ds);
+
+  BuildOptions opt = TestOptions();
+  auto sparse = BuildWaveletHistogram(ds, AlgorithmKind::kSendCoef, opt);
+  opt.use_dense_local_transform = true;
+  auto dense = BuildWaveletHistogram(ds, AlgorithmKind::kSendCoef, opt);
+  ASSERT_TRUE(sparse.ok());
+  ASSERT_TRUE(dense.ok());
+  ExpectIdealTopK(*sparse, truth, opt.k);
+  ExpectIdealTopK(*dense, truth, opt.k);
+  // Nearly identical communication: the nonzero coefficient sets may differ
+  // only where floating-point cancellation is exact in one summation order
+  // but not the other.
+  double a = static_cast<double>(sparse->stats.TotalCommBytes());
+  double b = static_cast<double>(dense->stats.TotalCommBytes());
+  EXPECT_NEAR(a, b, 0.15 * b);
+}
+
+TEST(SendCoefTest, CommunicatesMoreThanSendV) {
+  // The paper's Figure 12 argument: nonzero local coefficients outnumber
+  // distinct keys, so Send-Coef ships more than Send-V.
+  ZipfDataset ds = TestDataset();
+  auto coef = BuildWaveletHistogram(ds, AlgorithmKind::kSendCoef, TestOptions());
+  auto sendv = BuildWaveletHistogram(ds, AlgorithmKind::kSendV, TestOptions());
+  ASSERT_TRUE(coef.ok());
+  ASSERT_TRUE(sendv.ok());
+  EXPECT_GT(coef->stats.TotalCommBytes(), sendv->stats.TotalCommBytes());
+}
+
+class HWTopkSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HWTopkSeedTest, ProducesIdealTopK) {
+  ZipfDataset ds = TestDataset(GetParam());
+  std::vector<WCoeff> truth = TrueCoefficients(ds);
+  auto result = BuildWaveletHistogram(ds, AlgorithmKind::kHWTopk, TestOptions());
+  ASSERT_TRUE(result.ok());
+  ExpectIdealTopK(*result, truth, TestOptions().k);
+  EXPECT_EQ(result->stats.NumRounds(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HWTopkSeedTest, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(HWTopkTest, CommunicatesLessThanSendV) {
+  ZipfDataset ds = TestDataset();
+  auto topk = BuildWaveletHistogram(ds, AlgorithmKind::kHWTopk, TestOptions());
+  auto sendv = BuildWaveletHistogram(ds, AlgorithmKind::kSendV, TestOptions());
+  ASSERT_TRUE(topk.ok());
+  ASSERT_TRUE(sendv.ok());
+  EXPECT_LT(topk->stats.rounds[0].shuffle_bytes + topk->stats.rounds[1].shuffle_bytes +
+                topk->stats.rounds[2].shuffle_bytes,
+            sendv->stats.rounds[0].shuffle_bytes);
+}
+
+TEST(HWTopkTest, VariousKValues) {
+  ZipfDataset ds = TestDataset(11);
+  std::vector<WCoeff> truth = TrueCoefficients(ds);
+  for (size_t k : {1u, 5u, 30u, 50u}) {
+    BuildOptions opt;
+    opt.k = k;
+    auto result = BuildWaveletHistogram(ds, AlgorithmKind::kHWTopk, opt);
+    ASSERT_TRUE(result.ok()) << "k=" << k;
+    ExpectIdealTopK(*result, truth, k);
+  }
+}
+
+TEST(HWTopkTest, SingleSplitDegenerates) {
+  ZipfDatasetOptions opt;
+  opt.num_records = 3000;
+  opt.domain_size = 1 << 8;
+  opt.num_splits = 1;
+  ZipfDataset ds(opt);
+  std::vector<WCoeff> truth = TrueCoefficients(ds);
+  auto result = BuildWaveletHistogram(ds, AlgorithmKind::kHWTopk, TestOptions());
+  ASSERT_TRUE(result.ok());
+  ExpectIdealTopK(*result, truth, TestOptions().k);
+}
+
+TEST(HWTopkTest, UniformDataStressesNegativePruning) {
+  // Near-uniform data yields many small coefficients of both signs -- the
+  // regime where one-sided TPUT pruning would be unsound.
+  ZipfDatasetOptions opt;
+  opt.num_records = 30000;
+  opt.domain_size = 1 << 9;
+  opt.alpha = 0.3;
+  opt.num_splits = 8;
+  ZipfDataset ds(opt);
+  std::vector<WCoeff> truth = TrueCoefficients(ds);
+  BuildOptions build = TestOptions();
+  auto result = BuildWaveletHistogram(ds, AlgorithmKind::kHWTopk, build);
+  ASSERT_TRUE(result.ok());
+  ExpectIdealTopK(*result, truth, build.k);
+}
+
+TEST(ExactMethodsTest, AllThreeAgree) {
+  ZipfDataset ds = TestDataset(21);
+  BuildOptions opt = TestOptions();
+  auto a = BuildWaveletHistogram(ds, AlgorithmKind::kSendV, opt);
+  auto b = BuildWaveletHistogram(ds, AlgorithmKind::kSendCoef, opt);
+  auto c = BuildWaveletHistogram(ds, AlgorithmKind::kHWTopk, opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  std::vector<WCoeff> truth = TrueCoefficients(ds);
+  double sse_a = SseAgainstTrueCoefficients(a->histogram, truth);
+  double sse_b = SseAgainstTrueCoefficients(b->histogram, truth);
+  double sse_c = SseAgainstTrueCoefficients(c->histogram, truth);
+  EXPECT_NEAR(sse_a, sse_b, 1e-6 * (1 + sse_a));
+  EXPECT_NEAR(sse_a, sse_c, 1e-6 * (1 + sse_a));
+}
+
+}  // namespace
+}  // namespace wavemr

@@ -1,0 +1,92 @@
+#include "exact/h_wtopk2d.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "wavelet/topk.h"
+
+namespace wavemr {
+namespace {
+
+std::vector<std::vector<Cell2D>> RandomSplits(size_t m, uint64_t rows, uint64_t cols,
+                                              size_t cells_per_split, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Cell2D>> splits(m);
+  for (auto& split : splits) {
+    for (size_t i = 0; i < cells_per_split; ++i) {
+      split.push_back({rng.NextBounded(rows), rng.NextBounded(cols),
+                       1.0 + static_cast<double>(rng.NextBounded(50))});
+    }
+  }
+  return splits;
+}
+
+std::vector<WCoeff> BruteForce2DTopK(const std::vector<std::vector<Cell2D>>& splits,
+                                     uint64_t rows, uint64_t cols, size_t k) {
+  std::vector<double> dense(rows * cols, 0.0);
+  for (const auto& split : splits) {
+    for (const Cell2D& c : split) dense[c.x * cols + c.y] += c.weight;
+  }
+  std::vector<double> w = ForwardHaar2D(dense, rows, cols);
+  std::vector<WCoeff> all;
+  for (uint64_t i = 0; i < w.size(); ++i) {
+    if (w[i] != 0.0) all.push_back({i, w[i]});
+  }
+  return TopKByMagnitude(all, k);
+}
+
+struct Case2D {
+  size_t m;
+  uint64_t rows, cols;
+  size_t cells;
+  size_t k;
+  uint64_t seed;
+};
+
+class HWTopk2DTest : public ::testing::TestWithParam<Case2D> {};
+
+TEST_P(HWTopk2DTest, MatchesBruteForce) {
+  const Case2D& c = GetParam();
+  auto splits = RandomSplits(c.m, c.rows, c.cols, c.cells, c.seed);
+  auto result = HWTopk2D(splits, c.rows, c.cols, c.k);
+  ASSERT_TRUE(result.ok());
+  std::vector<WCoeff> want = BruteForce2DTopK(splits, c.rows, c.cols, c.k);
+  ASSERT_EQ(result->topk.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(std::fabs(result->topk[i].value), std::fabs(want[i].value), 1e-8)
+        << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, HWTopk2DTest,
+                         ::testing::Values(Case2D{4, 16, 16, 40, 10, 1},
+                                           Case2D{8, 32, 8, 100, 5, 2},
+                                           Case2D{2, 8, 8, 200, 20, 3},
+                                           Case2D{16, 64, 64, 50, 30, 4}));
+
+TEST(HWTopk2DTest, CommunicatesLessThanSendAll) {
+  auto splits = RandomSplits(8, 32, 32, 120, 9);
+  auto result = HWTopk2D(splits, 32, 32, 10);
+  ASSERT_TRUE(result.ok());
+  uint64_t send_all = 0;
+  for (const auto& split : splits) {
+    send_all += SparseHaar2DMap(split, 32, 32).size();
+  }
+  EXPECT_LT(result->protocol.Messages(), send_all);
+}
+
+TEST(HWTopk2DTest, RejectsBadDomains) {
+  EXPECT_FALSE(HWTopk2D({}, 10, 8, 5).ok());
+  EXPECT_FALSE(HWTopk2D({{{100, 0, 1.0}}}, 8, 8, 5).ok());
+}
+
+TEST(HWTopk2DTest, EmptySplitsGiveEmptyResult) {
+  auto result = HWTopk2D({{}, {}}, 8, 8, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->topk.empty());
+}
+
+}  // namespace
+}  // namespace wavemr

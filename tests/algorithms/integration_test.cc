@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "data/frequency.h"
+#include "histogram/builder.h"
+
+namespace wavemr {
+namespace {
+
+// End-to-end: all seven algorithms over one dataset, checking the global
+// invariants the paper's evaluation relies on.
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ZipfDatasetOptions opt;
+    opt.num_records = 60000;
+    opt.domain_size = 1 << 11;
+    opt.alpha = 1.1;
+    opt.num_splits = 20;
+    opt.seed = 77;
+    dataset_ = new ZipfDataset(opt);
+    truth_ = new std::vector<WCoeff>(TrueCoefficients(*dataset_));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete truth_;
+    dataset_ = nullptr;
+    truth_ = nullptr;
+  }
+
+  static BuildOptions Options() {
+    BuildOptions opt;
+    opt.k = 20;
+    opt.epsilon = 0.015;
+    opt.seed = 5;
+    opt.gcs.total_bytes = 256 * 1024;
+    return opt;
+  }
+
+  static ZipfDataset* dataset_;
+  static std::vector<WCoeff>* truth_;
+};
+
+ZipfDataset* IntegrationTest::dataset_ = nullptr;
+std::vector<WCoeff>* IntegrationTest::truth_ = nullptr;
+
+TEST_F(IntegrationTest, AllAlgorithmsRunAndRespectSseInvariants) {
+  const double ideal = IdealSse(*truth_, Options().k);
+  const double energy = TotalEnergy(*truth_);
+  for (AlgorithmKind kind : AllAlgorithms()) {
+    auto result = BuildWaveletHistogram(*dataset_, kind, Options());
+    ASSERT_TRUE(result.ok()) << AlgorithmName(kind);
+    EXPECT_LE(result->histogram.num_terms(), Options().k) << AlgorithmName(kind);
+    double sse = SseAgainstTrueCoefficients(result->histogram, *truth_);
+    EXPECT_GE(sse, ideal * (1.0 - 1e-9)) << AlgorithmName(kind);
+    EXPECT_LE(sse, energy * 1.5) << AlgorithmName(kind);
+    EXPECT_GT(result->stats.TotalSeconds(), 0.0) << AlgorithmName(kind);
+    EXPECT_GT(result->stats.TotalCommBytes(), 0u) << AlgorithmName(kind);
+  }
+}
+
+TEST_F(IntegrationTest, ExactMethodsHitIdealSse) {
+  const double ideal = IdealSse(*truth_, Options().k);
+  for (AlgorithmKind kind : ExactAlgorithms()) {
+    auto result = BuildWaveletHistogram(*dataset_, kind, Options());
+    ASSERT_TRUE(result.ok());
+    double sse = SseAgainstTrueCoefficients(result->histogram, *truth_);
+    EXPECT_NEAR(sse, ideal, 1e-6 * (1.0 + ideal)) << AlgorithmName(kind);
+  }
+}
+
+TEST_F(IntegrationTest, RoundCountsMatchTheAlgorithms) {
+  for (AlgorithmKind kind : AllAlgorithms()) {
+    auto result = BuildWaveletHistogram(*dataset_, kind, Options());
+    ASSERT_TRUE(result.ok());
+    size_t expect = kind == AlgorithmKind::kHWTopk ? 3 : 1;
+    EXPECT_EQ(result->stats.NumRounds(), expect) << AlgorithmName(kind);
+  }
+}
+
+TEST_F(IntegrationTest, PaperCommunicationOrdering) {
+  // Figure 5(a): TwoLevel-S < Improved-S < H-WTopk < Send-V at defaults,
+  // with Send-Sketch between the samplers and Send-V.
+  BuildOptions opt = Options();
+  auto sendv = BuildWaveletHistogram(*dataset_, AlgorithmKind::kSendV, opt);
+  auto hwtopk = BuildWaveletHistogram(*dataset_, AlgorithmKind::kHWTopk, opt);
+  auto improved = BuildWaveletHistogram(*dataset_, AlgorithmKind::kImprovedS, opt);
+  auto twolevel = BuildWaveletHistogram(*dataset_, AlgorithmKind::kTwoLevelS, opt);
+  ASSERT_TRUE(sendv.ok());
+  ASSERT_TRUE(hwtopk.ok());
+  ASSERT_TRUE(improved.ok());
+  ASSERT_TRUE(twolevel.ok());
+  EXPECT_LT(twolevel->stats.TotalCommBytes(), improved->stats.TotalCommBytes());
+  EXPECT_LT(hwtopk->stats.TotalCommBytes(), sendv->stats.TotalCommBytes());
+  EXPECT_LT(twolevel->stats.TotalCommBytes(), hwtopk->stats.TotalCommBytes());
+}
+
+TEST_F(IntegrationTest, SamplersAreFastestExactIsSlower) {
+  // Figure 5(b) shape: samplers beat H-WTopk, which beats Send-V;
+  // Send-Sketch is the slowest.
+  BuildOptions opt = Options();
+  auto sendv = BuildWaveletHistogram(*dataset_, AlgorithmKind::kSendV, opt);
+  auto hwtopk = BuildWaveletHistogram(*dataset_, AlgorithmKind::kHWTopk, opt);
+  auto twolevel = BuildWaveletHistogram(*dataset_, AlgorithmKind::kTwoLevelS, opt);
+  auto sketch = BuildWaveletHistogram(*dataset_, AlgorithmKind::kSendSketch, opt);
+  ASSERT_TRUE(sendv.ok());
+  ASSERT_TRUE(hwtopk.ok());
+  ASSERT_TRUE(twolevel.ok());
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_LT(twolevel->stats.TotalSeconds(), hwtopk->stats.TotalSeconds());
+  EXPECT_GT(sketch->stats.TotalSeconds(), sendv->stats.TotalSeconds());
+}
+
+TEST_F(IntegrationTest, WorldCupDatasetEndToEnd) {
+  WorldCupDatasetOptions wc;
+  wc.num_records = 40000;
+  wc.num_clients = 1 << 7;
+  wc.num_objects = 1 << 4;
+  wc.num_splits = 10;
+  WorldCupDataset ds(wc);
+  std::vector<WCoeff> truth = TrueCoefficients(ds);
+  BuildOptions opt = Options();
+  double ideal = IdealSse(truth, opt.k);
+  auto exact = BuildWaveletHistogram(ds, AlgorithmKind::kHWTopk, opt);
+  auto approx = BuildWaveletHistogram(ds, AlgorithmKind::kTwoLevelS, opt);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(approx.ok());
+  EXPECT_NEAR(SseAgainstTrueCoefficients(exact->histogram, truth), ideal,
+              1e-6 * (1 + ideal));
+  EXPECT_GE(SseAgainstTrueCoefficients(approx->histogram, truth),
+            ideal * (1 - 1e-9));
+  EXPECT_LT(approx->stats.TotalCommBytes(), exact->stats.TotalCommBytes());
+}
+
+TEST_F(IntegrationTest, AlgorithmNamesAndFactory) {
+  for (AlgorithmKind kind : AllAlgorithms()) {
+    auto algo = MakeAlgorithm(kind);
+    EXPECT_EQ(algo->name(), AlgorithmName(kind));
+  }
+  EXPECT_EQ(ExactAlgorithms().size(), 3u);
+  EXPECT_EQ(ApproximateAlgorithms().size(), 4u);
+}
+
+}  // namespace
+}  // namespace wavemr

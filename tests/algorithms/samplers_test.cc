@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/sampling_common.h"
+#include "data/frequency.h"
+#include "histogram/builder.h"
+#include "mapreduce/job.h"
+#include "wavelet/topk.h"
+
+namespace wavemr {
+namespace {
+
+ZipfDataset TestDataset(uint64_t seed = 5) {
+  ZipfDatasetOptions opt;
+  opt.num_records = 40000;
+  opt.domain_size = 1 << 10;
+  opt.alpha = 1.1;
+  opt.num_splits = 16;
+  opt.seed = seed;
+  return ZipfDataset(opt);
+}
+
+TEST(SamplingCommonTest, LevelOneProbabilityClamped) {
+  EXPECT_DOUBLE_EQ(LevelOneProbability(1.0, 100), 0.01);
+  EXPECT_DOUBLE_EQ(LevelOneProbability(0.001, 100), 1.0);  // clamped
+}
+
+TEST(SamplingCommonTest, SampleSizeTracksRate) {
+  ZipfDataset ds = TestDataset();
+  CostModel cm;
+  TaskCost cost;
+  SplitAccess access(ds, 0, cm, &cost);
+  double p = 0.05;
+  LocalSample sample = DrawLevelOneSample(access, p, 7);
+  uint64_t expect = static_cast<uint64_t>(
+      std::llround(p * static_cast<double>(ds.SplitRecords(0))));
+  EXPECT_EQ(sample.t_j, expect);
+  uint64_t total = 0;
+  for (const auto& [key, c] : sample.counts) total += c;
+  EXPECT_EQ(total, sample.t_j);
+  EXPECT_EQ(cost.records_read, sample.t_j);
+}
+
+TEST(SamplingCommonTest, FullRateSamplesEverything) {
+  ZipfDataset ds = TestDataset();
+  CostModel cm;
+  TaskCost cost;
+  SplitAccess access(ds, 1, cm, &cost);
+  LocalSample sample = DrawLevelOneSample(access, 1.0, 7);
+  EXPECT_EQ(sample.t_j, ds.SplitRecords(1));
+  FrequencyMap truth = BuildSplitFrequencyMap(ds, 1);
+  ASSERT_EQ(sample.counts.size(), truth.size());
+  for (const auto& [key, c] : truth) EXPECT_EQ(sample.counts.at(key), c);
+}
+
+BuildOptions SamplerOptions(double epsilon) {
+  BuildOptions opt;
+  opt.k = 15;
+  opt.epsilon = epsilon;
+  opt.seed = 99;
+  return opt;
+}
+
+TEST(SamplersTest, CommunicationOrdering) {
+  // The paper's headline: TwoLevel-S < Improved-S < Basic-S on the wire.
+  ZipfDataset ds = TestDataset();
+  BuildOptions opt = SamplerOptions(0.02);
+  auto basic = BuildWaveletHistogram(ds, AlgorithmKind::kBasicS, opt);
+  auto improved = BuildWaveletHistogram(ds, AlgorithmKind::kImprovedS, opt);
+  auto twolevel = BuildWaveletHistogram(ds, AlgorithmKind::kTwoLevelS, opt);
+  ASSERT_TRUE(basic.ok());
+  ASSERT_TRUE(improved.ok());
+  ASSERT_TRUE(twolevel.ok());
+  EXPECT_LT(twolevel->stats.TotalCommBytes(), improved->stats.TotalCommBytes());
+  EXPECT_LT(improved->stats.TotalCommBytes(), basic->stats.TotalCommBytes());
+}
+
+TEST(SamplersTest, TwoLevelCommunicationNearTheoremBound) {
+  // Theorem 3: expected O(sqrt(m)/eps) pairs. Check within a small constant.
+  ZipfDataset ds = TestDataset();
+  double epsilon = 0.02;
+  BuildOptions opt = SamplerOptions(epsilon);
+  auto result = BuildWaveletHistogram(ds, AlgorithmKind::kTwoLevelS, opt);
+  ASSERT_TRUE(result.ok());
+  double bound =
+      2.0 * std::sqrt(static_cast<double>(ds.info().num_splits)) / epsilon;
+  EXPECT_LT(result->stats.rounds[0].shuffle_pairs, bound * 4.0);
+}
+
+TEST(SamplersTest, FullSamplingRateWithHeavyKeysIsExact) {
+  // Designed so TwoLevel-S degenerates to the exact computation:
+  // eps = 1/sqrt(n) makes p = 1 (every record sampled), and a uniform
+  // dataset puts every local count (256) above the second-level threshold
+  // 1/(eps*sqrt(m)) = 45.25, so each split ships exact counts for every key.
+  // With k = u, the histogram reconstructs v exactly: SSE == 0.
+  const uint64_t u = 16, n = 4096;
+  std::vector<std::vector<uint64_t>> splits(2);
+  for (int j = 0; j < 2; ++j) {
+    for (uint64_t key = 0; key < u; ++key) {
+      for (int r = 0; r < 128; ++r) splits[j].push_back(key);
+    }
+  }
+  InMemoryDataset ds(std::move(splits), u);
+  ASSERT_EQ(ds.info().num_records, n);
+  std::vector<WCoeff> truth = TrueCoefficients(ds);
+
+  BuildOptions opt = SamplerOptions(1.0 / std::sqrt(static_cast<double>(n)));
+  opt.k = u;
+  auto result = BuildWaveletHistogram(ds, AlgorithmKind::kTwoLevelS, opt);
+  ASSERT_TRUE(result.ok());
+  double sse = SseAgainstTrueCoefficients(result->histogram, truth);
+  EXPECT_NEAR(sse, 0.0, 1e-6);
+  // And the point estimates are the exact frequencies.
+  for (uint64_t x = 0; x < u; ++x) {
+    EXPECT_NEAR(result->histogram.PointEstimate(x), 256.0, 1e-6);
+  }
+}
+
+TEST(SamplersTest, TwoLevelEstimatorIsUnbiased) {
+  // Average v-hat over repeated runs (different seeds) approaches v for a
+  // heavy key -- Theorem 1 / Corollary 1. We reconstruct v-hat(x) from the
+  // built histogram of a tiny domain where k covers all coefficients.
+  ZipfDatasetOptions small;
+  small.num_records = 8000;
+  small.domain_size = 1 << 4;  // 16 keys: k = 16 keeps every coefficient
+  small.alpha = 1.0;
+  small.num_splits = 4;
+  small.seed = 3;
+  ZipfDataset ds(small);
+  FrequencyMap truth = BuildFrequencyMap(ds);
+  uint64_t heavy_key = 0;
+  uint64_t best = 0;
+  for (const auto& [key, c] : truth) {
+    if (c > best) {
+      best = c;
+      heavy_key = key;
+    }
+  }
+
+  const int kTrials = 40;
+  double sum = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    BuildOptions opt;
+    opt.k = 16;
+    opt.epsilon = 0.05;
+    opt.seed = 1000 + t;
+    auto result = BuildWaveletHistogram(ds, AlgorithmKind::kTwoLevelS, opt);
+    ASSERT_TRUE(result.ok());
+    sum += result->histogram.PointEstimate(heavy_key);
+  }
+  double mean = sum / kTrials;
+  double v = static_cast<double>(truth[heavy_key]);
+  // Standard deviation per trial is ~eps*n = 400; mean of 40 trials ~63.
+  EXPECT_NEAR(mean, v, 4.0 * 0.05 * 8000 / std::sqrt(static_cast<double>(kTrials)));
+}
+
+TEST(SamplersTest, ImprovedIsBiasedDownOnLightKeys) {
+  // Improved-S drops every local count below eps*t_j, so rare keys are
+  // underestimated on average (the bias the paper criticizes).
+  ZipfDataset ds = TestDataset(17);
+  FrequencyMap truth = BuildFrequencyMap(ds);
+
+  BuildOptions opt = SamplerOptions(0.02);
+  opt.k = 1 << 10;  // keep everything: histogram == estimated vector
+  auto improved = BuildWaveletHistogram(ds, AlgorithmKind::kImprovedS, opt);
+  ASSERT_TRUE(improved.ok());
+  // Total mass of the reconstruction should be visibly below n (mass lost).
+  double total = improved->histogram.RangeSum(0, ds.info().domain_size);
+  EXPECT_LT(total, 0.95 * static_cast<double>(ds.info().num_records));
+
+  auto twolevel = BuildWaveletHistogram(ds, AlgorithmKind::kTwoLevelS, opt);
+  ASSERT_TRUE(twolevel.ok());
+  double total2 = twolevel->histogram.RangeSum(0, ds.info().domain_size);
+  EXPECT_NEAR(total2, static_cast<double>(ds.info().num_records),
+              0.15 * static_cast<double>(ds.info().num_records));
+}
+
+TEST(SamplersTest, SseOrderingOnDefaults) {
+  ZipfDataset ds = TestDataset(23);
+  std::vector<WCoeff> truth = TrueCoefficients(ds);
+  BuildOptions opt = SamplerOptions(0.02);
+  auto improved = BuildWaveletHistogram(ds, AlgorithmKind::kImprovedS, opt);
+  auto twolevel = BuildWaveletHistogram(ds, AlgorithmKind::kTwoLevelS, opt);
+  ASSERT_TRUE(improved.ok());
+  ASSERT_TRUE(twolevel.ok());
+  double ideal = IdealSse(truth, opt.k);
+  double sse_improved = SseAgainstTrueCoefficients(improved->histogram, truth);
+  double sse_twolevel = SseAgainstTrueCoefficients(twolevel->histogram, truth);
+  EXPECT_GE(sse_improved, ideal * (1 - 1e-9));
+  EXPECT_GE(sse_twolevel, ideal * (1 - 1e-9));
+  // The paper's Figure 7: TwoLevel-S beats Improved-S on accuracy.
+  EXPECT_LT(sse_twolevel, sse_improved);
+}
+
+TEST(SamplersTest, DeterministicUnderFixedSeed) {
+  ZipfDataset ds = TestDataset();
+  BuildOptions opt = SamplerOptions(0.02);
+  auto a = BuildWaveletHistogram(ds, AlgorithmKind::kTwoLevelS, opt);
+  auto b = BuildWaveletHistogram(ds, AlgorithmKind::kTwoLevelS, opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->stats.TotalCommBytes(), b->stats.TotalCommBytes());
+  ASSERT_EQ(a->histogram.num_terms(), b->histogram.num_terms());
+  for (size_t i = 0; i < a->histogram.num_terms(); ++i) {
+    EXPECT_EQ(a->histogram.coefficients()[i].index,
+              b->histogram.coefficients()[i].index);
+    EXPECT_DOUBLE_EQ(a->histogram.coefficients()[i].value,
+                     b->histogram.coefficients()[i].value);
+  }
+}
+
+TEST(SamplersTest, EpsilonSweepsCostDown) {
+  // Larger eps => smaller samples => less communication (Figure 8a).
+  ZipfDataset ds = TestDataset();
+  uint64_t prev = UINT64_MAX;
+  for (double eps : {0.01, 0.03, 0.1}) {
+    auto result =
+        BuildWaveletHistogram(ds, AlgorithmKind::kTwoLevelS, SamplerOptions(eps));
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->stats.TotalCommBytes(), prev);
+    prev = result->stats.TotalCommBytes();
+  }
+}
+
+}  // namespace
+}  // namespace wavemr

@@ -1,0 +1,147 @@
+#include "exact/tput.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace wavemr {
+namespace {
+
+// Random local score tables: `m` nodes, items in [0, universe), both signs.
+std::vector<LocalScores> RandomNodes(size_t m, uint64_t universe, size_t per_node,
+                                     uint64_t seed, bool nonnegative = false) {
+  Rng rng(seed);
+  std::vector<LocalScores> nodes(m);
+  for (size_t j = 0; j < m; ++j) {
+    for (size_t i = 0; i < per_node; ++i) {
+      uint64_t item = rng.NextBounded(universe);
+      double score = (rng.NextDouble() - (nonnegative ? 0.0 : 0.5)) * 100.0;
+      nodes[j][item] += score;
+    }
+    // Drop exact zeros produced by accumulation, if any.
+    for (auto it = nodes[j].begin(); it != nodes[j].end();) {
+      it = it->second == 0.0 ? nodes[j].erase(it) : std::next(it);
+    }
+  }
+  return nodes;
+}
+
+// The top-k answer is unique up to ties in magnitude; compare magnitude
+// multisets (sorted descending).
+void ExpectSameMagnitudes(const std::vector<std::pair<uint64_t, double>>& got,
+                          const std::vector<std::pair<uint64_t, double>>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(std::fabs(got[i].second), std::fabs(want[i].second), 1e-9)
+        << "rank " << i;
+  }
+}
+
+struct TputCase {
+  size_t m;
+  uint64_t universe;
+  size_t per_node;
+  size_t k;
+  uint64_t seed;
+};
+
+class TwoSidedTputTest : public ::testing::TestWithParam<TputCase> {};
+
+TEST_P(TwoSidedTputTest, MatchesBruteForce) {
+  const TputCase& c = GetParam();
+  std::vector<LocalScores> nodes = RandomNodes(c.m, c.universe, c.per_node, c.seed);
+  TputResult result = TwoSidedTput(nodes, c.k);
+  auto want = ExactTopKByMagnitude(nodes, c.k);
+  ExpectSameMagnitudes(result.topk, want);
+}
+
+TEST_P(TwoSidedTputTest, CommunicatesLessThanSendAll) {
+  const TputCase& c = GetParam();
+  std::vector<LocalScores> nodes = RandomNodes(c.m, c.universe, c.per_node, c.seed);
+  uint64_t send_all = 0;
+  for (const LocalScores& node : nodes) send_all += node.size();
+  TputResult result = TwoSidedTput(nodes, c.k);
+  EXPECT_LE(result.Messages(), send_all);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TwoSidedTputTest,
+    ::testing::Values(TputCase{3, 50, 20, 5, 1}, TputCase{5, 200, 60, 10, 2},
+                      TputCase{10, 1000, 200, 10, 3}, TputCase{4, 30, 30, 3, 4},
+                      TputCase{8, 500, 100, 1, 5}, TputCase{2, 20, 10, 20, 6},
+                      TputCase{16, 4000, 400, 25, 7}));
+
+TEST(TwoSidedTputTest, AllNegativeScores) {
+  std::vector<LocalScores> nodes(3);
+  nodes[0] = {{1, -10.0}, {2, -1.0}};
+  nodes[1] = {{1, -10.0}, {3, -2.0}};
+  nodes[2] = {{2, -1.0}, {3, -2.0}};
+  TputResult result = TwoSidedTput(nodes, 2);
+  ASSERT_EQ(result.topk.size(), 2u);
+  EXPECT_EQ(result.topk[0].first, 1u);
+  EXPECT_DOUBLE_EQ(result.topk[0].second, -20.0);
+  EXPECT_EQ(result.topk[1].first, 3u);
+}
+
+TEST(TwoSidedTputTest, CancellationAcrossNodes) {
+  // Item 1 looks big at each node but cancels; item 2 is modest but stable.
+  // A naive "top-k of |local|" heuristic would wrongly pick item 1.
+  std::vector<LocalScores> nodes(2);
+  nodes[0] = {{1, 100.0}, {2, 10.0}};
+  nodes[1] = {{1, -100.0}, {2, 10.0}};
+  TputResult result = TwoSidedTput(nodes, 1);
+  ASSERT_EQ(result.topk.size(), 1u);
+  EXPECT_EQ(result.topk[0].first, 2u);
+  EXPECT_DOUBLE_EQ(result.topk[0].second, 20.0);
+}
+
+TEST(TwoSidedTputTest, KLargerThanUniverse) {
+  std::vector<LocalScores> nodes(2);
+  nodes[0] = {{1, 5.0}};
+  nodes[1] = {{2, -3.0}};
+  TputResult result = TwoSidedTput(nodes, 10);
+  ASSERT_EQ(result.topk.size(), 2u);
+  EXPECT_EQ(result.topk[0].first, 1u);
+}
+
+TEST(TwoSidedTputTest, SingleNodeDegeneratesToLocalTopK) {
+  std::vector<LocalScores> nodes(1);
+  nodes[0] = {{1, 5.0}, {2, -30.0}, {3, 10.0}};
+  TputResult result = TwoSidedTput(nodes, 2);
+  ASSERT_EQ(result.topk.size(), 2u);
+  EXPECT_EQ(result.topk[0].first, 2u);
+  EXPECT_EQ(result.topk[1].first, 3u);
+}
+
+TEST(ClassicTputTest, MatchesBruteForceOnNonnegative) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    std::vector<LocalScores> nodes = RandomNodes(6, 300, 80, seed, true);
+    TputResult result = ClassicTput(nodes, 10);
+    auto want = ExactTopKByMagnitude(nodes, 10);
+    ExpectSameMagnitudes(result.topk, want);
+  }
+}
+
+TEST(ClassicTputTest, ThresholdsAreMonotone) {
+  std::vector<LocalScores> nodes = RandomNodes(5, 100, 40, 9, true);
+  TputResult result = ClassicTput(nodes, 5);
+  EXPECT_GE(result.t2, result.t1);  // T2 refines (raises) the threshold
+}
+
+TEST(TwoSidedTputTest, PrunedCandidateSetStillContainsAnswer) {
+  // Stress: heavy ties and duplicates.
+  std::vector<LocalScores> nodes(4);
+  for (int j = 0; j < 4; ++j) {
+    for (uint64_t item = 0; item < 40; ++item) {
+      nodes[j][item] = (item % 2 ? 1.0 : -1.0) * static_cast<double>(item / 2);
+    }
+  }
+  TputResult result = TwoSidedTput(nodes, 6);
+  auto want = ExactTopKByMagnitude(nodes, 6);
+  ExpectSameMagnitudes(result.topk, want);
+}
+
+}  // namespace
+}  // namespace wavemr

@@ -1,0 +1,47 @@
+#include "core/bitops.h"
+
+#include <gtest/gtest.h>
+
+namespace wavemr {
+namespace {
+
+TEST(BitopsTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(uint64_t{1} << 40));
+  EXPECT_FALSE(IsPowerOfTwo((uint64_t{1} << 40) + 1));
+}
+
+TEST(BitopsTest, Log2Floor) {
+  EXPECT_EQ(Log2Floor(1), 0u);
+  EXPECT_EQ(Log2Floor(2), 1u);
+  EXPECT_EQ(Log2Floor(3), 1u);
+  EXPECT_EQ(Log2Floor(4), 2u);
+  EXPECT_EQ(Log2Floor((uint64_t{1} << 33) + 5), 33u);
+}
+
+TEST(BitopsTest, Log2Ceil) {
+  EXPECT_EQ(Log2Ceil(1), 0u);
+  EXPECT_EQ(Log2Ceil(2), 1u);
+  EXPECT_EQ(Log2Ceil(3), 2u);
+  EXPECT_EQ(Log2Ceil(4), 2u);
+  EXPECT_EQ(Log2Ceil(5), 3u);
+}
+
+TEST(BitopsTest, CeilPow2) {
+  EXPECT_EQ(CeilPow2(1), 1u);
+  EXPECT_EQ(CeilPow2(2), 2u);
+  EXPECT_EQ(CeilPow2(3), 4u);
+  EXPECT_EQ(CeilPow2(1000), 1024u);
+}
+
+TEST(BitopsTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 3), 4u);
+  EXPECT_EQ(CeilDiv(9, 3), 3u);
+  EXPECT_EQ(CeilDiv(0, 3), 0u);
+}
+
+}  // namespace
+}  // namespace wavemr

@@ -1,0 +1,72 @@
+#include "core/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace wavemr {
+namespace {
+
+TEST(PolyHashTest, DeterministicPerSeed) {
+  PolyHash h1(7, 4), h2(7, 4), h3(8, 4);
+  int same = 0;
+  for (uint64_t x = 0; x < 64; ++x) {
+    EXPECT_EQ(h1.Hash(x), h2.Hash(x));
+    same += h1.Hash(x) == h3.Hash(x);
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(PolyHashTest, BucketInRange) {
+  PolyHash h(3, 2);
+  for (uint64_t x = 0; x < 1000; ++x) EXPECT_LT(h.Bucket(x, 17), 17u);
+}
+
+TEST(PolyHashTest, BucketsRoughlyUniform) {
+  PolyHash h(11, 2);
+  const uint64_t kBuckets = 16, kDraws = 64000;
+  std::vector<int> hist(kBuckets, 0);
+  for (uint64_t x = 0; x < kDraws; ++x) ++hist[h.Bucket(x, kBuckets)];
+  for (int c : hist) EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.15);
+}
+
+TEST(PolyHashTest, SignsBalanced) {
+  PolyHash h(13, 4);
+  int64_t sum = 0;
+  const int kDraws = 100000;
+  for (uint64_t x = 0; x < kDraws; ++x) sum += h.Sign(x);
+  // Mean should be ~0 with sd sqrt(n): allow 5 sigma.
+  EXPECT_LT(std::llabs(sum), 5 * static_cast<int64_t>(std::sqrt(kDraws)));
+}
+
+TEST(PolyHashTest, PairwiseSignProductsBalanced) {
+  // 4-wise independence implies pairwise sign products are +-1 with mean 0.
+  PolyHash h(17, 4);
+  int64_t sum = 0;
+  const int kPairs = 50000;
+  for (uint64_t x = 0; x < kPairs; ++x) {
+    sum += h.Sign(2 * x) * h.Sign(2 * x + 1);
+  }
+  EXPECT_LT(std::llabs(sum), 5 * static_cast<int64_t>(std::sqrt(kPairs)));
+}
+
+TEST(MulMod61Test, MatchesSmallCases) {
+  EXPECT_EQ(MulMod61(3, 5), 15u);
+  EXPECT_EQ(MulMod61(PolyHash::kPrime - 1, 1), PolyHash::kPrime - 1);
+}
+
+TEST(MulMod61Test, AgreesWithNaive128) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t a = rng.NextU64() % PolyHash::kPrime;
+    uint64_t b = rng.NextU64() % PolyHash::kPrime;
+    __uint128_t expect = (static_cast<__uint128_t>(a) * b) % PolyHash::kPrime;
+    EXPECT_EQ(MulMod61(a, b), static_cast<uint64_t>(expect));
+  }
+}
+
+}  // namespace
+}  // namespace wavemr

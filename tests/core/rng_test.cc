@@ -1,0 +1,96 @@
+#include "core/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace wavemr {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  int diff = 0;
+  for (int i = 0; i < 16; ++i) diff += a.NextU64() != b.NextU64();
+  EXPECT_GT(diff, 12);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(11);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull, (1ull << 40)}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+TEST(RngTest, BoundedRoughlyUniform) {
+  Rng rng(5);
+  std::vector<int> hist(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++hist[rng.NextBounded(10)];
+  for (int count : hist) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 10 * 0.1);
+  }
+}
+
+TEST(CounterRngTest, StreamsAreIndependentAndReproducible) {
+  CounterRng a(42, 1, 5), a2(42, 1, 5), b(42, 1, 6), c(42, 2, 5);
+  uint64_t va = a.NextU64();
+  EXPECT_EQ(va, a2.NextU64());
+  EXPECT_NE(va, b.NextU64());
+  EXPECT_NE(va, c.NextU64());
+}
+
+class FeistelTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FeistelTest, IsBijectionOnDomain) {
+  uint32_t bits = GetParam();
+  FeistelPermutation perm(99, bits);
+  uint64_t domain = uint64_t{1} << bits;
+  std::set<uint64_t> images;
+  for (uint64_t x = 0; x < domain; ++x) {
+    uint64_t y = perm.Apply(x);
+    ASSERT_LT(y, domain);
+    images.insert(y);
+    ASSERT_EQ(perm.Invert(y), x);
+  }
+  EXPECT_EQ(images.size(), domain);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, FeistelTest, ::testing::Values(2u, 3u, 5u, 8u, 11u));
+
+TEST(FeistelTest, LargeDomainRoundTrips) {
+  FeistelPermutation perm(123, 32);
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t x = rng.NextBounded(uint64_t{1} << 32);
+    EXPECT_EQ(perm.Invert(perm.Apply(x)), x);
+  }
+}
+
+TEST(FeistelTest, ScattersValues) {
+  // Consecutive inputs should not map to consecutive outputs.
+  FeistelPermutation perm(5, 16);
+  int adjacent = 0;
+  for (uint64_t x = 0; x + 1 < 1000; ++x) {
+    uint64_t d = perm.Apply(x + 1) - perm.Apply(x);
+    if (d == 1) ++adjacent;
+  }
+  EXPECT_LT(adjacent, 5);
+}
+
+}  // namespace
+}  // namespace wavemr

@@ -1,0 +1,43 @@
+#include "core/serialize.h"
+
+#include <gtest/gtest.h>
+
+namespace wavemr {
+namespace {
+
+TEST(SerializeTest, RoundTripsScalars) {
+  Serializer s;
+  s.Put<uint64_t>(42);
+  s.Put<double>(3.25);
+  s.Put<uint8_t>(7);
+  Deserializer d(s.str());
+  EXPECT_EQ(d.Get<uint64_t>(), 42u);
+  EXPECT_EQ(d.Get<double>(), 3.25);
+  EXPECT_EQ(d.Get<uint8_t>(), 7);
+  EXPECT_TRUE(d.Done());
+}
+
+TEST(SerializeTest, RoundTripsVectors) {
+  Serializer s;
+  std::vector<uint32_t> v = {1, 2, 3, 4, 5};
+  std::vector<double> w = {0.5, -1.5};
+  s.PutVector(v);
+  s.PutVector(w);
+  s.PutVector(std::vector<uint64_t>{});
+  Deserializer d(s.str());
+  EXPECT_EQ(d.GetVector<uint32_t>(), v);
+  EXPECT_EQ(d.GetVector<double>(), w);
+  EXPECT_TRUE(d.GetVector<uint64_t>().empty());
+  EXPECT_TRUE(d.Done());
+}
+
+TEST(SerializeTest, SizeIsPredictable) {
+  Serializer s;
+  s.Put<uint64_t>(1);
+  s.PutVector(std::vector<uint32_t>(10, 9));
+  // 8 + (8 length + 10*4 payload)
+  EXPECT_EQ(s.str().size(), 8u + 8u + 40u);
+}
+
+}  // namespace
+}  // namespace wavemr

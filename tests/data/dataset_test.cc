@@ -1,0 +1,140 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+namespace wavemr {
+namespace {
+
+ZipfDatasetOptions SmallZipf() {
+  ZipfDatasetOptions opt;
+  opt.num_records = 10000;
+  opt.domain_size = 1 << 10;
+  opt.alpha = 1.1;
+  opt.num_splits = 7;
+  opt.seed = 99;
+  return opt;
+}
+
+TEST(ZipfDatasetTest, SplitSizesSumToN) {
+  ZipfDataset ds(SmallZipf());
+  uint64_t total = 0;
+  for (uint64_t j = 0; j < ds.info().num_splits; ++j) total += ds.SplitRecords(j);
+  EXPECT_EQ(total, ds.info().num_records);
+  // Even distribution: sizes differ by at most 1.
+  uint64_t lo = ds.SplitRecords(0), hi = lo;
+  for (uint64_t j = 0; j < ds.info().num_splits; ++j) {
+    lo = std::min(lo, ds.SplitRecords(j));
+    hi = std::max(hi, ds.SplitRecords(j));
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(ZipfDatasetTest, ScanMatchesRandomAccess) {
+  // The deterministic generator must agree between sequential and random
+  // access -- this is what makes the RandomRecordReader correct.
+  ZipfDataset ds(SmallZipf());
+  for (uint64_t j = 0; j < ds.info().num_splits; ++j) {
+    std::vector<uint64_t> scanned;
+    ds.ScanSplit(j, [&scanned](uint64_t key) { scanned.push_back(key); });
+    ASSERT_EQ(scanned.size(), ds.SplitRecords(j));
+    for (uint64_t i = 0; i < scanned.size(); i += 13) {
+      EXPECT_EQ(ds.KeyAt(j, i), scanned[i]);
+    }
+  }
+}
+
+TEST(ZipfDatasetTest, DeterministicAcrossInstances) {
+  ZipfDataset a(SmallZipf()), b(SmallZipf());
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_EQ(a.KeyAt(2, i), b.KeyAt(2, i));
+}
+
+TEST(ZipfDatasetTest, SeedChangesData) {
+  ZipfDatasetOptions opt = SmallZipf();
+  ZipfDataset a(opt);
+  opt.seed = 100;
+  ZipfDataset b(opt);
+  int diff = 0;
+  for (uint64_t i = 0; i < 100; ++i) diff += a.KeyAt(0, i) != b.KeyAt(0, i);
+  EXPECT_GT(diff, 50);
+}
+
+TEST(ZipfDatasetTest, KeysWithinDomainAndSkewed) {
+  ZipfDataset ds(SmallZipf());
+  std::unordered_map<uint64_t, uint64_t> freq;
+  for (uint64_t j = 0; j < ds.info().num_splits; ++j) {
+    ds.ScanSplit(j, [&](uint64_t key) {
+      ASSERT_LT(key, ds.info().domain_size);
+      ++freq[key];
+    });
+  }
+  // Zipf 1.1: the most frequent key should dominate the mean frequency.
+  uint64_t max_count = 0;
+  for (const auto& [k, c] : freq) max_count = std::max(max_count, c);
+  double mean = static_cast<double>(ds.info().num_records) / freq.size();
+  EXPECT_GT(static_cast<double>(max_count), 10.0 * mean);
+}
+
+TEST(ZipfDatasetTest, PermutationTogglesKeyScatter) {
+  ZipfDatasetOptions opt = SmallZipf();
+  opt.permute_keys = false;
+  ZipfDataset plain(opt);
+  // Without permutation the most frequent key is rank 0.
+  std::unordered_map<uint64_t, uint64_t> freq;
+  for (uint64_t j = 0; j < plain.info().num_splits; ++j) {
+    plain.ScanSplit(j, [&](uint64_t key) { ++freq[key]; });
+  }
+  uint64_t argmax = 0, best = 0;
+  for (const auto& [k, c] : freq) {
+    if (c > best) {
+      best = c;
+      argmax = k;
+    }
+  }
+  EXPECT_EQ(argmax, 0u);
+}
+
+TEST(WorldCupDatasetTest, BasicShape) {
+  WorldCupDatasetOptions opt;
+  opt.num_records = 5000;
+  opt.num_clients = 1 << 6;
+  opt.num_objects = 1 << 4;
+  opt.num_splits = 4;
+  WorldCupDataset ds(opt);
+  EXPECT_EQ(ds.info().domain_size, uint64_t{1} << 10);
+  EXPECT_EQ(ds.info().record_bytes, 40u);  // 10 x 4-byte attributes
+  uint64_t total = 0;
+  for (uint64_t j = 0; j < 4; ++j) {
+    ds.ScanSplit(j, [&](uint64_t key) { ASSERT_LT(key, ds.info().domain_size); });
+    total += ds.SplitRecords(j);
+  }
+  EXPECT_EQ(total, 5000u);
+}
+
+TEST(WorldCupDatasetTest, ScanMatchesRandomAccess) {
+  WorldCupDatasetOptions opt;
+  opt.num_records = 2000;
+  opt.num_splits = 3;
+  WorldCupDataset ds(opt);
+  std::vector<uint64_t> scanned;
+  ds.ScanSplit(1, [&scanned](uint64_t key) { scanned.push_back(key); });
+  for (uint64_t i = 0; i < scanned.size(); i += 7) {
+    EXPECT_EQ(ds.KeyAt(1, i), scanned[i]);
+  }
+}
+
+TEST(InMemoryDatasetTest, ExplicitSplits) {
+  InMemoryDataset ds({{1, 2, 3}, {4, 5}}, 8);
+  EXPECT_EQ(ds.info().num_records, 5u);
+  EXPECT_EQ(ds.info().num_splits, 2u);
+  EXPECT_EQ(ds.SplitRecords(1), 2u);
+  EXPECT_EQ(ds.KeyAt(1, 0), 4u);
+  std::vector<uint64_t> keys;
+  ds.ScanSplit(0, [&keys](uint64_t k) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace wavemr

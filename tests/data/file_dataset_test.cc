@@ -1,0 +1,79 @@
+#include "data/file_dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "data/frequency.h"
+
+namespace wavemr {
+namespace {
+
+class FileDatasetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("wavemr_file_ds_" + std::to_string(::getpid()) + ".bin");
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  std::filesystem::path path_;
+};
+
+TEST_F(FileDatasetTest, WriteOpenScan) {
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 1000; ++i) keys.push_back(i % 61);
+  ASSERT_TRUE(WriteFixedRecordFile(path_.string(), keys, 8).ok());
+
+  auto ds = FileDataset::Open(path_.string(), 8, 64, 6);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->info().num_records, 1000u);
+  EXPECT_EQ(ds->info().num_splits, 6u);
+
+  // Scanning all splits reproduces the file contents in order.
+  std::vector<uint64_t> scanned;
+  for (uint64_t j = 0; j < 6; ++j) {
+    ds->ScanSplit(j, [&scanned](uint64_t k) { scanned.push_back(k); });
+  }
+  EXPECT_EQ(scanned, keys);
+
+  // Random access agrees with the scan.
+  uint64_t base = 0;
+  for (uint64_t j = 0; j < 6; ++j) {
+    for (uint64_t i = 0; i < ds->SplitRecords(j); i += 17) {
+      EXPECT_EQ(ds->KeyAt(j, i), keys[base + i]);
+    }
+    base += ds->SplitRecords(j);
+  }
+}
+
+TEST_F(FileDatasetTest, FrequencyMapMatchesKeys) {
+  std::vector<uint64_t> keys = {1, 1, 1, 2, 3, 3};
+  ASSERT_TRUE(WriteFixedRecordFile(path_.string(), keys, 4).ok());
+  auto ds = FileDataset::Open(path_.string(), 4, 8, 2);
+  ASSERT_TRUE(ds.ok());
+  FrequencyMap freq = BuildFrequencyMap(*ds);
+  EXPECT_EQ(freq[1], 3u);
+  EXPECT_EQ(freq[2], 1u);
+  EXPECT_EQ(freq[3], 2u);
+}
+
+TEST_F(FileDatasetTest, RejectsBadGeometry) {
+  std::vector<uint64_t> keys = {1, 2, 3};
+  ASSERT_TRUE(WriteFixedRecordFile(path_.string(), keys, 4).ok());
+  EXPECT_FALSE(FileDataset::Open(path_.string(), 8, 8, 1).ok());   // size mismatch
+  EXPECT_FALSE(FileDataset::Open(path_.string(), 4, 10, 1).ok());  // u not pow2
+  EXPECT_FALSE(FileDataset::Open(path_.string(), 4, 8, 0).ok());   // zero splits
+}
+
+TEST_F(FileDatasetTest, MissingFileIsIOError) {
+  auto ds = FileDataset::Open("/nonexistent/file.bin", 4, 8, 1);
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace wavemr

@@ -1,0 +1,54 @@
+#include "data/frequency.h"
+
+#include <gtest/gtest.h>
+
+#include "wavelet/haar.h"
+
+namespace wavemr {
+namespace {
+
+TEST(FrequencyTest, GlobalIsSumOfSplits) {
+  InMemoryDataset ds({{1, 2, 2}, {2, 3}, {1}}, 8);
+  FrequencyMap global = BuildFrequencyMap(ds);
+  EXPECT_EQ(global[1], 2u);
+  EXPECT_EQ(global[2], 3u);
+  EXPECT_EQ(global[3], 1u);
+
+  FrequencyMap merged;
+  for (uint64_t j = 0; j < 3; ++j) {
+    for (const auto& [k, c] : BuildSplitFrequencyMap(ds, j)) merged[k] += c;
+  }
+  EXPECT_EQ(merged, global);
+}
+
+TEST(FrequencyTest, CountDistinctKeys) {
+  InMemoryDataset ds({{1, 2, 2}, {2, 3}, {1}}, 8);
+  EXPECT_EQ(CountDistinctKeys(ds), 3u);
+}
+
+TEST(FrequencyTest, TrueCoefficientsMatchDenseTransform) {
+  InMemoryDataset ds({{0, 0, 1}, {3, 3, 3, 7}}, 8);
+  std::vector<double> dense(8, 0.0);
+  dense[0] = 2;
+  dense[1] = 1;
+  dense[3] = 3;
+  dense[7] = 1;
+  std::vector<double> expect = ForwardHaar(dense);
+  std::unordered_map<uint64_t, double> got;
+  for (const WCoeff& c : TrueCoefficients(ds)) got[c.index] = c.value;
+  for (uint64_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(got.count(i) ? got[i] : 0.0, expect[i], 1e-10) << i;
+  }
+}
+
+TEST(FrequencyTest, ToSparseVectorPreservesCounts) {
+  FrequencyMap freq = {{5, 3}, {9, 1}};
+  SparseVector v = ToSparseVector(freq);
+  ASSERT_EQ(v.size(), 2u);
+  std::unordered_map<uint64_t, double> as_map(v.begin(), v.end());
+  EXPECT_EQ(as_map[5], 3.0);
+  EXPECT_EQ(as_map[9], 1.0);
+}
+
+}  // namespace
+}  // namespace wavemr

@@ -1,0 +1,158 @@
+#include "data/record_format.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/rng.h"
+
+namespace wavemr {
+namespace {
+
+TEST(FixedRecordTest, EncodeAndReadBack) {
+  std::vector<uint64_t> keys = {7, 0, 4096, 0xFFFFFFFF};
+  std::vector<uint8_t> bytes = EncodeFixedRecords(keys, 12);
+  ASSERT_EQ(bytes.size(), keys.size() * 12);
+  FixedRecordReader reader(bytes, 12);
+  EXPECT_EQ(reader.num_records(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto k = reader.Next();
+    ASSERT_TRUE(k.has_value());
+    EXPECT_EQ(*k, keys[i]);
+    EXPECT_EQ(reader.KeyAt(i), keys[i]);
+  }
+  EXPECT_FALSE(reader.Next().has_value());
+  reader.Reset();
+  EXPECT_EQ(*reader.Next(), 7u);
+}
+
+TEST(VarRecordTest, RoundTripsMixedSizes) {
+  std::vector<VarRecord> records;
+  for (uint32_t i = 0; i < 50; ++i) {
+    records.push_back(MakeVarRecord(i * 3 + 1, 4 + (i % 37)));
+  }
+  auto bytes = EncodeVarRecords(records);
+  ASSERT_TRUE(bytes.ok());
+  VarRecordReader reader(*bytes);
+  for (uint32_t i = 0; i < 50; ++i) {
+    auto view = reader.Next();
+    ASSERT_TRUE(view.has_value()) << "record " << i;
+    EXPECT_EQ(view->key, records[i].key);
+    EXPECT_EQ(view->payload.size(), records[i].payload.size());
+  }
+  EXPECT_FALSE(reader.Next().has_value());
+}
+
+TEST(VarRecordTest, RejectsDelimiterInPayload) {
+  VarRecord bad;
+  bad.key = 1;
+  bad.payload = std::string("ab\xFFzz", 5);
+  auto bytes = EncodeVarRecords({bad});
+  EXPECT_FALSE(bytes.ok());
+  EXPECT_EQ(bytes.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VarRecordTest, RejectsTinyPayload) {
+  VarRecord bad;
+  bad.key = 1;
+  bad.payload = "ab";
+  EXPECT_FALSE(EncodeVarRecords({bad}).ok());
+}
+
+TEST(VarRecordTest, RecordContainingResolvesEveryInteriorOffset) {
+  std::vector<VarRecord> records = {MakeVarRecord(10, 8), MakeVarRecord(20, 30),
+                                    MakeVarRecord(30, 4)};
+  auto bytes = EncodeVarRecords(records);
+  ASSERT_TRUE(bytes.ok());
+  VarRecordReader reader(*bytes);
+
+  // Walk every byte offset: the resolved record must be the one whose span
+  // contains the offset (the Appendix B look-ahead guarantee).
+  std::vector<std::pair<uint64_t, uint64_t>> spans;  // [start, end)
+  uint64_t pos = 0;
+  for (const VarRecord& r : records) {
+    spans.emplace_back(pos, pos + r.payload.size() + 5);
+    pos += r.payload.size() + 5;
+  }
+  for (uint64_t off = 0; off < bytes->size(); ++off) {
+    auto view = reader.RecordContaining(off);
+    ASSERT_TRUE(view.has_value());
+    size_t which = 0;
+    while (!(off >= spans[which].first && off < spans[which].second)) ++which;
+    EXPECT_EQ(view->start_offset, spans[which].first) << "offset " << off;
+  }
+}
+
+TEST(SampleDistinctIndicesTest, ExactCountDistinctSorted) {
+  Rng rng(5);
+  std::vector<uint64_t> s = SampleDistinctIndices(1000, 100, rng);
+  ASSERT_EQ(s.size(), 100u);
+  std::set<uint64_t> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 100u);
+  for (size_t i = 1; i < s.size(); ++i) EXPECT_LT(s[i - 1], s[i]);
+  for (uint64_t v : s) EXPECT_LT(v, 1000u);
+}
+
+TEST(SampleDistinctIndicesTest, CountExceedingNReturnsAll) {
+  Rng rng(5);
+  std::vector<uint64_t> s = SampleDistinctIndices(10, 50, rng);
+  ASSERT_EQ(s.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(SampleDistinctIndicesTest, RoughlyUniform) {
+  // Each index should be chosen with probability count/n.
+  const uint64_t n = 200, count = 20;
+  const int kTrials = 5000;
+  std::vector<int> hits(n, 0);
+  Rng rng(77);
+  for (int t = 0; t < kTrials; ++t) {
+    for (uint64_t idx : SampleDistinctIndices(n, count, rng)) ++hits[idx];
+  }
+  double expect = static_cast<double>(kTrials) * count / n;  // 500
+  for (uint64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(hits[i], expect, expect * 0.35) << "index " << i;
+  }
+}
+
+TEST(SampleVarRecordOffsetsTest, SamplesDistinctValidRecords) {
+  std::vector<VarRecord> records;
+  std::set<uint64_t> valid_starts;
+  uint64_t pos = 0;
+  Rng lenrng(3);
+  for (uint32_t i = 0; i < 64; ++i) {
+    uint32_t payload = 4 + static_cast<uint32_t>(lenrng.NextBounded(60));
+    records.push_back(MakeVarRecord(i, payload));
+    valid_starts.insert(pos);
+    pos += payload + 5;
+  }
+  auto bytes = EncodeVarRecords(records);
+  ASSERT_TRUE(bytes.ok());
+
+  Rng rng(11);
+  std::vector<uint64_t> offsets = SampleVarRecordOffsets(*bytes, 20, rng);
+  EXPECT_GE(offsets.size(), 15u);  // redraws may fall short only rarely
+  EXPECT_LE(offsets.size(), 20u);
+  std::set<uint64_t> distinct(offsets.begin(), offsets.end());
+  EXPECT_EQ(distinct.size(), offsets.size());
+  for (uint64_t off : offsets) EXPECT_TRUE(valid_starts.count(off) > 0);
+  for (size_t i = 1; i < offsets.size(); ++i) EXPECT_LT(offsets[i - 1], offsets[i]);
+}
+
+TEST(SampleVarRecordOffsetsTest, CanSampleEveryRecord) {
+  std::vector<VarRecord> records;
+  for (uint32_t i = 0; i < 16; ++i) records.push_back(MakeVarRecord(i, 10));
+  auto bytes = EncodeVarRecords(records);
+  ASSERT_TRUE(bytes.ok());
+  Rng rng(9);
+  std::vector<uint64_t> offsets = SampleVarRecordOffsets(*bytes, 200, rng);
+  EXPECT_EQ(offsets.size(), 16u);
+}
+
+TEST(SampleVarRecordOffsetsTest, EmptyInput) {
+  Rng rng(1);
+  EXPECT_TRUE(SampleVarRecordOffsets({}, 5, rng).empty());
+}
+
+}  // namespace
+}  // namespace wavemr

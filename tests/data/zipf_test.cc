@@ -1,0 +1,90 @@
+#include "data/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace wavemr {
+namespace {
+
+class ZipfAlphaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfAlphaTest, SamplesWithinDomain) {
+  ZipfDistribution zipf(1000, GetParam());
+  Rng rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t k = zipf.Sample(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 1000u);
+  }
+}
+
+TEST_P(ZipfAlphaTest, EmpiricalMatchesPmf) {
+  const double alpha = GetParam();
+  const uint64_t n = 50;
+  ZipfDistribution zipf(n, alpha);
+  Rng rng(7);
+  const int kDraws = 200000;
+  std::vector<int> hist(n + 1, 0);
+  for (int i = 0; i < kDraws; ++i) ++hist[zipf.Sample(rng)];
+  // Check the head ranks against the exact pmf within 10% relative + slack.
+  for (uint64_t k = 1; k <= 5; ++k) {
+    double expect = zipf.Pmf(k) * kDraws;
+    EXPECT_NEAR(hist[k], expect, expect * 0.1 + 30) << "rank " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfAlphaTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.1, 1.4, 2.0));
+
+TEST(ZipfTest, HigherAlphaIsMoreSkewed) {
+  Rng r1(3), r2(3);
+  ZipfDistribution mild(10000, 0.8), steep(10000, 1.4);
+  int mild_rank1 = 0, steep_rank1 = 0;
+  for (int i = 0; i < 50000; ++i) {
+    mild_rank1 += mild.Sample(r1) == 1;
+    steep_rank1 += steep.Sample(r2) == 1;
+  }
+  EXPECT_GT(steep_rank1, mild_rank1 * 2);
+}
+
+TEST(ZipfTest, AlphaOneIsHandled) {
+  // alpha == 1 exercises the expm1/log1p limit branches.
+  ZipfDistribution zipf(1 << 20, 1.0);
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t k = zipf.Sample(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, uint64_t{1} << 20);
+  }
+}
+
+TEST(ZipfTest, SingleElementDomain) {
+  ZipfDistribution zipf(1, 1.1);
+  Rng rng(1);
+  EXPECT_EQ(zipf.Sample(rng), 1u);
+}
+
+TEST(ZipfTest, HugeDomainConstantMemory) {
+  // Rejection-inversion needs no tables: domain 2^40 works instantly.
+  ZipfDistribution zipf(uint64_t{1} << 40, 1.1);
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t k = zipf.Sample(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, uint64_t{1} << 40);
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(200, 1.1);
+  double total = 0.0;
+  for (uint64_t k = 1; k <= 200; ++k) total += zipf.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace wavemr

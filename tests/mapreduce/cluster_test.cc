@@ -1,0 +1,65 @@
+#include "mapreduce/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace wavemr {
+namespace {
+
+TEST(ClusterTest, PaperClusterShape) {
+  ClusterSpec spec = ClusterSpec::PaperCluster();
+  EXPECT_EQ(spec.NumSlaves(), 15u);  // 16 machines minus the master
+  EXPECT_EQ(spec.TotalMapSlots(), 30);
+  // The reducer is pinned on a config-3 (fastest) machine.
+  EXPECT_DOUBLE_EQ(spec.ReducerSpeed(), 1.35);
+  int cfg1 = 0;
+  for (const NodeSpec& n : spec.slaves) cfg1 += n.speed == 1.0;
+  EXPECT_EQ(cfg1, 9);
+}
+
+TEST(ClusterTest, UniformCluster) {
+  ClusterSpec spec = ClusterSpec::Uniform(4, 2.0, 3);
+  EXPECT_EQ(spec.NumSlaves(), 4u);
+  EXPECT_EQ(spec.TotalMapSlots(), 12);
+  EXPECT_DOUBLE_EQ(spec.ReducerSpeed(), 2.0);
+}
+
+TEST(SchedulerTest, SingleSlotIsSequential) {
+  ClusterSpec spec = ClusterSpec::Uniform(1, 1.0, 1);
+  EXPECT_DOUBLE_EQ(ScheduleMakespan(spec, {1.0, 2.0, 3.0}), 6.0);
+}
+
+TEST(SchedulerTest, PerfectParallelism) {
+  ClusterSpec spec = ClusterSpec::Uniform(3, 1.0, 1);
+  EXPECT_DOUBLE_EQ(ScheduleMakespan(spec, {2.0, 2.0, 2.0}), 2.0);
+}
+
+TEST(SchedulerTest, WavesOfEqualTasks) {
+  // 8 unit tasks on 3 slots: ceil(8/3) = 3 waves.
+  ClusterSpec spec = ClusterSpec::Uniform(3, 1.0, 1);
+  std::vector<double> tasks(8, 1.0);
+  EXPECT_DOUBLE_EQ(ScheduleMakespan(spec, tasks), 3.0);
+}
+
+TEST(SchedulerTest, FasterNodeFinishesFirstAndTakesMore) {
+  // Node A speed 2 (slot x1), node B speed 1 (slot x1); 4 unit tasks.
+  // Greedy: t=0 both take one (A finishes 0.5, B at 1.0); A takes 3rd
+  // (finishes 1.0); 4th goes to earliest slot -> A at 1.0 -> finishes 1.5.
+  ClusterSpec spec;
+  spec.slaves = {{"fast", 2.0, 1}, {"slow", 1.0, 1}};
+  std::vector<double> tasks(4, 1.0);
+  EXPECT_DOUBLE_EQ(ScheduleMakespan(spec, tasks), 1.5);
+}
+
+TEST(SchedulerTest, EmptyTaskListIsZero) {
+  ClusterSpec spec = ClusterSpec::Uniform(2);
+  EXPECT_DOUBLE_EQ(ScheduleMakespan(spec, {}), 0.0);
+}
+
+TEST(SchedulerTest, MultipleSlotsPerNode) {
+  ClusterSpec spec = ClusterSpec::Uniform(1, 1.0, 2);
+  // Two slots on one node: 4 unit tasks -> 2 waves.
+  EXPECT_DOUBLE_EQ(ScheduleMakespan(spec, {1, 1, 1, 1}), 2.0);
+}
+
+}  // namespace
+}  // namespace wavemr

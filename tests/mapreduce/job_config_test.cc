@@ -1,0 +1,57 @@
+#include "mapreduce/job_config.h"
+
+#include <gtest/gtest.h>
+
+namespace wavemr {
+namespace {
+
+TEST(JobConfigTest, TypedRoundTrips) {
+  JobConfig config;
+  config.SetUint("m", 200);
+  config.SetDouble("t1_over_m", 3.141592653589793);
+  config.SetString("job", "h-wtopk");
+  EXPECT_EQ(config.GetUint("m").value(), 200u);
+  EXPECT_DOUBLE_EQ(config.GetDouble("t1_over_m").value(), 3.141592653589793);
+  EXPECT_EQ(config.GetString("job").value(), "h-wtopk");
+}
+
+TEST(JobConfigTest, MissingKeyIsNotFound) {
+  JobConfig config;
+  EXPECT_EQ(config.GetUint("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(config.Contains("nope"));
+}
+
+TEST(JobConfigTest, TypeMismatchIsInvalidArgument) {
+  JobConfig config;
+  config.SetString("s", "abc");
+  EXPECT_EQ(config.GetUint("s").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(config.GetDouble("s").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JobConfigTest, ByteSizeGrowsWithContent) {
+  JobConfig config;
+  uint64_t empty = config.ByteSize();
+  config.SetUint("some.key", 12345);
+  EXPECT_GT(config.ByteSize(), empty);
+}
+
+TEST(DistributedCacheTest, PutGet) {
+  DistributedCache cache;
+  cache.Put("R", "abc");
+  EXPECT_EQ(cache.Get("R").value(), "abc");
+  EXPECT_FALSE(cache.Get("missing").ok());
+  EXPECT_TRUE(cache.Contains("R"));
+}
+
+TEST(DistributedCacheTest, NewBytesAccountedOnce) {
+  DistributedCache cache;
+  cache.Put("R", std::string(100, 'x'));
+  EXPECT_EQ(cache.TakeNewBytes(), 100u);
+  EXPECT_EQ(cache.TakeNewBytes(), 0u);  // already broadcast
+  cache.Put("S", std::string(50, 'y'));
+  cache.Put("R", std::string(10, 'z'));  // replaced blob re-broadcasts
+  EXPECT_EQ(cache.TakeNewBytes(), 60u);
+}
+
+}  // namespace
+}  // namespace wavemr

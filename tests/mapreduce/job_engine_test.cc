@@ -1,0 +1,209 @@
+#include "mapreduce/job.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "data/dataset.h"
+
+namespace wavemr {
+namespace {
+
+// Word-count-style fixture: count keys across splits.
+class CountMapper : public Mapper<uint64_t, uint64_t> {
+ public:
+  void Run(MapContext<uint64_t, uint64_t>& ctx) override {
+    ctx.input().Scan([&ctx](uint64_t key) { ctx.Emit(key, 1); });
+  }
+};
+
+class CountReducer : public Reducer<uint64_t, uint64_t> {
+ public:
+  void Absorb(const uint64_t& k, const uint64_t& v,
+              ReduceContext<uint64_t, uint64_t>& ctx) override {
+    (void)ctx;
+    counts[k] += v;
+    absorbed.emplace_back(k, v);
+  }
+  void Finish(ReduceContext<uint64_t, uint64_t>& ctx) override { (void)ctx; }
+
+  std::map<uint64_t, uint64_t> counts;
+  std::vector<std::pair<uint64_t, uint64_t>> absorbed;
+};
+
+InMemoryDataset TinyDataset() {
+  return InMemoryDataset({{3, 1, 3}, {1, 1}, {7}}, 8);
+}
+
+JobPlan<uint64_t, uint64_t> CountPlan(CountReducer* reducer) {
+  JobPlan<uint64_t, uint64_t> plan;
+  plan.name = "count";
+  plan.mapper_factory = [](uint64_t) { return std::make_unique<CountMapper>(); };
+  plan.reducer = reducer;
+  plan.wire_bytes = [](const uint64_t&, const uint64_t&) { return 8u; };
+  return plan;
+}
+
+TEST(JobEngineTest, CountsAreCorrect) {
+  InMemoryDataset ds = TinyDataset();
+  MrEnv env;
+  CountReducer reducer;
+  RunRound(CountPlan(&reducer), ds, &env);
+  EXPECT_EQ(reducer.counts[1], 3u);
+  EXPECT_EQ(reducer.counts[3], 2u);
+  EXPECT_EQ(reducer.counts[7], 1u);
+}
+
+TEST(JobEngineTest, ShuffleAccountingWithoutCombiner) {
+  InMemoryDataset ds = TinyDataset();
+  MrEnv env;
+  CountReducer reducer;
+  RoundStats round = RunRound(CountPlan(&reducer), ds, &env);
+  // One pair per record: 6 records * 8 bytes.
+  EXPECT_EQ(round.shuffle_pairs, 6u);
+  EXPECT_EQ(round.shuffle_bytes, 48u);
+  EXPECT_EQ(round.map_tasks, 3u);
+  EXPECT_EQ(env.stats.counters.Get("map_output_pairs"), 6u);
+  EXPECT_EQ(env.stats.counters.Get("map_records_read"), 6u);
+}
+
+TEST(JobEngineTest, CombinerReducesShuffle) {
+  InMemoryDataset ds = TinyDataset();
+  MrEnv env;
+  CountReducer reducer;
+  auto plan = CountPlan(&reducer);
+  plan.combiner = [](const uint64_t& a, const uint64_t& b) { return a + b; };
+  RoundStats round = RunRound(plan, ds, &env);
+  // Distinct keys per split: {3,1}, {1}, {7} -> 4 pairs.
+  EXPECT_EQ(round.shuffle_pairs, 4u);
+  EXPECT_EQ(round.shuffle_bytes, 32u);
+  // Results identical to the uncombined run.
+  EXPECT_EQ(reducer.counts[1], 3u);
+  EXPECT_EQ(reducer.counts[3], 2u);
+  EXPECT_EQ(env.stats.counters.Get("map_output_pairs"), 6u);      // pre-combine
+  EXPECT_EQ(env.stats.counters.Get("combine_output_pairs"), 4u);  // post-combine
+}
+
+TEST(JobEngineTest, SortedShuffleDeliversKeyOrder) {
+  InMemoryDataset ds = TinyDataset();
+  MrEnv env;
+  CountReducer reducer;
+  auto plan = CountPlan(&reducer);
+  plan.sorted_shuffle = true;
+  RunRound(plan, ds, &env);
+  ASSERT_EQ(reducer.absorbed.size(), 6u);
+  for (size_t i = 1; i < reducer.absorbed.size(); ++i) {
+    EXPECT_LE(reducer.absorbed[i - 1].first, reducer.absorbed[i].first);
+  }
+  EXPECT_EQ(reducer.counts[1], 3u);
+}
+
+TEST(JobEngineTest, SimulatedTimeIsPositiveAndDecomposed) {
+  InMemoryDataset ds = TinyDataset();
+  MrEnv env;
+  CountReducer reducer;
+  RoundStats round = RunRound(CountPlan(&reducer), ds, &env);
+  EXPECT_GT(round.map_makespan_s, 0.0);
+  EXPECT_GT(round.shuffle_s, 0.0);
+  EXPECT_GE(round.reduce_s, 0.0);
+  EXPECT_DOUBLE_EQ(round.overhead_s, env.cost_model.job_overhead_s);
+  EXPECT_GT(round.TotalSeconds(), env.cost_model.job_overhead_s);
+  EXPECT_EQ(env.stats.NumRounds(), 1u);
+  EXPECT_DOUBLE_EQ(env.stats.TotalSeconds(), round.TotalSeconds());
+}
+
+TEST(JobEngineTest, LowerBandwidthSlowsShuffleOnly) {
+  InMemoryDataset ds = TinyDataset();
+  CountReducer r1, r2;
+  MrEnv fast, slow;
+  fast.cost_model.bandwidth_fraction = 1.0;
+  slow.cost_model.bandwidth_fraction = 0.1;
+  RoundStats a = RunRound(CountPlan(&r1), ds, &fast);
+  RoundStats b = RunRound(CountPlan(&r2), ds, &slow);
+  EXPECT_DOUBLE_EQ(a.map_makespan_s, b.map_makespan_s);
+  EXPECT_NEAR(b.shuffle_s, a.shuffle_s * 10.0, 1e-9);
+}
+
+TEST(JobEngineTest, BroadcastBytesChargeCacheOnce) {
+  InMemoryDataset ds = TinyDataset();
+  MrEnv env;
+  env.config.SetUint("x", 5);  // config is not data communication
+  env.cache.Put("blob", std::string(100, 'a'));
+  CountReducer reducer;
+  RoundStats round = RunRound(CountPlan(&reducer), ds, &env);
+  uint64_t slaves = env.cluster.NumSlaves();
+  EXPECT_EQ(round.broadcast_bytes, 100 * slaves);
+
+  // The cache blob is charged only once.
+  CountReducer reducer2;
+  RoundStats round2 = RunRound(CountPlan(&reducer2), ds, &env);
+  EXPECT_EQ(round2.broadcast_bytes, 0u);
+
+  // A blob added between rounds is charged in the next round.
+  env.cache.Put("r3", std::string(40, 'b'));
+  CountReducer reducer3;
+  RoundStats round3 = RunRound(CountPlan(&reducer3), ds, &env);
+  EXPECT_EQ(round3.broadcast_bytes, 40 * slaves);
+}
+
+// State round-trip: mapper saves in round 1, loads in round 2.
+class SaveMapper : public Mapper<uint64_t, uint64_t> {
+ public:
+  void Run(MapContext<uint64_t, uint64_t>& ctx) override {
+    ctx.SaveState("state-of-" + std::to_string(ctx.split_id()));
+  }
+};
+
+class LoadMapper : public Mapper<uint64_t, uint64_t> {
+ public:
+  void Run(MapContext<uint64_t, uint64_t>& ctx) override {
+    auto blob = ctx.LoadState();
+    ASSERT_TRUE(blob.ok());
+    EXPECT_EQ(*blob, "state-of-" + std::to_string(ctx.split_id()));
+    ctx.Emit(ctx.split_id(), 1);
+  }
+};
+
+TEST(JobEngineTest, SplitStatePersistsAcrossRounds) {
+  InMemoryDataset ds = TinyDataset();
+  MrEnv env;
+  CountReducer r1, r2;
+  JobPlan<uint64_t, uint64_t> save;
+  save.name = "save";
+  save.mapper_factory = [](uint64_t) { return std::make_unique<SaveMapper>(); };
+  save.reducer = &r1;
+  RunRound(save, ds, &env);
+
+  JobPlan<uint64_t, uint64_t> load;
+  load.name = "load";
+  load.mapper_factory = [](uint64_t) { return std::make_unique<LoadMapper>(); };
+  load.reducer = &r2;
+  RoundStats round = RunRound(load, ds, &env);
+  EXPECT_EQ(round.shuffle_pairs, 3u);  // one per split; all states found
+  EXPECT_EQ(env.stats.NumRounds(), 2u);
+}
+
+TEST(JobEngineTest, ChargedCpuShowsUpInMakespan) {
+  InMemoryDataset ds = TinyDataset();
+
+  class ExpensiveMapper : public Mapper<uint64_t, uint64_t> {
+   public:
+    void Run(MapContext<uint64_t, uint64_t>& ctx) override {
+      ctx.ChargeCpuNs(5e9);  // 5 simulated seconds
+    }
+  };
+
+  MrEnv env;
+  CountReducer reducer;
+  JobPlan<uint64_t, uint64_t> plan;
+  plan.name = "expensive";
+  plan.mapper_factory = [](uint64_t) { return std::make_unique<ExpensiveMapper>(); };
+  plan.reducer = &reducer;
+  RoundStats round = RunRound(plan, ds, &env);
+  // 3 tasks of >=5s on a 30-slot cluster: one wave, bounded below by the
+  // slowest node's 5 / speed.
+  EXPECT_GT(round.map_makespan_s, 3.0);
+}
+
+}  // namespace
+}  // namespace wavemr

@@ -1,0 +1,59 @@
+#include "mapreduce/state_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace wavemr {
+namespace {
+
+TEST(StateStoreTest, InMemoryPutGetRemove) {
+  StateStore store;
+  EXPECT_FALSE(store.Contains("split-1"));
+  ASSERT_TRUE(store.Put("split-1", "hello").ok());
+  EXPECT_TRUE(store.Contains("split-1"));
+  EXPECT_EQ(store.Get("split-1").value(), "hello");
+  EXPECT_EQ(store.TotalBytes(), 5u);
+  ASSERT_TRUE(store.Put("split-1", "hi").ok());  // overwrite shrinks
+  EXPECT_EQ(store.TotalBytes(), 2u);
+  ASSERT_TRUE(store.Remove("split-1").ok());
+  EXPECT_FALSE(store.Contains("split-1"));
+  EXPECT_EQ(store.Get("split-1").status().code(), StatusCode::kNotFound);
+}
+
+TEST(StateStoreTest, DiskBackedRoundTrip) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("wavemr_state_" + std::to_string(::getpid())))
+                        .string();
+  {
+    StateStore store(dir);
+    EXPECT_TRUE(store.disk_backed());
+    std::string blob(1000, '\x7');
+    blob[10] = '\0';  // binary-safe
+    ASSERT_TRUE(store.Put("split-3", blob).ok());
+    EXPECT_EQ(store.Get("split-3").value(), blob);
+    EXPECT_EQ(store.TotalBytes(), 1000u);
+    ASSERT_TRUE(store.Remove("split-3").ok());
+    EXPECT_FALSE(store.Contains("split-3"));
+  }
+  // Destructor cleans the directory.
+  EXPECT_FALSE(std::filesystem::exists(dir));
+}
+
+TEST(StateStoreTest, NamesAreSanitized) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("wavemr_state2_" + std::to_string(::getpid())))
+                        .string();
+  StateStore store(dir);
+  ASSERT_TRUE(store.Put("weird/..name", "x").ok());
+  EXPECT_EQ(store.Get("weird/..name").value(), "x");
+}
+
+TEST(StateStoreTest, EmptyBlob) {
+  StateStore store;
+  ASSERT_TRUE(store.Put("e", "").ok());
+  EXPECT_EQ(store.Get("e").value(), "");
+}
+
+}  // namespace
+}  // namespace wavemr

@@ -1,0 +1,47 @@
+#include "sketch/ams_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace wavemr {
+namespace {
+
+TEST(AmsSketchTest, F2EstimateWithinTolerance) {
+  AmsSketch sketch(7, 5, 256);
+  double f2 = 0.0;
+  Rng rng(2);
+  for (uint64_t item = 0; item < 200; ++item) {
+    double v = 1.0 + rng.NextBounded(20);
+    sketch.Update(item, v);
+    f2 += v * v;
+  }
+  EXPECT_NEAR(sketch.EstimateF2(), f2, 0.25 * f2);
+}
+
+TEST(AmsSketchTest, PointEstimateOfHeavyItem) {
+  AmsSketch sketch(11, 5, 256);
+  sketch.Update(3, 500.0);
+  Rng rng(6);
+  for (int i = 0; i < 500; ++i) sketch.Update(10 + rng.NextBounded(1000), 1.0);
+  EXPECT_NEAR(sketch.EstimatePoint(3), 500.0, 50.0);
+}
+
+TEST(AmsSketchTest, MergeMatchesBulk) {
+  AmsSketch a(3, 3, 32), b(3, 3, 32), bulk(3, 3, 32);
+  for (uint64_t i = 0; i < 100; ++i) {
+    (i % 2 ? a : b).Update(i, static_cast<double>(i));
+    bulk.Update(i, static_cast<double>(i));
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.EstimateF2(), bulk.EstimateF2());
+}
+
+TEST(AmsSketchTest, EmptySketchEstimatesZero) {
+  AmsSketch sketch(1, 3, 16);
+  EXPECT_DOUBLE_EQ(sketch.EstimateF2(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.EstimatePoint(42), 0.0);
+}
+
+}  // namespace
+}  // namespace wavemr

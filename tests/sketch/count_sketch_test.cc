@@ -1,0 +1,66 @@
+#include "sketch/count_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace wavemr {
+namespace {
+
+TEST(CountSketchTest, HeavyItemsEstimatedAccurately) {
+  CountSketch sketch(42, 5, 512);
+  // Heavy items over light noise.
+  sketch.Update(7, 1000.0);
+  sketch.Update(13, -800.0);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) sketch.Update(100 + rng.NextBounded(10000), 1.0);
+  EXPECT_NEAR(sketch.Estimate(7), 1000.0, 60.0);
+  EXPECT_NEAR(sketch.Estimate(13), -800.0, 60.0);
+}
+
+TEST(CountSketchTest, AbsentItemNearZero) {
+  CountSketch sketch(42, 5, 512);
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) sketch.Update(rng.NextBounded(1 << 20), 1.0);
+  EXPECT_NEAR(sketch.Estimate(0xDEADBEEF), 0.0, 20.0);
+}
+
+TEST(CountSketchTest, UpdatesAreAdditive) {
+  CountSketch sketch(1, 3, 64);
+  sketch.Update(5, 10.0);
+  sketch.Update(5, -10.0);
+  EXPECT_NEAR(sketch.Estimate(5), 0.0, 1e-12);
+  EXPECT_EQ(sketch.NonzeroCounters(), 0u);
+}
+
+TEST(CountSketchTest, MergeEqualsBulkUpdate) {
+  CountSketch a(9, 4, 128), b(9, 4, 128), bulk(9, 4, 128);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t item = rng.NextBounded(1000);
+    double val = 1.0 + rng.NextBounded(5);
+    if (i % 2 == 0) {
+      a.Update(item, val);
+    } else {
+      b.Update(item, val);
+    }
+    bulk.Update(item, val);
+  }
+  a.Merge(b);
+  for (size_t i = 0; i < a.counters().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.counters()[i], bulk.counters()[i]);
+  }
+}
+
+TEST(CountSketchTest, NonzeroCountersBounded) {
+  CountSketch sketch(2, 3, 64);
+  sketch.Update(1, 5.0);
+  // One update touches exactly `depth` counters.
+  EXPECT_LE(sketch.NonzeroCounters(), 3u);
+  EXPECT_GE(sketch.NonzeroCounters(), 1u);
+}
+
+}  // namespace
+}  // namespace wavemr

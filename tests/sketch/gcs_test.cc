@@ -1,0 +1,157 @@
+#include "sketch/group_count_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/rng.h"
+#include "sketch/wavelet_gcs.h"
+#include "wavelet/haar.h"
+
+namespace wavemr {
+namespace {
+
+TEST(GroupCountSketchTest, GroupEnergyOfHeavyGroup) {
+  GroupCountSketch sketch(3, 5, 64, 8);
+  // Group 4 holds items 40..44 with substantial values.
+  double energy = 0.0;
+  for (uint64_t i = 0; i < 5; ++i) {
+    double v = 100.0 + 10.0 * static_cast<double>(i);
+    sketch.Update(4, 40 + i, v);
+    energy += v * v;
+  }
+  // Light noise in other groups.
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t g = 10 + rng.NextBounded(50);
+    sketch.Update(g, g * 100 + rng.NextBounded(10), 1.0);
+  }
+  EXPECT_NEAR(sketch.GroupEnergy(4), energy, 0.3 * energy);
+}
+
+TEST(GroupCountSketchTest, SingletonItemEstimate) {
+  GroupCountSketch sketch(5, 5, 128, 8);
+  sketch.Update(77, 77, 250.0);
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    uint64_t item = rng.NextBounded(5000);
+    sketch.Update(item, item, 1.0);
+  }
+  EXPECT_NEAR(sketch.EstimateItem(77, 77), 250.0, 30.0);
+}
+
+TEST(GroupCountSketchTest, MergeMatchesBulk) {
+  GroupCountSketch a(1, 3, 16, 4), b(1, 3, 16, 4), bulk(1, 3, 16, 4);
+  for (uint64_t i = 0; i < 200; ++i) {
+    (i % 2 ? a : b).Update(i / 8, i, static_cast<double>(i % 7));
+    bulk.Update(i / 8, i, static_cast<double>(i % 7));
+  }
+  a.Merge(b);
+  for (size_t i = 0; i < a.NumCounters(); ++i) {
+    EXPECT_DOUBLE_EQ(a.CounterAt(i), bulk.CounterAt(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical wavelet GCS
+// ---------------------------------------------------------------------------
+
+WaveletGcsOptions TestGcsOptions() {
+  WaveletGcsOptions opt;
+  opt.seed = 99;
+  opt.reps = 5;
+  opt.subbuckets = 8;
+  opt.degree_bits = 3;            // GCS-8
+  opt.total_bytes = 256 * 1024;   // generous for a small test domain
+  return opt;
+}
+
+TEST(WaveletGcsTest, RecoversPlantedHeavyCoefficients) {
+  const uint64_t u = 1024;
+  WaveletGcs sketch(u, TestGcsOptions());
+  // Plant heavy coefficients directly in the wavelet domain.
+  std::set<uint64_t> heavy = {3, 170, 512, 900};
+  for (uint64_t idx : heavy) sketch.UpdateCoeff(idx, 500.0);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) sketch.UpdateCoeff(rng.NextBounded(u), 1.0);
+
+  std::vector<WCoeff> top = sketch.FindTopK(4);
+  ASSERT_EQ(top.size(), 4u);
+  for (const WCoeff& c : top) {
+    EXPECT_TRUE(heavy.count(c.index) > 0) << "unexpected index " << c.index;
+    EXPECT_NEAR(c.value, 500.0, 100.0);
+  }
+}
+
+TEST(WaveletGcsTest, DataDomainUpdateMatchesTransformPath) {
+  // UpdateData(x, c) must produce the same coefficient estimates as the true
+  // transform of the point signal c * e_x.
+  const uint64_t u = 256;
+  WaveletGcs sketch(u, TestGcsOptions());
+  sketch.UpdateData(37, 64.0);
+  std::vector<double> dense(u, 0.0);
+  dense[37] = 64.0;
+  std::vector<double> w = ForwardHaar(dense);
+  for (uint64_t i = 0; i < u; ++i) {
+    if (w[i] != 0.0) {
+      EXPECT_NEAR(sketch.EstimateCoeff(i), w[i], 1e-6) << "coeff " << i;
+    }
+  }
+}
+
+TEST(WaveletGcsTest, MergeAndFlatCountersMatchDirectUpdates) {
+  // The Send-Sketch wire path (ForEachNonzeroCounter -> AddToFlatCounter)
+  // must reconstruct the merged sketch exactly.
+  const uint64_t u = 512;
+  WaveletGcsOptions opt = TestGcsOptions();
+  WaveletGcs local1(u, opt), local2(u, opt), wire(u, opt), direct(u, opt);
+  Rng rng(8);
+  for (int i = 0; i < 300; ++i) {
+    uint64_t x = rng.NextBounded(u);
+    double c = 1.0 + rng.NextBounded(9);
+    (i % 2 ? local1 : local2).UpdateData(x, c);
+    direct.UpdateData(x, c);
+  }
+  local1.ForEachNonzeroCounter(
+      [&wire](uint64_t idx, double v) { wire.AddToFlatCounter(idx, v); });
+  local2.ForEachNonzeroCounter(
+      [&wire](uint64_t idx, double v) { wire.AddToFlatCounter(idx, v); });
+  for (uint64_t i = 0; i < u; ++i) {
+    // Identical up to floating-point addition order (the wire path sums the
+    // two partitions' counters in a different sequence).
+    double d = direct.EstimateCoeff(i);
+    EXPECT_NEAR(wire.EstimateCoeff(i), d, 1e-9 * (1.0 + std::fabs(d))) << i;
+  }
+}
+
+TEST(WaveletGcsTest, EnergyEstimateTracksParseval) {
+  const uint64_t u = 256;
+  WaveletGcs sketch(u, TestGcsOptions());
+  double energy = 0.0;
+  for (uint64_t idx = 0; idx < 32; ++idx) {
+    double v = static_cast<double>(idx) * 3.0;
+    sketch.UpdateCoeff(idx, v);
+    energy += v * v;
+  }
+  EXPECT_NEAR(sketch.EstimateEnergy(), energy, 0.35 * energy);
+}
+
+TEST(WaveletGcsTest, PaperSpaceRuleApplied) {
+  WaveletGcsOptions opt;
+  opt.total_bytes = 0;  // paper rule: 20KB * log2(u)
+  WaveletGcs sketch(1 << 20, opt);
+  EXPECT_GT(sketch.NumCounters() * sizeof(double), 200u * 1024);
+  EXPECT_GT(sketch.CounterUpdatesPerDataPoint(), 0u);
+}
+
+TEST(WaveletGcsTest, CounterUpdateCostFormula) {
+  WaveletGcsOptions opt = TestGcsOptions();
+  WaveletGcs sketch(1024, opt);
+  // log2(1024)+1 = 11 coefficients, each touching every level in each rep.
+  EXPECT_EQ(sketch.CounterUpdatesPerDataPoint(),
+            11u * sketch.num_levels() * opt.reps);
+}
+
+}  // namespace
+}  // namespace wavemr

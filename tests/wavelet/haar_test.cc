@@ -1,0 +1,150 @@
+#include "wavelet/haar.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/rng.h"
+#include "wavelet/coefficient.h"
+
+namespace wavemr {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+std::vector<double> RandomSignal(uint64_t u, uint64_t seed, double scale = 100.0) {
+  Rng rng(seed);
+  std::vector<double> v(u);
+  for (double& x : v) x = (rng.NextDouble() - 0.5) * scale;
+  return v;
+}
+
+TEST(HaarTest, PaperFigure1Example) {
+  // Figure 1 of the paper: v = [3,5,10,8,2,2,10,14]; tree values
+  // [6.75, 0.25, 2.5, 5, 1, -1, 0, 2], normalized by sqrt(u / 2^level).
+  std::vector<double> v = {3, 5, 10, 8, 2, 2, 10, 14};
+  std::vector<double> w = ForwardHaar(v);
+  double s8 = std::sqrt(8.0), s2 = std::sqrt(2.0);
+  EXPECT_NEAR(w[0], 6.75 * s8, kTol);   // total average
+  EXPECT_NEAR(w[1], 0.25 * s8, kTol);   // w2
+  EXPECT_NEAR(w[2], 2.5 * 2.0, kTol);   // w3, scale sqrt(8/2)=2
+  EXPECT_NEAR(w[3], 5.0 * 2.0, kTol);   // w4
+  EXPECT_NEAR(w[4], 1.0 * s2, kTol);    // w5
+  EXPECT_NEAR(w[5], -1.0 * s2, kTol);   // w6
+  EXPECT_NEAR(w[6], 0.0, kTol);         // w7
+  EXPECT_NEAR(w[7], 2.0 * s2, kTol);    // w8
+}
+
+TEST(HaarTest, MatchesBasisVectorDefinition) {
+  // w_i must equal <v, psi_i> with psi from coefficient.h -- the transform
+  // and the basis-side definition (paper Figure 2) must agree exactly.
+  const uint64_t u = 32;
+  std::vector<double> v = RandomSignal(u, 17);
+  std::vector<double> w = ForwardHaar(v);
+  for (uint64_t i = 0; i < u; ++i) {
+    double dot = 0.0;
+    for (uint64_t x = 0; x < u; ++x) dot += v[x] * BasisValue(i, x, u);
+    EXPECT_NEAR(w[i], dot, 1e-8) << "coefficient " << i;
+  }
+}
+
+class HaarRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HaarRoundTripTest, InverseRecoversSignal) {
+  const uint64_t u = GetParam();
+  std::vector<double> v = RandomSignal(u, 7 + u);
+  std::vector<double> back = InverseHaar(ForwardHaar(v));
+  ASSERT_EQ(back.size(), v.size());
+  for (uint64_t i = 0; i < u; ++i) EXPECT_NEAR(back[i], v[i], 1e-7);
+}
+
+TEST_P(HaarRoundTripTest, ParsevalEnergyPreserved) {
+  const uint64_t u = GetParam();
+  std::vector<double> v = RandomSignal(u, 31 + u);
+  std::vector<double> w = ForwardHaar(v);
+  auto energy = [](const std::vector<double>& a) {
+    return std::inner_product(a.begin(), a.end(), a.begin(), 0.0);
+  };
+  EXPECT_NEAR(energy(v), energy(w), 1e-6 * (1.0 + energy(v)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HaarRoundTripTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 64u, 256u, 1024u));
+
+TEST(HaarTest, SizeOneIsIdentity) {
+  std::vector<double> v = {5.5};
+  EXPECT_NEAR(ForwardHaar(v)[0], 5.5, kTol);
+  EXPECT_NEAR(InverseHaar(v)[0], 5.5, kTol);
+}
+
+TEST(HaarTest, LinearityOfTransform) {
+  const uint64_t u = 64;
+  std::vector<double> a = RandomSignal(u, 1), b = RandomSignal(u, 2), sum(u);
+  for (uint64_t i = 0; i < u; ++i) sum[i] = 2.0 * a[i] - 3.0 * b[i];
+  std::vector<double> wa = ForwardHaar(a), wb = ForwardHaar(b), ws = ForwardHaar(sum);
+  for (uint64_t i = 0; i < u; ++i) {
+    EXPECT_NEAR(ws[i], 2.0 * wa[i] - 3.0 * wb[i], 1e-8);
+  }
+}
+
+TEST(HaarTest, PadToPow2) {
+  std::vector<double> v = {1, 2, 3};
+  std::vector<double> padded = PadToPow2(v);
+  ASSERT_EQ(padded.size(), 4u);
+  EXPECT_EQ(padded[3], 0.0);
+  EXPECT_EQ(PadToPow2(std::vector<double>{}).size(), 1u);
+  EXPECT_EQ(PadToPow2(std::vector<double>(8, 1.0)).size(), 8u);
+}
+
+TEST(CoefficientTest, LevelsAndSupports) {
+  const uint64_t u = 16;
+  EXPECT_EQ(CoefficientLevel(0), 0u);
+  EXPECT_EQ(CoefficientLevel(1), 0u);
+  EXPECT_EQ(CoefficientLevel(2), 1u);
+  EXPECT_EQ(CoefficientLevel(3), 1u);
+  EXPECT_EQ(CoefficientLevel(4), 2u);
+  EXPECT_EQ(CoefficientLevel(15), 3u);
+
+  CoeffSupport s = CoefficientSupport(0, u);
+  EXPECT_EQ(s.lo, 0u);
+  EXPECT_EQ(s.hi, u);
+  s = CoefficientSupport(1, u);  // level 0 detail covers everything
+  EXPECT_EQ(s.lo, 0u);
+  EXPECT_EQ(s.hi, u);
+  s = CoefficientSupport(3, u);  // level 1, block 1: [8, 16)
+  EXPECT_EQ(s.lo, 8u);
+  EXPECT_EQ(s.hi, 16u);
+}
+
+TEST(CoefficientTest, PathIndicesMatchNonzeroBasis) {
+  const uint64_t u = 64;
+  for (uint64_t x : {0ull, 13ull, 31ull, 63ull}) {
+    std::vector<uint64_t> path = PathIndices(x, u);
+    EXPECT_EQ(path.size(), Log2Floor(u) + 1);
+    // Exactly the path coefficients see x.
+    std::set<uint64_t> in_path(path.begin(), path.end());
+    for (uint64_t i = 0; i < u; ++i) {
+      double b = BasisValue(i, x, u);
+      EXPECT_EQ(b != 0.0, in_path.count(i) > 0) << "i=" << i << " x=" << x;
+    }
+  }
+}
+
+TEST(CoefficientTest, BasisRangeSumMatchesPointwise) {
+  const uint64_t u = 32;
+  for (uint64_t i : {0ull, 1ull, 3ull, 9ull, 31ull}) {
+    for (uint64_t lo = 0; lo <= u; lo += 5) {
+      for (uint64_t hi = lo; hi <= u; hi += 7) {
+        double direct = 0.0;
+        for (uint64_t x = lo; x < hi; ++x) direct += BasisValue(i, x, u);
+        EXPECT_NEAR(BasisRangeSum(i, lo, hi, u), direct, 1e-9)
+            << "i=" << i << " [" << lo << "," << hi << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wavemr

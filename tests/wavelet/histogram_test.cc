@@ -1,0 +1,119 @@
+#include "wavelet/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/rng.h"
+#include "wavelet/haar.h"
+#include "wavelet/topk.h"
+
+namespace wavemr {
+namespace {
+
+std::vector<double> SkewedSignal(uint64_t u, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(u, 0.0);
+  for (uint64_t i = 0; i < u; ++i) {
+    // A few large spikes over small noise: realistic for wavelet synopses.
+    v[i] = rng.NextDouble();
+  }
+  v[3] = 500;
+  v[u / 2] = 300;
+  v[u - 1] = 200;
+  return v;
+}
+
+std::vector<WCoeff> AllCoeffs(const std::vector<double>& v) {
+  std::vector<double> w = ForwardHaar(v);
+  std::vector<WCoeff> out;
+  for (uint64_t i = 0; i < w.size(); ++i) {
+    if (w[i] != 0.0) out.push_back({i, w[i]});
+  }
+  return out;
+}
+
+TEST(WaveletHistogramTest, FullCoefficientsReconstructExactly) {
+  const uint64_t u = 64;
+  std::vector<double> v = SkewedSignal(u, 3);
+  WaveletHistogram hist(u, AllCoeffs(v));
+  std::vector<double> back = hist.Reconstruct();
+  for (uint64_t i = 0; i < u; ++i) EXPECT_NEAR(back[i], v[i], 1e-8);
+  for (uint64_t i = 0; i < u; ++i) EXPECT_NEAR(hist.PointEstimate(i), v[i], 1e-8);
+}
+
+TEST(WaveletHistogramTest, RangeSumMatchesReconstruction) {
+  const uint64_t u = 128;
+  std::vector<double> v = SkewedSignal(u, 9);
+  WaveletHistogram hist(u, TopKByMagnitude(AllCoeffs(v), 10));
+  std::vector<double> recon = hist.Reconstruct();
+  for (uint64_t lo = 0; lo < u; lo += 17) {
+    for (uint64_t hi = lo; hi <= u; hi += 23) {
+      double direct = std::accumulate(recon.begin() + lo, recon.begin() + hi, 0.0);
+      EXPECT_NEAR(hist.RangeSum(lo, hi), direct, 1e-6);
+    }
+  }
+}
+
+TEST(WaveletHistogramTest, SseMatchesBruteForce) {
+  const uint64_t u = 64;
+  std::vector<double> v = SkewedSignal(u, 21);
+  std::vector<WCoeff> truth = AllCoeffs(v);
+  WaveletHistogram hist(u, TopKByMagnitude(truth, 5));
+  std::vector<double> recon = hist.Reconstruct();
+  double brute = 0.0;
+  for (uint64_t i = 0; i < u; ++i) {
+    double d = recon[i] - v[i];
+    brute += d * d;
+  }
+  EXPECT_NEAR(SseAgainstTrueCoefficients(hist, truth), brute, 1e-6 * (1 + brute));
+}
+
+TEST(WaveletHistogramTest, IdealSseIsLowerBoundOverPerturbedSynopses) {
+  const uint64_t u = 64;
+  std::vector<double> v = SkewedSignal(u, 33);
+  std::vector<WCoeff> truth = AllCoeffs(v);
+  const size_t k = 8;
+  double ideal = IdealSse(truth, k);
+
+  // Exact top-k achieves the ideal SSE.
+  WaveletHistogram best(u, TopKByMagnitude(truth, k));
+  EXPECT_NEAR(SseAgainstTrueCoefficients(best, truth), ideal, 1e-6 * (1 + ideal));
+
+  // Any perturbation of the kept values can only do worse.
+  std::vector<WCoeff> noisy = TopKByMagnitude(truth, k);
+  for (WCoeff& c : noisy) c.value += 1.5;
+  WaveletHistogram worse(u, noisy);
+  EXPECT_GE(SseAgainstTrueCoefficients(worse, truth), ideal);
+}
+
+TEST(WaveletHistogramTest, MoreTermsNeverIncreaseIdealSse) {
+  const uint64_t u = 256;
+  std::vector<double> v = SkewedSignal(u, 41);
+  std::vector<WCoeff> truth = AllCoeffs(v);
+  double prev = IdealSse(truth, 1);
+  for (size_t k = 2; k <= 64; k *= 2) {
+    double cur = IdealSse(truth, k);
+    EXPECT_LE(cur, prev + 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(WaveletHistogramTest, EmptyHistogramSseIsTotalEnergy) {
+  const uint64_t u = 32;
+  std::vector<double> v = SkewedSignal(u, 55);
+  std::vector<WCoeff> truth = AllCoeffs(v);
+  WaveletHistogram empty(u, {});
+  EXPECT_NEAR(SseAgainstTrueCoefficients(empty, truth), TotalEnergy(truth), 1e-6);
+}
+
+TEST(WaveletHistogramTest, EnergyOfSynopsis) {
+  WaveletHistogram hist(8, {{0, 3.0}, {5, -4.0}});
+  EXPECT_NEAR(hist.Energy(), 25.0, 1e-12);
+  EXPECT_EQ(hist.num_terms(), 2u);
+  EXPECT_EQ(hist.domain_size(), 8u);
+}
+
+}  // namespace
+}  // namespace wavemr

@@ -1,0 +1,94 @@
+#include "wavelet/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "core/rng.h"
+#include "wavelet/haar.h"
+
+namespace wavemr {
+namespace {
+
+struct SparseCase {
+  uint64_t u;
+  uint64_t nonzeros;
+  uint64_t seed;
+};
+
+class SparseVsDenseTest : public ::testing::TestWithParam<SparseCase> {};
+
+TEST_P(SparseVsDenseTest, SparseEqualsDense) {
+  const SparseCase& c = GetParam();
+  Rng rng(c.seed);
+  std::unordered_map<uint64_t, double> entries;
+  for (uint64_t i = 0; i < c.nonzeros; ++i) {
+    entries[rng.NextBounded(c.u)] += 1.0 + rng.NextBounded(50);
+  }
+  SparseVector v(entries.begin(), entries.end());
+
+  std::vector<double> dense(c.u, 0.0);
+  for (const auto& [key, val] : entries) dense[key] = val;
+  std::vector<double> expect = ForwardHaar(dense);
+
+  std::vector<WCoeff> got = SparseHaar(v, c.u);
+  std::unordered_map<uint64_t, double> got_map;
+  for (const WCoeff& w : got) got_map[w.index] = w.value;
+
+  for (uint64_t i = 0; i < c.u; ++i) {
+    double g = got_map.count(i) ? got_map[i] : 0.0;
+    ASSERT_NEAR(g, expect[i], 1e-8) << "coefficient " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SparseVsDenseTest,
+    ::testing::Values(SparseCase{4, 1, 1}, SparseCase{8, 3, 2}, SparseCase{64, 10, 3},
+                      SparseCase{256, 50, 4}, SparseCase{1024, 200, 5},
+                      SparseCase{4096, 1, 6}, SparseCase{4096, 4096, 7}));
+
+TEST(SparseHaarTest, OutputSortedAndBounded) {
+  SparseVector v = {{5, 2.0}, {100, 1.0}, {900, 4.0}};
+  std::vector<WCoeff> coeffs = SparseHaar(v, 1024);
+  // At most |v| * (log2 u + 1) nonzero coefficients.
+  EXPECT_LE(coeffs.size(), v.size() * (Log2Floor(1024) + 1));
+  for (size_t i = 1; i < coeffs.size(); ++i) {
+    EXPECT_LT(coeffs[i - 1].index, coeffs[i].index);
+  }
+}
+
+TEST(SparseHaarTest, PointUpdateFanout) {
+  EXPECT_EQ(PointUpdateFanout(1), 1u);
+  EXPECT_EQ(PointUpdateFanout(2), 2u);
+  EXPECT_EQ(PointUpdateFanout(1024), 11u);
+}
+
+TEST(SparseHaarTest, AccumulateIsAdditive) {
+  const uint64_t u = 128;
+  std::unordered_map<uint64_t, double> acc;
+  AccumulatePointUpdate(10, 3.0, u, &acc);
+  AccumulatePointUpdate(10, -3.0, u, &acc);
+  for (const auto& [idx, val] : acc) EXPECT_NEAR(val, 0.0, 1e-12);
+}
+
+TEST(SparseHaarTest, EmptyInputYieldsNothing) {
+  EXPECT_TRUE(SparseHaar({}, 64).empty());
+}
+
+TEST(SparseHaarTest, NegativeWeightsSupported) {
+  // Sampling estimators can produce non-integral, negative-ish corrections;
+  // the transform must be linear over arbitrary weights.
+  SparseVector v = {{3, -2.5}, {7, 0.25}};
+  std::vector<double> dense(16, 0.0);
+  dense[3] = -2.5;
+  dense[7] = 0.25;
+  std::vector<double> expect = ForwardHaar(dense);
+  std::unordered_map<uint64_t, double> got;
+  for (const WCoeff& w : SparseHaar(v, 16)) got[w.index] = w.value;
+  for (uint64_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(got.count(i) ? got[i] : 0.0, expect[i], 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace wavemr

@@ -1,0 +1,57 @@
+#include "wavelet/topk.h"
+
+#include <gtest/gtest.h>
+
+namespace wavemr {
+namespace {
+
+TEST(TopKTest, SelectsLargestMagnitudes) {
+  std::vector<WCoeff> coeffs = {{0, 1.0}, {1, -9.0}, {2, 4.0}, {3, -2.0}, {4, 8.5}};
+  std::vector<WCoeff> top = TopKByMagnitude(coeffs, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].index, 1u);
+  EXPECT_EQ(top[1].index, 4u);
+  EXPECT_EQ(top[2].index, 2u);
+}
+
+TEST(TopKTest, KLargerThanInputReturnsAllSorted) {
+  std::vector<WCoeff> coeffs = {{0, 1.0}, {1, -3.0}};
+  std::vector<WCoeff> top = TopKByMagnitude(coeffs, 10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].index, 1u);
+}
+
+TEST(TopKTest, TiesBrokenByIndex) {
+  std::vector<WCoeff> coeffs = {{5, 2.0}, {1, -2.0}, {3, 2.0}};
+  std::vector<WCoeff> top = TopKByMagnitude(coeffs, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].index, 1u);
+  EXPECT_EQ(top[1].index, 3u);
+}
+
+TEST(TopKTest, ZeroKIsEmpty) {
+  std::vector<WCoeff> coeffs = {{0, 1.0}};
+  EXPECT_TRUE(TopKByMagnitude(coeffs, 0).empty());
+}
+
+TEST(TopBottomKTest, SignedSelection) {
+  std::vector<WCoeff> coeffs = {{0, 5.0}, {1, -7.0}, {2, 3.0}, {3, -1.0}, {4, 6.0}};
+  TopBottomK tb = SelectTopBottomK(coeffs, 2);
+  ASSERT_EQ(tb.top.size(), 2u);
+  EXPECT_EQ(tb.top[0].index, 4u);  // 6.0
+  EXPECT_EQ(tb.top[1].index, 0u);  // 5.0
+  ASSERT_EQ(tb.bottom.size(), 2u);
+  EXPECT_EQ(tb.bottom[0].index, 1u);  // -7.0
+  EXPECT_EQ(tb.bottom[1].index, 3u);  // -1.0
+}
+
+TEST(TopBottomKTest, OverlapWhenFewEntries) {
+  std::vector<WCoeff> coeffs = {{0, 5.0}};
+  TopBottomK tb = SelectTopBottomK(coeffs, 3);
+  EXPECT_EQ(tb.top.size(), 1u);
+  EXPECT_EQ(tb.bottom.size(), 1u);
+  EXPECT_EQ(tb.top[0].index, tb.bottom[0].index);
+}
+
+}  // namespace
+}  // namespace wavemr

@@ -1,0 +1,86 @@
+#include "wavelet/transform2d.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/rng.h"
+
+namespace wavemr {
+namespace {
+
+std::vector<double> RandomMatrix(uint64_t rows, uint64_t cols, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(rows * cols);
+  for (double& x : v) x = (rng.NextDouble() - 0.5) * 20.0;
+  return v;
+}
+
+struct Dims {
+  uint64_t rows, cols;
+};
+
+class Haar2DTest : public ::testing::TestWithParam<Dims> {};
+
+TEST_P(Haar2DTest, RoundTrips) {
+  auto [rows, cols] = GetParam();
+  std::vector<double> v = RandomMatrix(rows, cols, rows * 31 + cols);
+  std::vector<double> back = InverseHaar2D(ForwardHaar2D(v, rows, cols), rows, cols);
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(back[i], v[i], 1e-7);
+}
+
+TEST_P(Haar2DTest, ParsevalHolds) {
+  auto [rows, cols] = GetParam();
+  std::vector<double> v = RandomMatrix(rows, cols, rows * 7 + cols);
+  std::vector<double> w = ForwardHaar2D(v, rows, cols);
+  auto energy = [](const std::vector<double>& a) {
+    return std::inner_product(a.begin(), a.end(), a.begin(), 0.0);
+  };
+  EXPECT_NEAR(energy(v), energy(w), 1e-6 * (1 + energy(v)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, Haar2DTest,
+                         ::testing::Values(Dims{1, 1}, Dims{2, 2}, Dims{4, 8},
+                                           Dims{16, 16}, Dims{32, 8}));
+
+TEST(Haar2DTest, SparseMatchesDense) {
+  const uint64_t rows = 16, cols = 32;
+  Rng rng(5);
+  std::vector<Cell2D> cells;
+  std::vector<double> dense(rows * cols, 0.0);
+  for (int i = 0; i < 20; ++i) {
+    uint64_t x = rng.NextBounded(rows), y = rng.NextBounded(cols);
+    double w = 1.0 + rng.NextBounded(9);
+    cells.push_back({x, y, w});
+    dense[x * cols + y] += w;
+  }
+  std::vector<double> expect = ForwardHaar2D(dense, rows, cols);
+  auto got = SparseHaar2DMap(cells, rows, cols);
+  for (uint64_t a = 0; a < rows; ++a) {
+    for (uint64_t b = 0; b < cols; ++b) {
+      uint64_t id = Coeff2DIndex(a, b, cols);
+      double g = got.count(id) ? got.at(id) : 0.0;
+      ASSERT_NEAR(g, expect[a * cols + b], 1e-8) << "(" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST(Haar2DTest, TransformIsLinear) {
+  // Linearity is what makes H-WTopk work unchanged in 2-D (Section 3).
+  const uint64_t rows = 8, cols = 8;
+  std::vector<double> a = RandomMatrix(rows, cols, 1);
+  std::vector<double> b = RandomMatrix(rows, cols, 2);
+  std::vector<double> sum(rows * cols);
+  for (size_t i = 0; i < sum.size(); ++i) sum[i] = a[i] + b[i];
+  std::vector<double> wa = ForwardHaar2D(a, rows, cols);
+  std::vector<double> wb = ForwardHaar2D(b, rows, cols);
+  std::vector<double> ws = ForwardHaar2D(sum, rows, cols);
+  for (size_t i = 0; i < ws.size(); ++i) EXPECT_NEAR(ws[i], wa[i] + wb[i], 1e-9);
+}
+
+TEST(Haar2DTest, SparseEmptyIsEmpty) {
+  EXPECT_TRUE(SparseHaar2D({}, 8, 8).empty());
+}
+
+}  // namespace
+}  // namespace wavemr

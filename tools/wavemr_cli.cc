@@ -1,0 +1,194 @@
+// wavemr command-line tool: build a wavelet histogram of a binary
+// fixed-length-record key file (or a generated dataset) with any of the
+// paper's algorithms, and optionally evaluate it.
+//
+//   wavemr_cli --input=keys.bin --record-bytes=4 --u=65536 --splits=64 \
+//              --algo=twolevel-s --k=30 --eps=0.01 [--evaluate] [--dump]
+//   wavemr_cli --generate=zipf --n=1000000 --alpha=1.1 --u=65536 ...
+//
+// Exit code 0 on success; errors go to stderr.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "data/file_dataset.h"
+#include "data/frequency.h"
+#include "histogram/builder.h"
+
+namespace wavemr {
+namespace {
+
+struct CliOptions {
+  std::string input;          // binary file of fixed-length records
+  std::string generate;      // "zipf" | "worldcup" (instead of --input)
+  uint64_t n = 1 << 20;      // generated records
+  double alpha = 1.1;
+  uint64_t u = 1 << 16;
+  uint64_t splits = 64;
+  uint32_t record_bytes = 4;
+  std::string algo = "twolevel-s";
+  size_t k = 30;
+  double eps = 0.01;
+  uint64_t seed = 42;
+  bool evaluate = false;  // compute SSE vs ground truth (scans the data)
+  bool dump = false;      // print the retained coefficients
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *out = arg + prefix.size();
+  return true;
+}
+
+StatusOr<AlgorithmKind> ParseAlgo(const std::string& s) {
+  if (s == "send-v") return AlgorithmKind::kSendV;
+  if (s == "send-coef") return AlgorithmKind::kSendCoef;
+  if (s == "h-wtopk") return AlgorithmKind::kHWTopk;
+  if (s == "basic-s") return AlgorithmKind::kBasicS;
+  if (s == "improved-s") return AlgorithmKind::kImprovedS;
+  if (s == "twolevel-s") return AlgorithmKind::kTwoLevelS;
+  if (s == "send-sketch") return AlgorithmKind::kSendSketch;
+  return Status::InvalidArgument(
+      "unknown --algo (expected send-v|send-coef|h-wtopk|basic-s|improved-s|"
+      "twolevel-s|send-sketch): " + s);
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: wavemr_cli (--input=FILE | --generate=zipf|worldcup) [options]\n"
+      "  --record-bytes=N  record size of the input file (>= 4; key first)\n"
+      "  --u=N             key domain size (power of two)\n"
+      "  --splits=N        number of input splits (mappers)\n"
+      "  --n=N --alpha=A   generated dataset size / skew\n"
+      "  --algo=NAME       send-v|send-coef|h-wtopk|basic-s|improved-s|\n"
+      "                    twolevel-s|send-sketch (default twolevel-s)\n"
+      "  --k=N             synopsis size (default 30)\n"
+      "  --eps=E           sampling error parameter (default 0.01)\n"
+      "  --seed=S          RNG seed (default 42)\n"
+      "  --evaluate        also compute SSE vs the exact coefficients\n"
+      "  --dump            print the retained coefficients\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "input", &v)) {
+      opt.input = v;
+    } else if (ParseFlag(argv[i], "generate", &v)) {
+      opt.generate = v;
+    } else if (ParseFlag(argv[i], "n", &v)) {
+      opt.n = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "alpha", &v)) {
+      opt.alpha = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "u", &v)) {
+      opt.u = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "splits", &v)) {
+      opt.splits = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "record-bytes", &v)) {
+      opt.record_bytes = static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "algo", &v)) {
+      opt.algo = v;
+    } else if (ParseFlag(argv[i], "k", &v)) {
+      opt.k = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "eps", &v)) {
+      opt.eps = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "seed", &v)) {
+      opt.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--evaluate") == 0) {
+      opt.evaluate = true;
+    } else if (std::strcmp(argv[i], "--dump") == 0) {
+      opt.dump = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return Usage();
+    }
+  }
+  if (opt.input.empty() == opt.generate.empty()) {
+    std::fprintf(stderr, "exactly one of --input / --generate is required\n");
+    return Usage();
+  }
+
+  // Assemble the dataset.
+  std::unique_ptr<Dataset> dataset;
+  if (!opt.input.empty()) {
+    auto file = FileDataset::Open(opt.input, opt.record_bytes, opt.u, opt.splits);
+    if (!file.ok()) {
+      std::fprintf(stderr, "cannot open dataset: %s\n",
+                   file.status().ToString().c_str());
+      return 1;
+    }
+    dataset = std::make_unique<FileDataset>(std::move(*file));
+  } else if (opt.generate == "zipf") {
+    ZipfDatasetOptions z;
+    z.num_records = opt.n;
+    z.domain_size = opt.u;
+    z.alpha = opt.alpha;
+    z.num_splits = opt.splits;
+    z.record_bytes = opt.record_bytes;
+    z.seed = opt.seed;
+    dataset = std::make_unique<ZipfDataset>(z);
+  } else if (opt.generate == "worldcup") {
+    WorldCupDatasetOptions w;
+    w.num_records = opt.n;
+    w.num_clients = std::max<uint64_t>(opt.u >> 6, 2);
+    w.num_objects = std::min<uint64_t>(opt.u, 64);
+    w.num_splits = opt.splits;
+    w.seed = opt.seed;
+    dataset = std::make_unique<WorldCupDataset>(w);
+  } else {
+    std::fprintf(stderr, "unknown --generate: %s\n", opt.generate.c_str());
+    return Usage();
+  }
+
+  auto kind = ParseAlgo(opt.algo);
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    return Usage();
+  }
+
+  BuildOptions build;
+  build.k = opt.k;
+  build.epsilon = opt.eps;
+  build.seed = opt.seed;
+  auto result = BuildWaveletHistogram(*dataset, *kind, build);
+  if (!result.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("algorithm   : %s\n", AlgorithmName(*kind));
+  std::printf("dataset     : n=%llu u=%llu m=%llu\n",
+              static_cast<unsigned long long>(dataset->info().num_records),
+              static_cast<unsigned long long>(dataset->info().domain_size),
+              static_cast<unsigned long long>(dataset->info().num_splits));
+  std::printf("synopsis    : %zu terms\n", result->histogram.num_terms());
+  std::printf("rounds      : %zu\n", result->stats.NumRounds());
+  std::printf("comm bytes  : %llu\n",
+              static_cast<unsigned long long>(result->stats.TotalCommBytes()));
+  std::printf("sim seconds : %.2f\n", result->stats.TotalSeconds());
+
+  if (opt.evaluate) {
+    std::vector<WCoeff> truth = TrueCoefficients(*dataset);
+    std::printf("SSE         : %.6e\n",
+                SseAgainstTrueCoefficients(result->histogram, truth));
+    std::printf("ideal SSE   : %.6e\n", IdealSse(truth, opt.k));
+  }
+  if (opt.dump) {
+    std::printf("coefficients (index value):\n");
+    for (const WCoeff& c : result->histogram.coefficients()) {
+      std::printf("  %llu %.10g\n", static_cast<unsigned long long>(c.index),
+                  c.value);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace wavemr
+
+int main(int argc, char** argv) { return wavemr::Main(argc, argv); }
