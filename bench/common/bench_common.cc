@@ -1,8 +1,11 @@
 #include "common/bench_common.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 
 namespace wavemr {
 namespace bench {
@@ -15,6 +18,11 @@ BenchDefaults BenchDefaults::FromEnv() {
     d.u <<= 2;
     d.m <<= 2;
     d.epsilon /= 2.0;  // keep sample fraction 1/(eps^2 n) constant
+  }
+  const char* threads = std::getenv("WAVEMR_THREADS");
+  if (threads != nullptr && *threads != '\0') {
+    int t = std::atoi(threads);
+    if (t >= 0) d.threads = t;
   }
   return d;
 }
@@ -38,21 +46,151 @@ BuildOptions BenchDefaults::Build() const {
   opt.cost_model.bandwidth_fraction = bandwidth;
   opt.cost_model.time_scale = paper_n / static_cast<double>(n);
   opt.gcs.total_bytes = gcs_bytes_per_log_u * Log2Floor(u);
+  opt.threads = threads;
   return opt;
 }
 
 Measurement Run(const Dataset& ds, AlgorithmKind kind, const BuildOptions& opt,
                 const std::vector<WCoeff>* truth) {
+  const auto start = std::chrono::steady_clock::now();
   auto result = BuildWaveletHistogram(ds, kind, opt);
+  const auto end = std::chrono::steady_clock::now();
   WAVEMR_CHECK(result.ok()) << AlgorithmName(kind) << ": "
                             << result.status().ToString();
   Measurement m;
   m.comm_bytes = result->stats.TotalCommBytes();
   m.seconds = result->stats.TotalSeconds();
+  m.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  m.map_wall_ms = result->stats.TotalMapWallMs();
+  uint64_t shuffle = 0;
+  for (const RoundStats& r : result->stats.rounds) shuffle += r.shuffle_bytes;
+  m.shuffle_bytes = shuffle;
   if (truth != nullptr) {
     m.sse = SseAgainstTrueCoefficients(result->histogram, *truth);
   }
   return m;
+}
+
+// ------------------------------------------------------------ JSON reporting
+
+BenchJsonReporter::BenchJsonReporter(std::string name) : name_(std::move(name)) {}
+
+void BenchJsonReporter::Add(BenchRecord record) {
+  records_.push_back(std::move(record));
+}
+
+void BenchJsonReporter::Add(const std::string& algorithm, const BenchDefaults& d,
+                            int threads, const Measurement& m) {
+  BenchRecord r;
+  r.algorithm = algorithm;
+  r.n = d.n;
+  r.u = d.u;
+  r.m = d.m;
+  r.k = d.k;
+  r.threads = threads;
+  r.wall_ms = m.wall_ms;
+  r.map_wall_ms = m.map_wall_ms;
+  r.simulated_s = m.seconds;
+  r.shuffle_bytes = m.shuffle_bytes;
+  records_.push_back(std::move(r));
+}
+
+bool BenchJsonReporter::WriteFile() const {
+  return WriteFileTo("BENCH_" + name_ + ".json");
+}
+
+bool BenchJsonReporter::WriteFileTo(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "[\n";
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const BenchRecord& r = records_[i];
+    out << "  {\"algorithm\": \"" << r.algorithm << "\""
+        << ", \"n\": " << r.n << ", \"u\": " << r.u << ", \"m\": " << r.m
+        << ", \"k\": " << r.k << ", \"threads\": " << r.threads
+        << ", \"wall_ms\": " << r.wall_ms
+        << ", \"map_wall_ms\": " << r.map_wall_ms
+        << ", \"simulated_s\": " << r.simulated_s
+        << ", \"shuffle_bytes\": " << r.shuffle_bytes << "}"
+        << (i + 1 < records_.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+// Minimal parser for the flat records BenchJsonReporter writes: an array of
+// one-level objects with string or numeric values. Good enough for reading
+// back our own files and hand-maintained baselines; not a general JSON
+// parser.
+void ApplyField(BenchRecord* r, const std::string& key, const std::string& value,
+                bool is_string) {
+  if (is_string) {
+    if (key == "algorithm") r->algorithm = value;
+    return;
+  }
+  char* end = nullptr;
+  double num = std::strtod(value.c_str(), &end);
+  if (end == value.c_str()) return;
+  if (key == "n") r->n = static_cast<uint64_t>(num);
+  else if (key == "u") r->u = static_cast<uint64_t>(num);
+  else if (key == "m") r->m = static_cast<uint64_t>(num);
+  else if (key == "k") r->k = static_cast<size_t>(num);
+  else if (key == "threads") r->threads = static_cast<int>(num);
+  else if (key == "wall_ms") r->wall_ms = num;
+  else if (key == "map_wall_ms") r->map_wall_ms = num;
+  else if (key == "simulated_s") r->simulated_s = num;
+  else if (key == "shuffle_bytes") r->shuffle_bytes = static_cast<uint64_t>(num);
+}
+
+}  // namespace
+
+bool ReadBenchJson(const std::string& path, std::vector<BenchRecord>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  out->clear();
+  size_t pos = 0;
+  while ((pos = text.find('{', pos)) != std::string::npos) {
+    size_t close = text.find('}', pos);
+    if (close == std::string::npos) break;
+    std::string object = text.substr(pos + 1, close - pos - 1);
+    BenchRecord record;
+    size_t field = 0;
+    while ((field = object.find('"', field)) != std::string::npos) {
+      size_t key_end = object.find('"', field + 1);
+      if (key_end == std::string::npos) break;
+      std::string key = object.substr(field + 1, key_end - field - 1);
+      size_t colon = object.find(':', key_end);
+      if (colon == std::string::npos) break;
+      size_t value_start = object.find_first_not_of(" \t\n", colon + 1);
+      if (value_start == std::string::npos) break;
+      if (object[value_start] == '"') {
+        size_t value_end = object.find('"', value_start + 1);
+        if (value_end == std::string::npos) break;
+        ApplyField(&record, key,
+                   object.substr(value_start + 1, value_end - value_start - 1),
+                   /*is_string=*/true);
+        field = value_end + 1;
+      } else {
+        size_t value_end = object.find_first_of(",}", value_start);
+        if (value_end == std::string::npos) value_end = object.size();
+        ApplyField(&record, key, object.substr(value_start, value_end - value_start),
+                   /*is_string=*/false);
+        field = value_end;
+      }
+    }
+    out->push_back(std::move(record));
+    pos = close + 1;
+  }
+  return true;
 }
 
 Table::Table(std::string title, std::vector<std::string> columns)

@@ -30,6 +30,10 @@ struct BenchDefaults {
   double bandwidth = 0.5;
   uint64_t seed = 42;
   uint32_t record_bytes = 4;
+  /// Map-task worker threads (BuildOptions::threads): 1 = serial, 0 = all
+  /// hardware threads. Overridden by WAVEMR_THREADS; results are identical
+  /// for any value, only wall-clock moves.
+  int threads = 1;
   /// Scaled analogue of the paper's 20KB*log2(u) GCS budget (the constant
   /// shrinks with the dataset so the sketch remains smaller than the data;
   /// see EXPERIMENTS.md on what does and does not scale).
@@ -45,16 +49,65 @@ struct BenchDefaults {
   BuildOptions Build() const;
 };
 
-/// One algorithm execution, reduced to the three quantities the paper plots.
+/// One algorithm execution, reduced to the three quantities the paper plots
+/// plus the real wall-clock the perf CI tracks.
 struct Measurement {
   uint64_t comm_bytes = 0;
-  double seconds = 0.0;
+  double seconds = 0.0;      // simulated, paper-scale
   double sse = 0.0;
+  double wall_ms = 0.0;      // real wall-clock of the whole build
+  double map_wall_ms = 0.0;  // real wall-clock of the map phases only
+  uint64_t shuffle_bytes = 0;
 };
 
 /// Runs `kind` over `ds`; computes SSE against `truth` when provided.
 Measurement Run(const Dataset& ds, AlgorithmKind kind, const BuildOptions& opt,
                 const std::vector<WCoeff>* truth);
+
+/// One row of a BENCH_<name>.json perf report.
+struct BenchRecord {
+  std::string algorithm;
+  uint64_t n = 0;
+  uint64_t u = 0;
+  uint64_t m = 0;
+  size_t k = 0;
+  int threads = 1;
+  double wall_ms = 0.0;
+  double map_wall_ms = 0.0;
+  double simulated_s = 0.0;
+  uint64_t shuffle_bytes = 0;
+};
+
+/// Collects BenchRecords and writes them as a JSON array to
+/// BENCH_<name>.json (or an explicit path), the schema CI artifacts and the
+/// perf-smoke baseline use. Records carry real wall-clock, so files are
+/// machine-specific; they are build outputs, not checked-in data.
+class BenchJsonReporter {
+ public:
+  /// Report written to "BENCH_<name>.json" in the working directory.
+  explicit BenchJsonReporter(std::string name);
+
+  void Add(BenchRecord record);
+
+  /// Convenience: fold a Measurement + its setup into a record.
+  void Add(const std::string& algorithm, const BenchDefaults& d, int threads,
+           const Measurement& m);
+
+  const std::vector<BenchRecord>& records() const { return records_; }
+
+  /// Writes the JSON file; returns false (and prints to stderr) on IO error.
+  bool WriteFile() const;
+  /// As WriteFile, but to an explicit path instead of BENCH_<name>.json.
+  bool WriteFileTo(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::vector<BenchRecord> records_;
+};
+
+/// Parses a BENCH_*.json file written by BenchJsonReporter (or hand-written
+/// as a baseline). Unknown fields are ignored; missing numbers default to 0.
+bool ReadBenchJson(const std::string& path, std::vector<BenchRecord>* out);
 
 /// Aligned fixed-width table printer (one per sub-figure).
 class Table {

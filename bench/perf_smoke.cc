@@ -1,0 +1,180 @@
+// Perf-smoke driver for CI: runs one representative algorithm from each
+// layer (Send-V, H-WTopk, TwoLevel-S, Send-Sketch) at 1 thread and at N
+// threads over the WAVEMR_SCALE default workload, writes every run as a
+// BENCH_<name>.json record, and enforces two gates:
+//
+//   * determinism: simulated seconds and shuffle bytes must be identical at
+//     1 and N threads (they are functions of the data, not the schedule);
+//   * performance: with --baseline=FILE, the N-thread wall-clock per
+//     algorithm must not exceed the baseline's by more than --tolerance
+//     (default 25%); with --min-speedup=F, the map-phase speedup of N
+//     threads over 1 must reach F.
+//
+// Exit code 0 = all gates passed, 1 = a gate failed, 2 = bad usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/bench_common.h"
+#include "core/thread_pool.h"
+
+namespace wavemr {
+namespace bench {
+namespace {
+
+struct SmokeOptions {
+  int threads = 0;  // N for the parallel runs; 0 = hardware concurrency
+  std::string name = "ci";
+  std::string out;  // explicit output path; empty = BENCH_<name>.json
+  std::string baseline;
+  double tolerance = 0.25;
+  double min_speedup = 0.0;  // 0 = report only
+};
+
+bool ParseFlag(const char* arg, const char* flag, std::string* out) {
+  std::string prefix = std::string("--") + flag + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *out = arg + prefix.size();
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_perf_smoke [--threads=N] [--name=ci] [--out=PATH]\n"
+               "         [--baseline=FILE] [--tolerance=0.25] [--min-speedup=F]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  SmokeOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "threads", &v)) {
+      opt.threads = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "name", &v)) {
+      opt.name = v;
+    } else if (ParseFlag(argv[i], "out", &v)) {
+      opt.out = v;
+    } else if (ParseFlag(argv[i], "baseline", &v)) {
+      opt.baseline = v;
+    } else if (ParseFlag(argv[i], "tolerance", &v)) {
+      opt.tolerance = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "min-speedup", &v)) {
+      opt.min_speedup = std::atof(v.c_str());
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return Usage();
+    }
+  }
+  const int n_threads =
+      opt.threads <= 0 ? ThreadPool::DefaultThreadCount() : opt.threads;
+
+  BenchDefaults d = BenchDefaults::FromEnv();
+  ZipfDataset ds(d.ZipfOptions());
+
+  const std::vector<AlgorithmKind> kinds = {
+      AlgorithmKind::kSendV, AlgorithmKind::kHWTopk, AlgorithmKind::kTwoLevelS,
+      AlgorithmKind::kSendSketch};
+
+  std::printf("perf-smoke: n=%llu u=%llu m=%llu  threads: 1 vs %d\n",
+              static_cast<unsigned long long>(d.n),
+              static_cast<unsigned long long>(d.u),
+              static_cast<unsigned long long>(d.m), n_threads);
+
+  BenchJsonReporter reporter(opt.name);
+  Table table("perf-smoke (wall-clock, real ms)",
+              {"algorithm", "wall@1", "wall@N", "map@1", "map@N", "map speedup"});
+  bool failed = false;
+
+  std::vector<Measurement> parallel_runs;  // one per kind, at n_threads
+  for (AlgorithmKind kind : kinds) {
+    BuildOptions serial_opt = d.Build();
+    serial_opt.threads = 1;
+    Measurement serial = Run(ds, kind, serial_opt, nullptr);
+    reporter.Add(AlgorithmName(kind), d, 1, serial);
+
+    BuildOptions parallel_opt = d.Build();
+    parallel_opt.threads = n_threads;
+    Measurement parallel = Run(ds, kind, parallel_opt, nullptr);
+    reporter.Add(AlgorithmName(kind), d, n_threads, parallel);
+    parallel_runs.push_back(parallel);
+
+    // Determinism gate: schedule-independent quantities must match exactly.
+    if (serial.shuffle_bytes != parallel.shuffle_bytes ||
+        serial.seconds != parallel.seconds) {
+      std::fprintf(stderr,
+                   "FAIL %s: 1-thread vs %d-thread runs diverge "
+                   "(shuffle %llu vs %llu bytes, simulated %.6f vs %.6f s)\n",
+                   AlgorithmName(kind), n_threads,
+                   static_cast<unsigned long long>(serial.shuffle_bytes),
+                   static_cast<unsigned long long>(parallel.shuffle_bytes),
+                   serial.seconds, parallel.seconds);
+      failed = true;
+    }
+
+    double speedup =
+        parallel.map_wall_ms > 0 ? serial.map_wall_ms / parallel.map_wall_ms : 0.0;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fx", speedup);
+    table.AddRow({AlgorithmName(kind), FmtSeconds(serial.wall_ms),
+                  FmtSeconds(parallel.wall_ms), FmtSeconds(serial.map_wall_ms),
+                  FmtSeconds(parallel.map_wall_ms), buf});
+    // A map phase of a few ms (TwoLevel-S samples ~1% of the data) measures
+    // scheduler noise, not scalability; gate only phases big enough to time.
+    constexpr double kSpeedupGateFloorMs = 100.0;
+    if (opt.min_speedup > 0.0 && serial.map_wall_ms >= kSpeedupGateFloorMs &&
+        speedup < opt.min_speedup) {
+      std::fprintf(stderr, "FAIL %s: map speedup %.2fx below required %.2fx\n",
+                   AlgorithmName(kind), speedup, opt.min_speedup);
+      failed = true;
+    }
+  }
+  table.Print();
+
+  if (!opt.baseline.empty()) {
+    std::vector<BenchRecord> baseline;
+    if (!ReadBenchJson(opt.baseline, &baseline) || baseline.empty()) {
+      std::fprintf(stderr, "cannot read baseline %s (missing or no records)\n",
+                   opt.baseline.c_str());
+      return 2;
+    }
+    for (size_t i = 0; i < kinds.size(); ++i) {
+      const char* algo = AlgorithmName(kinds[i]);
+      for (const BenchRecord& b : baseline) {
+        if (b.algorithm != algo || b.wall_ms <= 0.0) continue;
+        // A refreshed baseline (a BENCH_ci.json artifact) carries both the
+        // serial and the N-thread record; the serial one is not the gate.
+        if (b.threads == 1) continue;
+        double limit = b.wall_ms * (1.0 + opt.tolerance);
+        if (parallel_runs[i].wall_ms > limit) {
+          std::fprintf(stderr,
+                       "FAIL %s: wall %.1f ms exceeds baseline %.1f ms "
+                       "(+%.0f%% tolerance => %.1f ms)\n",
+                       algo, parallel_runs[i].wall_ms, b.wall_ms,
+                       opt.tolerance * 100.0, limit);
+          failed = true;
+        } else {
+          std::printf("ok   %s: wall %.1f ms within baseline %.1f ms (+%.0f%%)\n",
+                      algo, parallel_runs[i].wall_ms, b.wall_ms,
+                      opt.tolerance * 100.0);
+        }
+      }
+    }
+  }
+
+  bool wrote = opt.out.empty() ? reporter.WriteFile() : reporter.WriteFileTo(opt.out);
+  if (!wrote) return 1;
+  std::printf("wrote %s (%zu records)\n",
+              opt.out.empty() ? ("BENCH_" + opt.name + ".json").c_str()
+                              : opt.out.c_str(),
+              reporter.records().size());
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavemr
+
+int main(int argc, char** argv) { return wavemr::bench::Main(argc, argv); }

@@ -172,6 +172,7 @@ StatusOr<BuildResult> BasicSampling::Build(const Dataset& dataset,
   MrEnv env;
   env.cluster = options.cluster;
   env.cost_model = options.cost_model;
+  env.threads = options.threads;
   const double p = LevelOneProbability(options.epsilon, dataset.info().num_records);
 
   BasicReducer reducer(dataset.info().domain_size, options.k, p);
@@ -195,6 +196,7 @@ StatusOr<BuildResult> ImprovedSampling::Build(const Dataset& dataset,
   MrEnv env;
   env.cluster = options.cluster;
   env.cost_model = options.cost_model;
+  env.threads = options.threads;
   const double p = LevelOneProbability(options.epsilon, dataset.info().num_records);
 
   // Improved-S reuses Basic-S's reducer: sum received counts, scale by 1/p.
@@ -220,6 +222,7 @@ StatusOr<BuildResult> TwoLevelSampling::Build(const Dataset& dataset,
   MrEnv env;
   env.cluster = options.cluster;
   env.cost_model = options.cost_model;
+  env.threads = options.threads;
   const uint64_t m = dataset.info().num_splits;
   const double p = LevelOneProbability(options.epsilon, dataset.info().num_records);
 

@@ -72,6 +72,7 @@ StatusOr<BuildResult> SendSketch::Build(const Dataset& dataset,
   MrEnv env;
   env.cluster = options.cluster;
   env.cost_model = options.cost_model;
+  env.threads = options.threads;
 
   const uint64_t u = dataset.info().domain_size;
   // All mappers and the reducer must draw identical hash functions; derive

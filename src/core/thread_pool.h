@@ -1,0 +1,66 @@
+#ifndef WAVEMR_CORE_THREAD_POOL_H_
+#define WAVEMR_CORE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace wavemr {
+
+/// Fixed-size worker pool. Tasks are plain callables; Submit returns a
+/// std::future that carries the task's result or its exception, so callers
+/// can both wait for and order completions deterministically (the job engine
+/// absorbs map-task results in split-index order regardless of which worker
+/// finished first).
+///
+/// The pool is deliberately minimal: no work stealing, no priorities, no
+/// resizing. Map tasks in this codebase are coarse (a whole input split), so
+/// a mutex-guarded deque is nowhere near the bottleneck.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means DefaultThreadCount().
+  explicit ThreadPool(int num_threads = 0);
+
+  /// Drains nothing: outstanding tasks are completed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency, clamped to >= 1.
+  static int DefaultThreadCount();
+
+  /// Schedules `fn` and returns a future for its result. Exceptions thrown
+  /// by `fn` are captured and rethrown from future::get().
+  template <typename F>
+  auto Submit(F fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return result;
+  }
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;  // guarded by mu_
+  bool stop_ = false;                        // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_CORE_THREAD_POOL_H_

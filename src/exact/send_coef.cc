@@ -82,6 +82,7 @@ StatusOr<BuildResult> SendCoef::Build(const Dataset& dataset,
   MrEnv env;
   env.cluster = options.cluster;
   env.cost_model = options.cost_model;
+  env.threads = options.threads;
 
   SendCoefReducer reducer(options.k);
 

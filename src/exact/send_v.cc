@@ -76,6 +76,7 @@ StatusOr<BuildResult> SendV::Build(const Dataset& dataset, const BuildOptions& o
   MrEnv env;
   env.cluster = options.cluster;
   env.cost_model = options.cost_model;
+  env.threads = options.threads;
 
   SendVReducer reducer(options);
   reducer.set_domain(dataset.info().domain_size);

@@ -28,6 +28,11 @@ struct BuildOptions {
   /// Randomness for samplers and sketches; fixed seed => reproducible runs.
   uint64_t seed = 123;
 
+  /// Worker threads for map-task execution: 1 = serial (default), 0 = one
+  /// per hardware thread, N > 1 = a pool of N. Results are bit-identical for
+  /// every value; only wall-clock changes (see mapreduce/job.h RunRound).
+  int threads = 1;
+
   /// GCS configuration for Send-Sketch (total_bytes 0 = paper's rule).
   WaveletGcsOptions gcs;
 

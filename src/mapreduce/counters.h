@@ -3,24 +3,58 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace wavemr {
 
 /// Hadoop-style named counters, aggregated across tasks and rounds.
+///
+/// Thread-safe: concurrent map tasks increment shared counters (the engine
+/// also gives each task a private Counters that it merges in split order,
+/// but algorithm code is free to hit the shared instance directly). Counter
+/// values are sums, so accumulation order never affects the result.
 class Counters {
  public:
-  void Add(const std::string& name, uint64_t delta) { values_[name] += delta; }
+  Counters() = default;
+  Counters(const Counters& other) : values_(other.Snapshot()) {}
+  Counters(Counters&& other) noexcept : values_(other.Snapshot()) {}
+  Counters& operator=(const Counters& other) {
+    if (this != &other) {
+      auto snapshot = other.Snapshot();
+      std::lock_guard<std::mutex> lock(mu_);
+      values_ = std::move(snapshot);
+    }
+    return *this;
+  }
+  Counters& operator=(Counters&& other) noexcept { return *this = other; }
+
+  void Add(const std::string& name, uint64_t delta) {
+    std::lock_guard<std::mutex> lock(mu_);
+    values_[name] += delta;
+  }
   uint64_t Get(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = values_.find(name);
     return it == values_.end() ? 0 : it->second;
   }
-  const std::map<std::string, uint64_t>& values() const { return values_; }
+  /// Consistent copy of all counters (the live map cannot be handed out by
+  /// reference without racing concurrent Add calls).
+  std::map<std::string, uint64_t> values() const { return Snapshot(); }
+
   void MergeFrom(const Counters& other) {
-    for (const auto& [k, v] : other.values_) values_[k] += v;
+    auto snapshot = other.Snapshot();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [k, v] : snapshot) values_[k] += v;
   }
 
  private:
+  std::map<std::string, uint64_t> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return values_;
+  }
+
+  mutable std::mutex mu_;
   std::map<std::string, uint64_t> values_;
 };
 

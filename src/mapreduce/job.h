@@ -2,7 +2,9 @@
 #define WAVEMR_MAPREDUCE_JOB_H_
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
+#include <future>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -11,6 +13,7 @@
 
 #include "core/logging.h"
 #include "core/status.h"
+#include "core/thread_pool.h"
 #include "data/dataset.h"
 #include "mapreduce/cluster.h"
 #include "mapreduce/cost_model.h"
@@ -35,24 +38,45 @@ struct MrEnv {
   DistributedCache cache;
   StateStore state;
   JobStats stats;
+
+  /// Map tasks per round to execute concurrently: 1 = serial (the default),
+  /// 0 = ThreadPool::DefaultThreadCount(), N > 1 = a pool of N workers. Any
+  /// value produces bit-identical results; only wall-clock changes.
+  int threads = 1;
+
+  /// Lazily created worker pool, reused across rounds (H-WTopk runs three
+  /// rounds on one MrEnv; respawning threads per round would dominate small
+  /// jobs).
+  ThreadPool* EnsurePool(int num_threads) {
+    if (pool_ == nullptr || pool_->num_threads() != num_threads) {
+      pool_ = std::make_unique<ThreadPool>(num_threads);
+    }
+    return pool_.get();
+  }
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 /// Context handed to a Mapper: its input split, the broadcast channels,
 /// persistent state, counters, and the Emit sink. All interactions are cost
-/// accounted.
+/// accounted. One MapContext is confined to its map task's thread; `sink`
+/// is the task-private Counters the engine merges in split order.
 template <typename K2, typename V2>
 class MapContext {
  public:
   using EmitFn = std::function<void(const K2&, const V2&)>;
 
-  MapContext(SplitAccess* input, MrEnv* env, TaskCost* cost, EmitFn emit)
-      : input_(input), env_(env), cost_(cost), emit_(std::move(emit)) {}
+  MapContext(SplitAccess* input, MrEnv* env, TaskCost* cost, Counters* sink,
+             EmitFn emit)
+      : input_(input), env_(env), cost_(cost), counters_(sink),
+        emit_(std::move(emit)) {}
 
   /// Emits an intermediate pair (charged per pair; wire bytes are accounted
   /// after the optional combine stage).
   void Emit(const K2& key, const V2& value) {
     cost_->cpu_ns += env_->cost_model.emit_cpu_ns_per_pair;
-    env_->stats.counters.Add("map_output_pairs", 1);
+    counters_->Add("map_output_pairs", 1);
     emit_(key, value);
   }
 
@@ -63,7 +87,7 @@ class MapContext {
   uint64_t split_id() const { return input_->split_id(); }
   const JobConfig& config() const { return env_->config; }
   const DistributedCache& cache() const { return env_->cache; }
-  Counters& counters() { return env_->stats.counters; }
+  Counters& counters() { return *counters_; }
   const CostModel& cost_model() const { return env_->cost_model; }
 
   /// Persistent state for this split across rounds (the paper's per-split
@@ -87,11 +111,14 @@ class MapContext {
   SplitAccess* input_;
   MrEnv* env_;
   TaskCost* cost_;
+  Counters* counters_;
   EmitFn emit_;
 };
 
 /// A map task. One instance is created per split per round; Run() owns the
 /// whole task lifecycle (the paper's Map-per-record plus Close pattern).
+/// Instances run concurrently under --threads > 1, so a Mapper must not
+/// mutate state shared across splits (the MapContext channels are safe).
 template <typename K2, typename V2>
 class Mapper {
  public:
@@ -136,9 +163,8 @@ class ReduceContext {
 /// The single reduce task, in streaming form: Start, one Absorb per
 /// intermediate pair, Finish. With JobPlan::sorted_shuffle the engine
 /// delivers pairs grouped and sorted by key (Hadoop's semantics); otherwise
-/// pairs stream in mapper completion order, which every aggregation in this
-/// library is insensitive to -- and which keeps the shuffle from
-/// materializing in memory.
+/// pairs stream in split-index order. The reducer always runs on the driver
+/// thread, so it needs no synchronization of its own.
 template <typename K2, typename V2>
 class Reducer {
  public:
@@ -153,7 +179,8 @@ template <typename K2, typename V2>
 struct JobPlan {
   std::string name = "round";
 
-  /// Creates the map task for a split. Required.
+  /// Creates the map task for a split. Required. Called on the driver
+  /// thread; the returned Mapper runs on a worker thread.
   std::function<std::unique_ptr<Mapper<K2, V2>>(uint64_t split)> mapper_factory;
 
   /// The single reducer (the paper's coordinator). Owned by the caller so
@@ -174,18 +201,43 @@ struct JobPlan {
   bool sorted_shuffle = false;
 };
 
+namespace internal {
+
+/// Everything one map task produces, buffered on its worker thread and
+/// merged by the driver in split-index order. Buffering per task (instead of
+/// absorbing into the reducer from the mapper thread) is what makes the
+/// round's outcome independent of task completion order.
+template <typename K2, typename V2>
+struct MapTaskOutput {
+  TaskCost cost;
+  Counters counters;                      // task-private counter increments
+  std::vector<std::pair<K2, V2>> pairs;   // post-combine, in emit order
+  uint64_t combine_output_pairs = 0;
+  bool combined = false;
+};
+
+}  // namespace internal
+
 /// Executes one round over all splits of `dataset` and appends a RoundStats
 /// to env->stats. Mapper/reducer code runs for real; seconds are simulated
 /// per the CostModel.
+///
+/// Parallel execution: with env->threads != 1 map tasks run on a ThreadPool
+/// (env->threads == 0 means hardware concurrency). Each task emits into a
+/// private buffer; the driver absorbs buffers into the reducer in
+/// split-index order, so shuffle accounting, counters, and reducer results
+/// are bit-identical for every thread count.
 template <typename K2, typename V2>
 RoundStats RunRound(const JobPlan<K2, V2>& plan, const Dataset& dataset, MrEnv* env) {
   WAVEMR_CHECK(plan.mapper_factory != nullptr);
   WAVEMR_CHECK(plan.reducer != nullptr);
 
+  const uint64_t num_splits = dataset.info().num_splits;
+
   RoundStats round;
   round.name = plan.name;
   round.overhead_s = env->cost_model.job_overhead_s;
-  round.map_tasks = dataset.info().num_splits;
+  round.map_tasks = num_splits;
 
   // Master -> slaves broadcast. Only *data-dependent* broadcast counts as
   // communication: distributed-cache blobs, replicated to every slave, are
@@ -218,35 +270,97 @@ RoundStats RunRound(const JobPlan<K2, V2>& plan, const Dataset& dataset, MrEnv* 
 
   if (!plan.sorted_shuffle) plan.reducer->Start(reduce_ctx);
 
-  std::vector<double> task_seconds;
-  task_seconds.reserve(dataset.info().num_splits);
-  for (uint64_t split = 0; split < dataset.info().num_splits; ++split) {
-    TaskCost cost;
-    SplitAccess access(dataset, split, env->cost_model, &cost);
+  using TaskOutput = internal::MapTaskOutput<K2, V2>;
 
+  // Runs one map task end to end; called on a worker thread (or inline when
+  // serial). Touches only the task's own output, the immutable dataset, and
+  // the thread-safe MrEnv channels (config/cache/state).
+  auto run_map_task = [&plan, &dataset, env](uint64_t split) {
+    TaskOutput out;
+    SplitAccess access(dataset, split, env->cost_model, &out.cost);
     std::unique_ptr<Mapper<K2, V2>> mapper = plan.mapper_factory(split);
     if (plan.combiner) {
       // Combine inside the task: aggregate emissions by key, flush at Close.
       std::unordered_map<K2, V2> buffer;
-      MapContext<K2, V2> ctx(&access, env, &cost,
+      MapContext<K2, V2> ctx(&access, env, &out.cost, &out.counters,
                              [&buffer, &plan](const K2& k, const V2& v) {
                                auto [it, inserted] = buffer.emplace(k, v);
                                if (!inserted) it->second = plan.combiner(it->second, v);
                              });
       mapper->Run(ctx);
-      env->stats.counters.Add("combine_output_pairs", buffer.size());
-      for (const auto& [k, v] : buffer) deliver(k, v);
+      out.combined = true;
+      out.combine_output_pairs = buffer.size();
+      out.pairs.reserve(buffer.size());
+      for (const auto& [k, v] : buffer) out.pairs.emplace_back(k, v);
     } else {
-      MapContext<K2, V2> ctx(&access, env, &cost, deliver);
+      MapContext<K2, V2> ctx(&access, env, &out.cost, &out.counters,
+                             [&out](const K2& k, const V2& v) {
+                               out.pairs.emplace_back(k, v);
+                             });
       mapper->Run(ctx);
     }
+    return out;
+  };
+
+  const int requested = env->threads;
+  const int pool_threads = requested == 0 ? ThreadPool::DefaultThreadCount() : requested;
+  const bool parallel = pool_threads > 1 && num_splits > 1;
+  round.threads_used = parallel ? pool_threads : 1;
+  // Recorded like Hadoop's mapreduce.job.* keys so tasks and post-run
+  // inspection can see the round's parallelism. Written before any task
+  // launches; the config is immutable while mappers run.
+  env->config.SetUint("wavemr.threads", static_cast<uint64_t>(round.threads_used));
+
+  const auto map_start = std::chrono::steady_clock::now();
+
+  std::vector<std::future<TaskOutput>> pending;
+  if (parallel) {
+    ThreadPool* pool = env->EnsurePool(pool_threads);
+    pending.reserve(num_splits);
+    for (uint64_t split = 0; split < num_splits; ++split) {
+      pending.push_back(pool->Submit([&run_map_task, split] {
+        return run_map_task(split);
+      }));
+    }
+  }
+
+  // Deterministic merge: absorb each task's buffered output in split-index
+  // order (mapper exceptions resurface here, also in split order).
+  std::vector<double> task_seconds;
+  task_seconds.reserve(num_splits);
+  for (uint64_t split = 0; split < num_splits; ++split) {
+    TaskOutput out;
+    if (parallel) {
+      try {
+        out = pending[split].get();
+      } catch (...) {
+        // Queued/running tasks reference this frame's run_map_task; they
+        // must all finish before the frame unwinds.
+        for (uint64_t rest = split + 1; rest < num_splits; ++rest) {
+          pending[rest].wait();
+        }
+        throw;
+      }
+    } else {
+      out = run_map_task(split);
+    }
+    env->stats.counters.MergeFrom(out.counters);
+    if (out.combined) {
+      env->stats.counters.Add("combine_output_pairs", out.combine_output_pairs);
+    }
+    for (const auto& [k, v] : out.pairs) deliver(k, v);
 
     task_seconds.push_back(env->cost_model.task_overhead_s +
                            env->cost_model.time_scale *
-                               (env->cost_model.DiskSeconds(cost.disk_bytes) +
-                                cost.cpu_ns * 1e-9));
-    env->stats.counters.Add("map_records_read", cost.records_read);
+                               (env->cost_model.DiskSeconds(out.cost.disk_bytes) +
+                                out.cost.cpu_ns * 1e-9));
+    env->stats.counters.Add("map_records_read", out.cost.records_read);
   }
+
+  round.map_wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                map_start)
+          .count();
 
   if (plan.sorted_shuffle) {
     std::stable_sort(
@@ -267,7 +381,7 @@ RoundStats RunRound(const JobPlan<K2, V2>& plan, const Dataset& dataset, MrEnv* 
                    env->cluster.ReducerSpeed();
 
   env->stats.counters.Add("shuffle_pairs", round.shuffle_pairs);
-  env->stats.rounds.push_back(round);
+  env->stats.AddRound(round);
   return round;
 }
 

@@ -43,6 +43,7 @@ std::string StateStore::FilePath(const std::string& name) const {
 }
 
 Status StateStore::Put(const std::string& name, const std::string& blob) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (dir_.empty()) {
     auto it = blobs_.find(name);
     if (it != blobs_.end()) total_bytes_ -= it->second.size();
@@ -63,6 +64,7 @@ Status StateStore::Put(const std::string& name, const std::string& blob) {
 }
 
 StatusOr<std::string> StateStore::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (dir_.empty()) {
     auto it = blobs_.find(name);
     if (it == blobs_.end()) return Status::NotFound("state: " + name);
@@ -80,10 +82,12 @@ StatusOr<std::string> StateStore::Get(const std::string& name) const {
 }
 
 bool StateStore::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return dir_.empty() ? blobs_.count(name) > 0 : disk_sizes_.count(name) > 0;
 }
 
 Status StateStore::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (dir_.empty()) {
     auto it = blobs_.find(name);
     if (it == blobs_.end()) return Status::NotFound("state: " + name);

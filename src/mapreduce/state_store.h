@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "core/status.h"
@@ -17,6 +18,10 @@ namespace wavemr {
 ///
 /// Default mode keeps blobs in memory (fast, used by benchmarks); disk mode
 /// (`StateStore(dir)`) round-trips real files, mirroring the deployment.
+///
+/// Thread-safe: concurrent map tasks save and load their per-split state
+/// under one internal mutex (distinct splits use distinct keys, but the
+/// bookkeeping maps are shared).
 class StateStore {
  public:
   /// In-memory store.
@@ -37,7 +42,10 @@ class StateStore {
   Status Remove(const std::string& name);
 
   /// Total bytes currently stored (for reporting "state file" footprint).
-  uint64_t TotalBytes() const { return total_bytes_; }
+  uint64_t TotalBytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_bytes_;
+  }
 
   bool disk_backed() const { return !dir_.empty(); }
 
@@ -45,6 +53,8 @@ class StateStore {
   std::string FilePath(const std::string& name) const;
 
   std::string dir_;  // empty => in-memory
+
+  mutable std::mutex mu_;  // guards everything below
   std::map<std::string, std::string> blobs_;       // in-memory mode
   std::map<std::string, uint64_t> disk_sizes_;     // disk mode bookkeeping
   uint64_t total_bytes_ = 0;

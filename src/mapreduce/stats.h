@@ -2,7 +2,9 @@
 #define WAVEMR_MAPREDUCE_STATS_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mapreduce/counters.h"
@@ -28,6 +30,13 @@ struct RoundStats {
   double shuffle_s = 0.0;
   double reduce_s = 0.0;
   double overhead_s = 0.0;
+  /// Real (not simulated) wall-clock of the map phase: dispatching every map
+  /// task and merging its output into the reducer. This is the quantity the
+  /// perf-smoke CI gate tracks; it varies with --threads while everything
+  /// above stays bit-identical.
+  double map_wall_ms = 0.0;
+  /// Threads the engine actually used for this round's map tasks.
+  int threads_used = 1;
   double TotalSeconds() const {
     return overhead_s + map_makespan_s + shuffle_s + reduce_s;
   }
@@ -35,9 +44,33 @@ struct RoundStats {
 };
 
 /// Aggregate over all rounds of one algorithm execution.
+///
+/// Round appends go through AddRound, which is safe to call from concurrent
+/// drivers sharing one JobStats; `counters` is itself thread-safe.
 struct JobStats {
   std::vector<RoundStats> rounds;
   Counters counters;
+
+  JobStats() = default;
+  JobStats(const JobStats& other)
+      : rounds(other.SnapshotRounds()), counters(other.counters) {}
+  JobStats(JobStats&& other) noexcept
+      : rounds(other.SnapshotRounds()), counters(std::move(other.counters)) {}
+  JobStats& operator=(const JobStats& other) {
+    if (this != &other) {
+      auto snapshot = other.SnapshotRounds();
+      std::lock_guard<std::mutex> lock(rounds_mu_);
+      rounds = std::move(snapshot);
+      counters = other.counters;
+    }
+    return *this;
+  }
+  JobStats& operator=(JobStats&& other) noexcept { return *this = other; }
+
+  void AddRound(RoundStats round) {
+    std::lock_guard<std::mutex> lock(rounds_mu_);
+    rounds.push_back(std::move(round));
+  }
 
   uint64_t TotalCommBytes() const {
     uint64_t b = 0;
@@ -49,7 +82,20 @@ struct JobStats {
     for (const RoundStats& r : rounds) s += r.TotalSeconds();
     return s;
   }
+  double TotalMapWallMs() const {
+    double ms = 0.0;
+    for (const RoundStats& r : rounds) ms += r.map_wall_ms;
+    return ms;
+  }
   size_t NumRounds() const { return rounds.size(); }
+
+ private:
+  std::vector<RoundStats> SnapshotRounds() const {
+    std::lock_guard<std::mutex> lock(rounds_mu_);
+    return rounds;
+  }
+
+  mutable std::mutex rounds_mu_;
 };
 
 }  // namespace wavemr

@@ -1,0 +1,110 @@
+#include "core/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace wavemr {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroRequestsDefaultSize) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), ThreadPool::DefaultThreadCount());
+}
+
+TEST(ThreadPoolTest, ZeroTasksShutsDownCleanly) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  // Destructor joins idle workers without deadlock.
+}
+
+TEST(ThreadPoolTest, SubmitRunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 100; ++i) {
+    futures.push_back(pool.Submit([&sum, i] { sum += i; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValues) {
+  ThreadPool pool(2);
+  std::vector<std::future<uint64_t>> futures;
+  for (uint64_t i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (uint64_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);  // results arrive in submit order
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([] { return 7; });
+  auto bad = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task keeps serving.
+  auto after = pool.Submit([] { return 11; });
+  EXPECT_EQ(after.get(), 11);
+}
+
+TEST(ThreadPoolTest, SingleThreadPreservesSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.Submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  std::vector<int> expected(16);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, TasksActuallyRunConcurrently) {
+  ThreadPool pool(2);
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.Submit([&running, &peak] {
+      int now = ++running;
+      int prev = peak.load();
+      while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      --running;
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++done;
+      });
+    }
+  }  // destructor must wait for all 10, not drop the queue
+  EXPECT_EQ(done.load(), 10);
+}
+
+}  // namespace
+}  // namespace wavemr

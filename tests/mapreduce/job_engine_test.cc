@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <stdexcept>
 
 #include "data/dataset.h"
 
@@ -181,6 +182,68 @@ TEST(JobEngineTest, SplitStatePersistsAcrossRounds) {
   RoundStats round = RunRound(load, ds, &env);
   EXPECT_EQ(round.shuffle_pairs, 3u);  // one per split; all states found
   EXPECT_EQ(env.stats.NumRounds(), 2u);
+}
+
+TEST(JobEngineTest, ParallelRoundMatchesSerial) {
+  InMemoryDataset ds = TinyDataset();
+  MrEnv serial_env, parallel_env;
+  parallel_env.threads = 8;
+  CountReducer serial_red, parallel_red;
+  RoundStats a = RunRound(CountPlan(&serial_red), ds, &serial_env);
+  RoundStats b = RunRound(CountPlan(&parallel_red), ds, &parallel_env);
+  EXPECT_EQ(serial_red.counts, parallel_red.counts);
+  EXPECT_EQ(serial_red.absorbed, parallel_red.absorbed);  // split-order merge
+  EXPECT_EQ(a.shuffle_pairs, b.shuffle_pairs);
+  EXPECT_EQ(a.shuffle_bytes, b.shuffle_bytes);
+  EXPECT_DOUBLE_EQ(a.map_makespan_s, b.map_makespan_s);
+  EXPECT_EQ(serial_env.stats.counters.values(),
+            parallel_env.stats.counters.values());
+  EXPECT_EQ(b.threads_used, 8);
+  EXPECT_EQ(a.threads_used, 1);
+}
+
+TEST(JobEngineTest, ParallelStateRoundTrip) {
+  InMemoryDataset ds = TinyDataset();
+  MrEnv env;
+  env.threads = 4;
+  CountReducer r1, r2;
+  JobPlan<uint64_t, uint64_t> save;
+  save.name = "save";
+  save.mapper_factory = [](uint64_t) { return std::make_unique<SaveMapper>(); };
+  save.reducer = &r1;
+  RunRound(save, ds, &env);
+
+  JobPlan<uint64_t, uint64_t> load;
+  load.name = "load";
+  load.mapper_factory = [](uint64_t) { return std::make_unique<LoadMapper>(); };
+  load.reducer = &r2;
+  RoundStats round = RunRound(load, ds, &env);
+  EXPECT_EQ(round.shuffle_pairs, 3u);
+  // Pool persists across rounds on one MrEnv.
+  EXPECT_EQ(round.threads_used, 4);
+}
+
+TEST(JobEngineTest, MapperExceptionPropagatesFromParallelRound) {
+  class ThrowingMapper : public Mapper<uint64_t, uint64_t> {
+   public:
+    void Run(MapContext<uint64_t, uint64_t>& ctx) override {
+      if (ctx.split_id() == 1) throw std::runtime_error("split 1 failed");
+      ctx.Emit(ctx.split_id(), 1);
+    }
+  };
+
+  // Many more splits than workers, failing early: the engine must drain the
+  // still-queued tasks before unwinding (they reference RunRound's frame).
+  std::vector<std::vector<uint64_t>> splits(32, std::vector<uint64_t>{1});
+  InMemoryDataset ds(std::move(splits), 8);
+  MrEnv env;
+  env.threads = 2;
+  CountReducer reducer;
+  JobPlan<uint64_t, uint64_t> plan;
+  plan.name = "throwing";
+  plan.mapper_factory = [](uint64_t) { return std::make_unique<ThrowingMapper>(); };
+  plan.reducer = &reducer;
+  EXPECT_THROW(RunRound(plan, ds, &env), std::runtime_error);
 }
 
 TEST(JobEngineTest, ChargedCpuShowsUpInMakespan) {

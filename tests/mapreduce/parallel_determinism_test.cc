@@ -1,0 +1,113 @@
+// The engine's core guarantee: for any --threads value, every algorithm
+// produces bit-identical histograms, counters, and shuffle accounting,
+// because map outputs are absorbed in split-index order regardless of which
+// worker finished first.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "data/dataset.h"
+#include "histogram/builder.h"
+
+namespace wavemr {
+namespace {
+
+ZipfDataset TestDataset() {
+  ZipfDatasetOptions opt;
+  opt.num_records = 1 << 14;
+  opt.domain_size = 1 << 10;
+  opt.alpha = 1.1;
+  opt.num_splits = 16;
+  opt.seed = 97;
+  return ZipfDataset(opt);
+}
+
+BuildResult BuildWith(const Dataset& ds, AlgorithmKind kind, int threads) {
+  BuildOptions opt;
+  opt.k = 20;
+  opt.epsilon = 0.05;
+  opt.seed = 1234;
+  opt.threads = threads;
+  auto result = BuildWaveletHistogram(ds, kind, opt);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(*result);
+}
+
+struct Case {
+  AlgorithmKind kind;
+  int threads;
+};
+
+std::string CaseName(const testing::TestParamInfo<Case>& info) {
+  std::string algo = AlgorithmName(info.param.kind);
+  for (char& c : algo) {
+    if (c == '-') c = '_';
+  }
+  return algo + "_t" + std::to_string(info.param.threads);
+}
+
+class ParallelDeterminismTest : public testing::TestWithParam<Case> {};
+
+TEST_P(ParallelDeterminismTest, MatchesSerialExecution) {
+  const Case param = GetParam();
+  ZipfDataset ds = TestDataset();
+
+  BuildResult serial = BuildWith(ds, param.kind, /*threads=*/1);
+  BuildResult threaded = BuildWith(ds, param.kind, param.threads);
+
+  // Identical histograms: same coefficients, bit-for-bit.
+  const auto& want = serial.histogram.coefficients();
+  const auto& got = threaded.histogram.coefficients();
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].index, got[i].index) << "coefficient " << i;
+    EXPECT_EQ(want[i].value, got[i].value) << "coefficient " << i;
+  }
+
+  // Identical counters (exact equality of the whole map).
+  EXPECT_EQ(serial.stats.counters.values(), threaded.stats.counters.values());
+
+  // Identical per-round shuffle/broadcast accounting and simulated time.
+  ASSERT_EQ(serial.stats.NumRounds(), threaded.stats.NumRounds());
+  for (size_t r = 0; r < serial.stats.rounds.size(); ++r) {
+    const RoundStats& a = serial.stats.rounds[r];
+    const RoundStats& b = threaded.stats.rounds[r];
+    EXPECT_EQ(a.shuffle_pairs, b.shuffle_pairs) << "round " << r;
+    EXPECT_EQ(a.shuffle_bytes, b.shuffle_bytes) << "round " << r;
+    EXPECT_EQ(a.broadcast_bytes, b.broadcast_bytes) << "round " << r;
+    EXPECT_EQ(a.map_tasks, b.map_tasks) << "round " << r;
+    EXPECT_DOUBLE_EQ(a.map_makespan_s, b.map_makespan_s) << "round " << r;
+    EXPECT_DOUBLE_EQ(a.TotalSeconds(), b.TotalSeconds()) << "round " << r;
+  }
+}
+
+// send_v and H-WTopk are the ISSUE-mandated pair (single-round combiner-free
+// aggregation and 3-round stateful TPUT); the sketch and sampling paths ride
+// along to prove all four Mapper/Reducer families are thread-clean.
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, ParallelDeterminismTest,
+    testing::Values(Case{AlgorithmKind::kSendV, 1}, Case{AlgorithmKind::kSendV, 2},
+                    Case{AlgorithmKind::kSendV, 8}, Case{AlgorithmKind::kHWTopk, 1},
+                    Case{AlgorithmKind::kHWTopk, 2}, Case{AlgorithmKind::kHWTopk, 8},
+                    Case{AlgorithmKind::kSendCoef, 8},
+                    Case{AlgorithmKind::kTwoLevelS, 8},
+                    Case{AlgorithmKind::kSendSketch, 8}),
+    CaseName);
+
+// threads=0 means "all hardware threads"; it must obey the same guarantee.
+TEST(ParallelDeterminismTest, HardwareDefaultMatchesSerial) {
+  ZipfDataset ds = TestDataset();
+  BuildResult serial = BuildWith(ds, AlgorithmKind::kSendV, 1);
+  BuildResult automatic = BuildWith(ds, AlgorithmKind::kSendV, 0);
+  ASSERT_EQ(serial.histogram.coefficients().size(),
+            automatic.histogram.coefficients().size());
+  for (size_t i = 0; i < serial.histogram.coefficients().size(); ++i) {
+    EXPECT_EQ(serial.histogram.coefficients()[i].value,
+              automatic.histogram.coefficients()[i].value);
+  }
+  EXPECT_EQ(serial.stats.counters.values(), automatic.stats.counters.values());
+}
+
+}  // namespace
+}  // namespace wavemr

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "core/thread_pool.h"
 #include "data/file_dataset.h"
 #include "data/frequency.h"
 #include "histogram/builder.h"
@@ -31,6 +32,7 @@ struct CliOptions {
   size_t k = 30;
   double eps = 0.01;
   uint64_t seed = 42;
+  int threads = 0;        // 0 = hardware concurrency
   bool evaluate = false;  // compute SSE vs ground truth (scans the data)
   bool dump = false;      // print the retained coefficients
 };
@@ -68,6 +70,8 @@ int Usage() {
       "  --k=N             synopsis size (default 30)\n"
       "  --eps=E           sampling error parameter (default 0.01)\n"
       "  --seed=S          RNG seed (default 42)\n"
+      "  --threads=N       map-task worker threads (default: all hardware\n"
+      "                    threads; results are identical for any N)\n"
       "  --evaluate        also compute SSE vs the exact coefficients\n"
       "  --dump            print the retained coefficients\n");
   return 2;
@@ -99,6 +103,12 @@ int Main(int argc, char** argv) {
       opt.eps = std::strtod(v.c_str(), nullptr);
     } else if (ParseFlag(argv[i], "seed", &v)) {
       opt.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "threads", &v)) {
+      opt.threads = static_cast<int>(std::strtol(v.c_str(), nullptr, 10));
+      if (opt.threads < 0) {
+        std::fprintf(stderr, "--threads must be >= 0\n");
+        return Usage();
+      }
     } else if (std::strcmp(argv[i], "--evaluate") == 0) {
       opt.evaluate = true;
     } else if (std::strcmp(argv[i], "--dump") == 0) {
@@ -155,6 +165,7 @@ int Main(int argc, char** argv) {
   build.k = opt.k;
   build.epsilon = opt.eps;
   build.seed = opt.seed;
+  build.threads = opt.threads;
   auto result = BuildWaveletHistogram(*dataset, *kind, build);
   if (!result.ok()) {
     std::fprintf(stderr, "build failed: %s\n", result.status().ToString().c_str());
@@ -166,8 +177,11 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long long>(dataset->info().num_records),
               static_cast<unsigned long long>(dataset->info().domain_size),
               static_cast<unsigned long long>(dataset->info().num_splits));
+  std::printf("threads     : %d\n",
+              opt.threads == 0 ? ThreadPool::DefaultThreadCount() : opt.threads);
   std::printf("synopsis    : %zu terms\n", result->histogram.num_terms());
   std::printf("rounds      : %zu\n", result->stats.NumRounds());
+  std::printf("map wall ms : %.1f\n", result->stats.TotalMapWallMs());
   std::printf("comm bytes  : %llu\n",
               static_cast<unsigned long long>(result->stats.TotalCommBytes()));
   std::printf("sim seconds : %.2f\n", result->stats.TotalSeconds());
