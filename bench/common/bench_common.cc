@@ -65,6 +65,7 @@ Measurement Run(const Dataset& ds, AlgorithmKind kind, const BuildOptions& opt,
   uint64_t shuffle = 0;
   for (const RoundStats& r : result->stats.rounds) shuffle += r.shuffle_bytes;
   m.shuffle_bytes = shuffle;
+  m.map_records = result->stats.counters.Get("map_records_read");
   if (truth != nullptr) {
     m.sse = SseAgainstTrueCoefficients(result->histogram, *truth);
   }
@@ -90,6 +91,7 @@ void BenchJsonReporter::Add(const std::string& algorithm, const BenchDefaults& d
   r.threads = threads;
   r.wall_ms = m.wall_ms;
   r.map_wall_ms = m.map_wall_ms;
+  r.map_records_per_sec = m.MapRecordsPerSec();
   r.simulated_s = m.seconds;
   r.shuffle_bytes = m.shuffle_bytes;
   records_.push_back(std::move(r));
@@ -113,6 +115,7 @@ bool BenchJsonReporter::WriteFileTo(const std::string& path) const {
         << ", \"k\": " << r.k << ", \"threads\": " << r.threads
         << ", \"wall_ms\": " << r.wall_ms
         << ", \"map_wall_ms\": " << r.map_wall_ms
+        << ", \"map_records_per_sec\": " << r.map_records_per_sec
         << ", \"simulated_s\": " << r.simulated_s
         << ", \"shuffle_bytes\": " << r.shuffle_bytes << "}"
         << (i + 1 < records_.size() ? "," : "") << "\n";
@@ -143,6 +146,7 @@ void ApplyField(BenchRecord* r, const std::string& key, const std::string& value
   else if (key == "threads") r->threads = static_cast<int>(num);
   else if (key == "wall_ms") r->wall_ms = num;
   else if (key == "map_wall_ms") r->map_wall_ms = num;
+  else if (key == "map_records_per_sec") r->map_records_per_sec = num;
   else if (key == "simulated_s") r->simulated_s = num;
   else if (key == "shuffle_bytes") r->shuffle_bytes = static_cast<uint64_t>(num);
 }

@@ -58,6 +58,14 @@ struct Measurement {
   double wall_ms = 0.0;      // real wall-clock of the whole build
   double map_wall_ms = 0.0;  // real wall-clock of the map phases only
   uint64_t shuffle_bytes = 0;
+  uint64_t map_records = 0;  // records read by all map phases
+
+  /// Map-side throughput in records/sec (0 when nothing was timed).
+  double MapRecordsPerSec() const {
+    return map_wall_ms > 0.0
+               ? static_cast<double>(map_records) / (map_wall_ms * 1e-3)
+               : 0.0;
+  }
 };
 
 /// Runs `kind` over `ds`; computes SSE against `truth` when provided.
@@ -74,6 +82,7 @@ struct BenchRecord {
   int threads = 1;
   double wall_ms = 0.0;
   double map_wall_ms = 0.0;
+  double map_records_per_sec = 0.0;  // map-side throughput at `threads`
   double simulated_s = 0.0;
   uint64_t shuffle_bytes = 0;
 };

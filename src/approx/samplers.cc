@@ -1,7 +1,6 @@
 #include "approx/samplers.h"
 
 #include <cmath>
-#include <unordered_map>
 
 #include "approx/sampling_common.h"
 #include "core/rng.h"
@@ -18,11 +17,12 @@ constexpr uint64_t kKeyNullBytes = 4;
 
 // ---------------------------------------------------------------- Basic-S
 
-class BasicMapper : public Mapper<uint64_t, uint64_t> {
+class BasicMapper : public MapperBase<BasicMapper, uint64_t, uint64_t> {
  public:
   BasicMapper(double p, uint64_t seed) : p_(p), seed_(seed) {}
 
-  void Run(MapContext<uint64_t, uint64_t>& ctx) override {
+  template <typename Ctx>
+  void RunImpl(Ctx& ctx) {
     LocalSample sample = DrawLevelOneSample(ctx.input(), p_, seed_);
     for (const auto& [key, count] : sample.counts) ctx.Emit(key, count);
   }
@@ -43,7 +43,7 @@ class BasicReducer : public Reducer<uint64_t, uint64_t> {
   }
 
   void Finish(ReduceContext<uint64_t, uint64_t>& ctx) override {
-    std::unordered_map<uint64_t, double> vhat;
+    FlatHashCounter<uint64_t, double> vhat;
     vhat.reserve(s_.size());
     for (const auto& [key, count] : s_) {
       vhat[key] = static_cast<double>(count) / p_;  // unbiased v(x) estimate
@@ -58,18 +58,19 @@ class BasicReducer : public Reducer<uint64_t, uint64_t> {
   uint64_t u_;
   size_t k_;
   double p_;
-  std::unordered_map<uint64_t, uint64_t> s_;
+  FlatHashCounter<uint64_t, uint64_t> s_;
   std::vector<WCoeff> result_;
 };
 
 // -------------------------------------------------------------- Improved-S
 
-class ImprovedMapper : public Mapper<uint64_t, uint64_t> {
+class ImprovedMapper : public MapperBase<ImprovedMapper, uint64_t, uint64_t> {
  public:
   ImprovedMapper(double p, double epsilon, uint64_t seed)
       : p_(p), epsilon_(epsilon), seed_(seed) {}
 
-  void Run(MapContext<uint64_t, uint64_t>& ctx) override {
+  template <typename Ctx>
+  void RunImpl(Ctx& ctx) {
     LocalSample sample = DrawLevelOneSample(ctx.input(), p_, seed_);
     // Only keys with s_j(x) >= eps * t_j are shipped; at most 1/eps of them.
     double threshold = epsilon_ * static_cast<double>(sample.t_j);
@@ -93,24 +94,31 @@ struct TwoLevelMsg {
   bool is_null() const { return count == 0; }
 };
 
-class TwoLevelMapper : public Mapper<uint64_t, TwoLevelMsg> {
+class TwoLevelMapper : public MapperBase<TwoLevelMapper, uint64_t, TwoLevelMsg> {
  public:
   TwoLevelMapper(double p, double epsilon, uint64_t m, uint64_t seed)
       : p_(p), epsilon_(epsilon), m_(m), seed_(seed) {}
 
-  void Run(MapContext<uint64_t, TwoLevelMsg>& ctx) override {
+  template <typename Ctx>
+  void RunImpl(Ctx& ctx) {
     LocalSample sample = DrawLevelOneSample(ctx.input(), p_, seed_);
     const double eps_sqrt_m = epsilon_ * std::sqrt(static_cast<double>(m_));
     const double threshold = 1.0 / eps_sqrt_m;
-    Rng rng(Mix64(seed_ ^ 0x7c0ffee5u ^ (ctx.split_id() + 1)));
+    // The survival coin for a light key is drawn from a stream keyed by
+    // (seed, split, key), so the sampled set is a pure function of the data
+    // -- independent of the hash map's iteration order.
+    const uint64_t coin_seed = Mix64(seed_ ^ 0x7c0ffee5u ^ (ctx.split_id() + 1));
     for (const auto& [key, count] : sample.counts) {
       if (static_cast<double>(count) >= threshold) {
         // Heavy in this split: ship the exact count.
         ctx.Emit(key, TwoLevelMsg{static_cast<uint32_t>(count)});
-      } else if (rng.Bernoulli(eps_sqrt_m * static_cast<double>(count))) {
-        // Light: survives level 2 with probability proportional to its
-        // frequency relative to 1/(eps sqrt(m)); ship (x, NULL).
-        ctx.Emit(key, TwoLevelMsg{0});
+      } else {
+        Rng rng(Mix64(coin_seed ^ key));
+        if (rng.Bernoulli(eps_sqrt_m * static_cast<double>(count))) {
+          // Light: survives level 2 with probability proportional to its
+          // frequency relative to 1/(eps sqrt(m)); ship (x, NULL).
+          ctx.Emit(key, TwoLevelMsg{0});
+        }
       }
     }
   }
@@ -139,7 +147,7 @@ class TwoLevelReducer : public Reducer<uint64_t, TwoLevelMsg> {
   }
 
   void Finish(ReduceContext<uint64_t, TwoLevelMsg>& ctx) override {
-    std::unordered_map<uint64_t, double> vhat;
+    FlatHashCounter<uint64_t, double> vhat;
     vhat.reserve(entries_.size());
     for (const auto& [key, e] : entries_) {
       double s_hat =
@@ -161,7 +169,7 @@ class TwoLevelReducer : public Reducer<uint64_t, TwoLevelMsg> {
   size_t k_;
   double p_;
   double eps_sqrt_m_;
-  std::unordered_map<uint64_t, Entry> entries_;
+  FlatHashCounter<uint64_t, Entry> entries_;
   std::vector<WCoeff> result_;
 };
 

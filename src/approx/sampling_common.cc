@@ -34,7 +34,7 @@ LocalSample DrawLevelOneSample(SplitAccess& input, double p, uint64_t seed) {
 }
 
 std::vector<WCoeff> TopKFromEstimatedFrequencies(
-    const std::unordered_map<uint64_t, double>& vhat, uint64_t u, size_t k,
+    const FlatHashCounter<uint64_t, double>& vhat, uint64_t u, size_t k,
     const std::function<void(double)>& charge_cpu_ns) {
   SparseVector v;
   v.reserve(vhat.size());

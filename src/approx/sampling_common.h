@@ -2,9 +2,9 @@
 #define WAVEMR_APPROX_SAMPLING_COMMON_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "core/flat_hash.h"
 #include "mapreduce/job.h"
 #include "wavelet/coefficient.h"
 
@@ -14,8 +14,8 @@ namespace wavemr {
 /// drawn without replacement via sorted random offsets (the paper's
 /// RandomRecordReader; Appendix B).
 struct LocalSample {
-  std::unordered_map<uint64_t, uint64_t> counts;  // s_j(x)
-  uint64_t t_j = 0;                               // records sampled
+  FlatHashCounter<uint64_t, uint64_t> counts;  // s_j(x)
+  uint64_t t_j = 0;                            // records sampled
 };
 
 /// Draws the level-1 sample with per-record probability p (t_j = round(p *
@@ -30,7 +30,7 @@ double LevelOneProbability(double epsilon, uint64_t num_records);
 /// Shared reducer tail: estimated frequency vector -> sparse transform ->
 /// top-k, charging the transform CPU. `vhat` maps key -> estimated v(x).
 std::vector<WCoeff> TopKFromEstimatedFrequencies(
-    const std::unordered_map<uint64_t, double>& vhat, uint64_t u, size_t k,
+    const FlatHashCounter<uint64_t, double>& vhat, uint64_t u, size_t k,
     const std::function<void(double)>& charge_cpu_ns);
 
 }  // namespace wavemr

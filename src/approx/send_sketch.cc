@@ -1,7 +1,8 @@
 #include "approx/send_sketch.h"
 
-#include <unordered_map>
+#include <algorithm>
 
+#include "core/flat_hash.h"
 #include "core/rng.h"
 #include "mapreduce/job.h"
 #include "sketch/wavelet_gcs.h"
@@ -14,14 +15,18 @@ namespace {
 // entries as 8-byte doubles).
 constexpr uint64_t kPairBytes = 12;
 
-class SketchMapper : public Mapper<uint64_t, double> {
+class SketchMapper : public MapperBase<SketchMapper, uint64_t, double> {
  public:
   SketchMapper(uint64_t u, const WaveletGcsOptions& gcs_options)
       : u_(u), gcs_options_(gcs_options) {}
 
-  void Run(MapContext<uint64_t, double>& ctx) override {
-    std::unordered_map<uint64_t, uint64_t> freq;
-    ctx.input().Scan([&freq](uint64_t key) { ++freq[key]; });
+  template <typename Ctx>
+  void RunImpl(Ctx& ctx) {
+    FlatHashCounter<uint64_t, uint64_t> freq;
+    freq.reserve(std::min(ctx.input().num_records(), u_));
+    ctx.input().ScanBatches([&freq](const uint64_t* keys, uint64_t n) {
+      for (uint64_t i = 0; i < n; ++i) ++freq[keys[i]];
+    });
 
     WaveletGcs sketch(u_, gcs_options_);
     // One sketch update per distinct key, weighted by its count.

@@ -1,0 +1,182 @@
+#ifndef WAVEMR_CORE_FLAT_HASH_H_
+#define WAVEMR_CORE_FLAT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "core/bitops.h"
+#include "core/rng.h"
+
+namespace wavemr {
+
+/// Open-addressing hash map tuned for the map-side hot path: integer keys,
+/// power-of-two capacity, Mix64-scrambled linear probing, and no tombstones
+/// (the data plane only ever inserts and accumulates -- erase is not
+/// supported, which is what makes probe sequences never degrade). Compared
+/// to std::unordered_map this removes the per-node allocation and the
+/// pointer chase per lookup; slots live in one contiguous array.
+///
+/// K must be convertible to uint64_t (all shuffle keys in this codebase are
+/// integers); V must be default-constructible. Iteration is in slot order,
+/// which is deterministic for a given insertion sequence -- the engine
+/// relies on that for bit-identical results across thread counts.
+template <typename K, typename V>
+class FlatHashCounter {
+ public:
+  using value_type = std::pair<K, V>;
+
+  FlatHashCounter() = default;
+
+  FlatHashCounter(std::initializer_list<value_type> init) {
+    reserve(init.size());
+    for (const value_type& kv : init) *FindOrEmplace(kv.first, kv.second).first = kv.second;
+  }
+
+  /// Pre-sizes the table for `n` distinct keys without rehashing.
+  void reserve(size_t n) {
+    size_t needed = NormalizeCapacity(n);
+    if (needed > capacity()) Rehash(needed);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return slots_.size(); }
+
+  /// Find-or-default-insert, unordered_map-style.
+  V& operator[](const K& key) { return *FindOrEmplace(key, V{}).first; }
+
+  /// Returns (pointer to value, inserted). When the key is new its value is
+  /// copy-initialized from `init`.
+  std::pair<V*, bool> FindOrEmplace(const K& key, const V& init) {
+    if (2 * (size_ + 1) > capacity()) Rehash(NormalizeCapacity(size_ + 1));
+    size_t i = ProbeStart(key);
+    while (used_[i]) {
+      if (slots_[i].first == key) return {&slots_[i].second, false};
+      i = (i + 1) & mask_;
+    }
+    used_[i] = 1;
+    slots_[i].first = key;
+    slots_[i].second = init;
+    ++size_;
+    return {&slots_[i].second, true};
+  }
+
+  /// Checked lookup; the key must be present.
+  const V& at(const K& key) const {
+    const V* v = Find(key);
+    WAVEMR_CHECK(v != nullptr);
+    return *v;
+  }
+
+  /// Returns the value for `key`, or nullptr when absent.
+  const V* Find(const K& key) const {
+    if (slots_.empty()) return nullptr;
+    size_t i = ProbeStart(key);
+    while (used_[i]) {
+      if (slots_[i].first == key) return &slots_[i].second;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  /// Forward iteration over occupied slots, in slot order. Yields
+  /// std::pair<K, V>& so structured bindings and ->first/->second match the
+  /// std::unordered_map call sites this replaces.
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = std::pair<K, V>;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const value_type*;
+    using reference = const value_type&;
+
+    const_iterator(const FlatHashCounter* map, size_t index)
+        : map_(map), index_(index) {
+      SkipEmpty();
+    }
+    const value_type& operator*() const { return map_->slots_[index_]; }
+    const value_type* operator->() const { return &map_->slots_[index_]; }
+    const_iterator& operator++() {
+      ++index_;
+      SkipEmpty();
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return index_ == o.index_; }
+    bool operator!=(const const_iterator& o) const { return index_ != o.index_; }
+
+   private:
+    void SkipEmpty() {
+      while (index_ < map_->slots_.size() && !map_->used_[index_]) ++index_;
+    }
+    const FlatHashCounter* map_;
+    size_t index_;
+  };
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, slots_.size()); }
+
+  const_iterator find(const K& key) const {
+    if (!slots_.empty()) {
+      size_t i = ProbeStart(key);
+      while (used_[i]) {
+        if (slots_[i].first == key) return const_iterator(this, i);
+        i = (i + 1) & mask_;
+      }
+    }
+    return end();
+  }
+
+  /// Order-independent equality (slot order differs with insertion history).
+  bool operator==(const FlatHashCounter& other) const {
+    if (size_ != other.size_) return false;
+    for (const value_type& kv : *this) {
+      const V* v = other.Find(kv.first);
+      if (v == nullptr || !(*v == kv.second)) return false;
+    }
+    return true;
+  }
+  bool operator!=(const FlatHashCounter& other) const { return !(*this == other); }
+
+ private:
+  static size_t NormalizeCapacity(size_t n) {
+    // Load factor <= 0.5: fast probes, and the doubling keeps slot order a
+    // pure function of the key sequence.
+    uint64_t target = 2 * static_cast<uint64_t>(n);
+    if (target < kMinCapacity) target = kMinCapacity;
+    return static_cast<size_t>(CeilPow2(target));
+  }
+
+  size_t ProbeStart(const K& key) const {
+    return static_cast<size_t>(Mix64(static_cast<uint64_t>(key))) & mask_;
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<value_type> old_slots = std::move(slots_);
+    std::vector<uint8_t> old_used = std::move(used_);
+    slots_.assign(new_capacity, value_type{});
+    used_.assign(new_capacity, 0);
+    mask_ = new_capacity - 1;
+    for (size_t s = 0; s < old_slots.size(); ++s) {
+      if (!old_used[s]) continue;
+      size_t i = ProbeStart(old_slots[s].first);
+      while (used_[i]) i = (i + 1) & mask_;
+      used_[i] = 1;
+      slots_[i] = std::move(old_slots[s]);
+    }
+  }
+
+  static constexpr size_t kMinCapacity = 16;
+
+  std::vector<value_type> slots_;
+  std::vector<uint8_t> used_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_CORE_FLAT_HASH_H_

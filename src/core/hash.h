@@ -28,6 +28,12 @@ class PolyHash {
   /// +1/-1 sign derived from the low bit of the hash.
   int Sign(uint64_t x) const { return (Hash(x) & 1) ? 1 : -1; }
 
+  /// The polynomial's coefficients, c0 first. Exposed so kernels that batch
+  /// many evaluations (the GCS update loop) can copy them into flat arrays
+  /// and skip the per-call vector indirection while producing identical
+  /// hash values.
+  const std::vector<uint64_t>& coeffs() const { return coeffs_; }
+
  private:
   std::vector<uint64_t> coeffs_;
 };

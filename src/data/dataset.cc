@@ -1,5 +1,8 @@
 #include "data/dataset.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "core/bitops.h"
 #include "core/logging.h"
 
@@ -15,7 +18,23 @@ uint64_t RecordsInSplit(uint64_t n, uint64_t m, uint64_t split) {
   return base + (split < n % m ? 1 : 0);
 }
 
+// Serves a ReadKeys request out of a fully materialized key vector.
+uint64_t CopyKeys(const std::vector<uint64_t>& keys, uint64_t start, uint64_t* out,
+                  uint64_t capacity) {
+  if (start >= keys.size()) return 0;
+  uint64_t n = std::min<uint64_t>(capacity, keys.size() - start);
+  std::memcpy(out, keys.data() + start, n * sizeof(uint64_t));
+  return n;
+}
+
 }  // namespace
+
+void Dataset::ScanSplit(uint64_t split,
+                        const std::function<void(uint64_t)>& fn) const {
+  ForEachKeyBatch(*this, split, [&fn](const uint64_t* keys, uint64_t n) {
+    for (uint64_t i = 0; i < n; ++i) fn(keys[i]);
+  });
+}
 
 // ---------------------------------------------------------------- ZipfDataset
 
@@ -31,6 +50,9 @@ ZipfDataset::ZipfDataset(const ZipfDatasetOptions& options)
   info_.domain_size = options.domain_size;
   info_.num_splits = options.num_splits;
   info_.record_bytes = options.record_bytes;
+  if (options.cache_keys) {
+    cache_ = std::make_unique<SplitKeyCache>(options.num_splits);
+  }
 }
 
 uint64_t ZipfDataset::SplitRecords(uint64_t split) const {
@@ -49,13 +71,25 @@ uint64_t ZipfDataset::KeyAt(uint64_t split, uint64_t index) const {
   return RankToKey(zipf_.Sample(rng));
 }
 
-void ZipfDataset::ScanSplit(uint64_t split,
-                            const std::function<void(uint64_t)>& fn) const {
+void ZipfDataset::GenerateSplit(uint64_t split, std::vector<uint64_t>* out) const {
   uint64_t n = SplitRecords(split);
-  for (uint64_t i = 0; i < n; ++i) {
-    CounterRng rng(options_.seed, split, i);
-    fn(RankToKey(zipf_.Sample(rng)));
+  out->resize(n);
+  uint64_t* keys = out->data();
+  for (uint64_t i = 0; i < n; ++i) keys[i] = KeyAt(split, i);
+}
+
+uint64_t ZipfDataset::ReadKeys(uint64_t split, uint64_t start, uint64_t* out,
+                               uint64_t capacity) const {
+  if (cache_ != nullptr) {
+    const std::vector<uint64_t>& keys = cache_->Get(
+        split, [this, split](std::vector<uint64_t>* v) { GenerateSplit(split, v); });
+    return CopyKeys(keys, start, out, capacity);
   }
+  uint64_t n = SplitRecords(split);
+  if (start >= n) return 0;
+  uint64_t count = std::min<uint64_t>(capacity, n - start);
+  for (uint64_t i = 0; i < count; ++i) out[i] = KeyAt(split, start + i);
+  return count;
 }
 
 // ----------------------------------------------------------- WorldCupDataset
@@ -72,6 +106,9 @@ WorldCupDataset::WorldCupDataset(const WorldCupDatasetOptions& options)
   info_.domain_size = options.num_clients * options.num_objects;
   info_.num_splits = options.num_splits;
   info_.record_bytes = 40;  // the WorldCup schema: 10 x 4-byte fields
+  if (options.cache_keys) {
+    cache_ = std::make_unique<SplitKeyCache>(options.num_splits);
+  }
 }
 
 uint64_t WorldCupDataset::SplitRecords(uint64_t split) const {
@@ -86,10 +123,26 @@ uint64_t WorldCupDataset::KeyAt(uint64_t split, uint64_t index) const {
   return perm_.Apply(client * options_.num_objects + object);
 }
 
-void WorldCupDataset::ScanSplit(uint64_t split,
-                                const std::function<void(uint64_t)>& fn) const {
+void WorldCupDataset::GenerateSplit(uint64_t split,
+                                    std::vector<uint64_t>* out) const {
   uint64_t n = SplitRecords(split);
-  for (uint64_t i = 0; i < n; ++i) fn(KeyAt(split, i));
+  out->resize(n);
+  uint64_t* keys = out->data();
+  for (uint64_t i = 0; i < n; ++i) keys[i] = KeyAt(split, i);
+}
+
+uint64_t WorldCupDataset::ReadKeys(uint64_t split, uint64_t start, uint64_t* out,
+                                   uint64_t capacity) const {
+  if (cache_ != nullptr) {
+    const std::vector<uint64_t>& keys = cache_->Get(
+        split, [this, split](std::vector<uint64_t>* v) { GenerateSplit(split, v); });
+    return CopyKeys(keys, start, out, capacity);
+  }
+  uint64_t n = SplitRecords(split);
+  if (start >= n) return 0;
+  uint64_t count = std::min<uint64_t>(capacity, n - start);
+  for (uint64_t i = 0; i < count; ++i) out[i] = KeyAt(split, start + i);
+  return count;
 }
 
 // ----------------------------------------------------------- InMemoryDataset
@@ -120,10 +173,10 @@ uint64_t InMemoryDataset::KeyAt(uint64_t split, uint64_t index) const {
   return splits_[split][index];
 }
 
-void InMemoryDataset::ScanSplit(uint64_t split,
-                                const std::function<void(uint64_t)>& fn) const {
+uint64_t InMemoryDataset::ReadKeys(uint64_t split, uint64_t start, uint64_t* out,
+                                   uint64_t capacity) const {
   WAVEMR_CHECK_LT(split, splits_.size());
-  for (uint64_t key : splits_[split]) fn(key);
+  return CopyKeys(splits_[split], start, out, capacity);
 }
 
 }  // namespace wavemr

@@ -73,15 +73,18 @@ uint64_t FileDataset::KeyAt(uint64_t split, uint64_t index) const {
   return key;
 }
 
-void FileDataset::ScanSplit(uint64_t split,
-                            const std::function<void(uint64_t)>& fn) const {
+uint64_t FileDataset::ReadKeys(uint64_t split, uint64_t start, uint64_t* out,
+                               uint64_t capacity) const {
   uint64_t n = SplitRecords(split);
-  uint64_t start = SplitStartRecord(split);
-  for (uint64_t i = 0; i < n; ++i) {
+  if (start >= n) return 0;
+  uint64_t count = std::min<uint64_t>(capacity, n - start);
+  uint64_t first = SplitStartRecord(split) + start;
+  for (uint64_t i = 0; i < count; ++i) {
     uint32_t key;
-    std::memcpy(&key, bytes_.data() + (start + i) * info_.record_bytes, sizeof(key));
-    fn(key);
+    std::memcpy(&key, bytes_.data() + (first + i) * info_.record_bytes, sizeof(key));
+    out[i] = key;
   }
+  return count;
 }
 
 }  // namespace wavemr

@@ -28,8 +28,8 @@ class FileDataset : public Dataset {
 
   const DatasetInfo& info() const override { return info_; }
   uint64_t SplitRecords(uint64_t split) const override;
-  void ScanSplit(uint64_t split,
-                 const std::function<void(uint64_t)>& fn) const override;
+  uint64_t ReadKeys(uint64_t split, uint64_t start, uint64_t* out,
+                    uint64_t capacity) const override;
   uint64_t KeyAt(uint64_t split, uint64_t index) const override;
 
  private:

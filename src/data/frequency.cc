@@ -1,18 +1,34 @@
 #include "data/frequency.h"
 
+#include <algorithm>
+
 namespace wavemr {
+
+namespace {
+
+// Batched counting loop shared by the builders: one virtual ReadKeys call
+// per chunk, one probe per record.
+void CountSplit(const Dataset& dataset, uint64_t split, FrequencyMap* freq) {
+  ForEachKeyBatch(dataset, split, [freq](const uint64_t* keys, uint64_t n) {
+    for (uint64_t i = 0; i < n; ++i) ++(*freq)[keys[i]];
+  });
+}
+
+}  // namespace
 
 FrequencyMap BuildFrequencyMap(const Dataset& dataset) {
   FrequencyMap freq;
+  freq.reserve(std::min(dataset.info().num_records, dataset.info().domain_size));
   for (uint64_t j = 0; j < dataset.info().num_splits; ++j) {
-    dataset.ScanSplit(j, [&freq](uint64_t key) { ++freq[key]; });
+    CountSplit(dataset, j, &freq);
   }
   return freq;
 }
 
 FrequencyMap BuildSplitFrequencyMap(const Dataset& dataset, uint64_t split) {
   FrequencyMap freq;
-  dataset.ScanSplit(split, [&freq](uint64_t key) { ++freq[key]; });
+  freq.reserve(std::min(dataset.SplitRecords(split), dataset.info().domain_size));
+  CountSplit(dataset, split, &freq);
   return freq;
 }
 

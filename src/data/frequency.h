@@ -2,17 +2,19 @@
 #define WAVEMR_DATA_FREQUENCY_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "core/flat_hash.h"
 #include "data/dataset.h"
 #include "wavelet/coefficient.h"
 #include "wavelet/sparse.h"
 
 namespace wavemr {
 
-/// Key -> count map (a sparse frequency vector with integer counts).
-using FrequencyMap = std::unordered_map<uint64_t, uint64_t>;
+/// Key -> count map (a sparse frequency vector with integer counts). Backed
+/// by the open-addressing FlatHashCounter: counting a record is one probe in
+/// a contiguous table instead of a node allocation + pointer chase.
+using FrequencyMap = FlatHashCounter<uint64_t, uint64_t>;
 
 /// Exact global frequency vector v of the dataset (scans every split).
 FrequencyMap BuildFrequencyMap(const Dataset& dataset);

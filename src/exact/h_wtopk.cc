@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "core/flat_hash.h"
 #include "core/serialize.h"
 #include "mapreduce/job.h"
 #include "wavelet/haar.h"
@@ -132,15 +133,19 @@ double KthLargest(std::vector<double> vals, size_t k) {
 // Round 1
 // ---------------------------------------------------------------------------
 
-class Round1Mapper : public Mapper<uint64_t, HwMsg> {
+class Round1Mapper : public MapperBase<Round1Mapper, uint64_t, HwMsg> {
  public:
   Round1Mapper(uint64_t split, const BuildOptions& options)
       : split_(static_cast<uint32_t>(split)), options_(options) {}
 
-  void Run(MapContext<uint64_t, HwMsg>& ctx) override {
+  template <typename Ctx>
+  void RunImpl(Ctx& ctx) {
     const uint64_t u = ctx.input().dataset_info().domain_size;
-    std::unordered_map<uint64_t, uint64_t> freq;
-    ctx.input().Scan([&freq](uint64_t key) { ++freq[key]; });
+    FlatHashCounter<uint64_t, uint64_t> freq;
+    freq.reserve(std::min(ctx.input().num_records(), u));
+    ctx.input().ScanBatches([&freq](const uint64_t* keys, uint64_t n) {
+      for (uint64_t i = 0; i < n; ++i) ++freq[keys[i]];
+    });
 
     std::vector<WCoeff> coeffs;
     if (options_.use_dense_local_transform) {
@@ -185,25 +190,26 @@ class Round1Mapper : public Mapper<uint64_t, HwMsg> {
                         return a.index < b.index;
                       });
 
-    std::unordered_map<uint64_t, uint8_t> emitted;  // index -> flags
+    FlatHashCounter<uint64_t, uint8_t> emitted;  // index -> flags
+    emitted.reserve(tp + tn);
     for (size_t t = 0; t < tp; ++t) {
       uint8_t flags = (t == k - 1 && pos.size() >= k) ? kMarksKthHigh : 0;
-      emitted.emplace(pos[t].index, flags);
+      emitted.FindOrEmplace(pos[t].index, flags);
     }
     for (size_t t = 0; t < tn; ++t) {
       uint8_t flags = (t == k - 1 && neg.size() >= k) ? kMarksKthLow : 0;
-      auto [it, inserted] = emitted.emplace(neg[t].index, flags);
-      if (!inserted) it->second |= flags;  // cannot happen (sign-disjoint)
+      auto [slot, inserted] = emitted.FindOrEmplace(neg[t].index, flags);
+      if (!inserted) *slot |= flags;  // cannot happen (sign-disjoint)
     }
 
     std::vector<WCoeff> unsent;
     unsent.reserve(coeffs.size() - emitted.size());
     for (const WCoeff& c : coeffs) {
-      auto it = emitted.find(c.index);
-      if (it == emitted.end()) {
+      const uint8_t* flags = emitted.Find(c.index);
+      if (flags == nullptr) {
         unsent.push_back(c);
       } else {
-        ctx.Emit(c.index, HwMsg{split_, c.value, it->second});
+        ctx.Emit(c.index, HwMsg{split_, c.value, *flags});
       }
     }
     ctx.SaveState(SerializeCoeffs(unsent));
@@ -272,11 +278,12 @@ class Round1Reducer : public Reducer<uint64_t, HwMsg> {
 // Round 2
 // ---------------------------------------------------------------------------
 
-class Round2Mapper : public Mapper<uint64_t, HwMsg> {
+class Round2Mapper : public MapperBase<Round2Mapper, uint64_t, HwMsg> {
  public:
   explicit Round2Mapper(uint64_t split) : split_(static_cast<uint32_t>(split)) {}
 
-  void Run(MapContext<uint64_t, HwMsg>& ctx) override {
+  template <typename Ctx>
+  void RunImpl(Ctx& ctx) {
     // No input-split scan in this round: only the state file is read.
     auto blob = ctx.LoadState();
     WAVEMR_CHECK(blob.ok()) << "round-2 mapper missing split state";
@@ -371,11 +378,12 @@ class Round2Reducer : public Reducer<uint64_t, HwMsg> {
 // Round 3
 // ---------------------------------------------------------------------------
 
-class Round3Mapper : public Mapper<uint64_t, HwMsg> {
+class Round3Mapper : public MapperBase<Round3Mapper, uint64_t, HwMsg> {
  public:
   explicit Round3Mapper(uint64_t split) : split_(static_cast<uint32_t>(split)) {}
 
-  void Run(MapContext<uint64_t, HwMsg>& ctx) override {
+  template <typename Ctx>
+  void RunImpl(Ctx& ctx) {
     auto blob = ctx.LoadState();
     WAVEMR_CHECK(blob.ok()) << "round-3 mapper missing split state";
     std::vector<WCoeff> coeffs = DeserializeCoeffs(*blob);
@@ -383,14 +391,14 @@ class Round3Mapper : public Mapper<uint64_t, HwMsg> {
     auto cache_blob = ctx.cache().Get(kCacheCandidates);
     WAVEMR_CHECK(cache_blob.ok()) << "round-3 mapper missing candidate set";
     Deserializer d(*cache_blob);
-    std::unordered_map<uint64_t, bool> in_r;
-    while (!d.Done()) in_r.emplace(d.Get<uint32_t>(), true);
+    FlatHashCounter<uint64_t, uint8_t> in_r;
+    while (!d.Done()) in_r.FindOrEmplace(d.Get<uint32_t>(), 1);
 
     ctx.ChargeCpuNs(static_cast<double>(coeffs.size()) * kStateEntryNs);
     // Everything left in the state file was never sent (|w| <= T1/m); emit
     // the candidates' scores so the coordinator can finalize exact sums.
     for (const WCoeff& c : coeffs) {
-      if (in_r.count(c.index) > 0) ctx.Emit(c.index, HwMsg{split_, c.value, 0});
+      if (in_r.Find(c.index) != nullptr) ctx.Emit(c.index, HwMsg{split_, c.value, 0});
     }
   }
 

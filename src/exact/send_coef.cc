@@ -1,7 +1,8 @@
 #include "exact/send_coef.h"
 
-#include <unordered_map>
+#include <algorithm>
 
+#include "core/flat_hash.h"
 #include "mapreduce/job.h"
 #include "wavelet/haar.h"
 #include "wavelet/sparse.h"
@@ -14,14 +15,18 @@ namespace {
 // K2 = coefficient index (4 bytes on the wire), V2 = 8-byte double.
 constexpr uint64_t kPairBytes = 12;
 
-class SendCoefMapper : public Mapper<uint64_t, double> {
+class SendCoefMapper : public MapperBase<SendCoefMapper, uint64_t, double> {
  public:
   explicit SendCoefMapper(const BuildOptions& options) : options_(options) {}
 
-  void Run(MapContext<uint64_t, double>& ctx) override {
+  template <typename Ctx>
+  void RunImpl(Ctx& ctx) {
     const uint64_t u = ctx.input().dataset_info().domain_size;
-    std::unordered_map<uint64_t, uint64_t> freq;
-    ctx.input().Scan([&freq](uint64_t key) { ++freq[key]; });
+    FlatHashCounter<uint64_t, uint64_t> freq;
+    freq.reserve(std::min(ctx.input().num_records(), u));
+    ctx.input().ScanBatches([&freq](const uint64_t* keys, uint64_t n) {
+      for (uint64_t i = 0; i < n; ++i) ++freq[keys[i]];
+    });
 
     if (options_.use_dense_local_transform) {
       // Ablation: the O(u) centralized transform of [26] instead of the
@@ -71,7 +76,7 @@ class SendCoefReducer : public Reducer<uint64_t, double> {
 
  private:
   size_t k_;
-  std::unordered_map<uint64_t, double> sums_;
+  FlatHashCounter<uint64_t, double> sums_;
   std::vector<WCoeff> result_;
 };
 

@@ -1,7 +1,8 @@
 #include "exact/send_v.h"
 
-#include <unordered_map>
+#include <algorithm>
 
+#include "core/flat_hash.h"
 #include "mapreduce/job.h"
 #include "wavelet/sparse.h"
 #include "wavelet/topk.h"
@@ -15,20 +16,27 @@ namespace {
 // wire.
 constexpr uint64_t kPairBytes = 8;
 
-class SendVMapper : public Mapper<uint64_t, uint64_t> {
+class SendVMapper : public MapperBase<SendVMapper, uint64_t, uint64_t> {
  public:
   explicit SendVMapper(bool emit_per_record) : emit_per_record_(emit_per_record) {}
 
-  void Run(MapContext<uint64_t, uint64_t>& ctx) override {
+  template <typename Ctx>
+  void RunImpl(Ctx& ctx) {
     if (emit_per_record_) {
       // Hadoop's default pipeline: one pair per record; the engine-side
       // Combiner (if enabled) merges them before the shuffle.
-      ctx.input().Scan([&ctx](uint64_t key) { ctx.Emit(key, 1); });
+      ctx.input().ScanBatches([&ctx](const uint64_t* keys, uint64_t n) {
+        for (uint64_t i = 0; i < n; ++i) ctx.Emit(keys[i], 1);
+      });
       return;
     }
     // The paper's pattern: aggregate in a hash map, emit from Close.
-    std::unordered_map<uint64_t, uint64_t> freq;
-    ctx.input().Scan([&freq](uint64_t key) { ++freq[key]; });
+    FlatHashCounter<uint64_t, uint64_t> freq;
+    freq.reserve(std::min(ctx.input().num_records(),
+                          ctx.input().dataset_info().domain_size));
+    ctx.input().ScanBatches([&freq](const uint64_t* keys, uint64_t n) {
+      for (uint64_t i = 0; i < n; ++i) ++freq[keys[i]];
+    });
     for (const auto& [key, count] : freq) ctx.Emit(key, count);
   }
 
@@ -66,7 +74,7 @@ class SendVReducer : public Reducer<uint64_t, uint64_t> {
  private:
   BuildOptions options_;
   uint64_t u_ = 1;
-  std::unordered_map<uint64_t, uint64_t> freq_;
+  FlatHashCounter<uint64_t, uint64_t> freq_;
   std::vector<WCoeff> result_;
 };
 

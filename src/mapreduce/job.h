@@ -7,10 +7,10 @@
 #include <future>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/flat_hash.h"
 #include "core/logging.h"
 #include "core/status.h"
 #include "core/thread_pool.h"
@@ -58,26 +58,78 @@ struct MrEnv {
   std::unique_ptr<ThreadPool> pool_;
 };
 
+namespace internal {
+
+/// Emit sink that buffers pairs verbatim, in emit order (no combiner).
+template <typename K2, typename V2>
+class BufferSink {
+ public:
+  explicit BufferSink(std::vector<std::pair<K2, V2>>* out) : out_(out) {}
+  void Emit(const K2& key, const V2& value) { out_->emplace_back(key, value); }
+
+ private:
+  std::vector<std::pair<K2, V2>>* out_;
+};
+
+/// Emit sink that merges values with equal keys inside the task before the
+/// shuffle (Hadoop's Combiner), accumulating into a flat open-addressing
+/// table; the engine flushes it at task close. The combiner function is only
+/// reached on duplicate keys -- first-time keys are a single probe.
+template <typename K2, typename V2>
+class CombineSink {
+ public:
+  explicit CombineSink(const std::function<V2(const V2&, const V2&)>* combiner)
+      : combiner_(combiner) {}
+
+  void Emit(const K2& key, const V2& value) {
+    auto [slot, inserted] = buffer_.FindOrEmplace(key, value);
+    if (!inserted) *slot = (*combiner_)(*slot, value);
+  }
+
+  const FlatHashCounter<K2, V2>& buffer() const { return buffer_; }
+
+ private:
+  FlatHashCounter<K2, V2> buffer_;
+  const std::function<V2(const V2&, const V2&)>* combiner_;
+};
+
+/// Everything one map task produces, buffered on its worker thread and
+/// merged by the driver in split-index order. Buffering per task (instead of
+/// absorbing into the reducer from the mapper thread) is what makes the
+/// round's outcome independent of task completion order.
+template <typename K2, typename V2>
+struct MapTaskOutput {
+  TaskCost cost;
+  Counters counters;                      // task-private counter increments
+  std::vector<std::pair<K2, V2>> pairs;   // post-combine, in emit order
+  uint64_t combine_output_pairs = 0;
+  bool combined = false;
+};
+
+}  // namespace internal
+
 /// Context handed to a Mapper: its input split, the broadcast channels,
 /// persistent state, counters, and the Emit sink. All interactions are cost
-/// accounted. One MapContext is confined to its map task's thread; `sink`
-/// is the task-private Counters the engine merges in split order.
-template <typename K2, typename V2>
+/// accounted. One MapContext is confined to its map task's thread.
+///
+/// Sink is a compile-time parameter (BufferSink or CombineSink), so Emit is
+/// a fully inlined store/probe -- no std::function hop per pair. Emitted
+/// pair counts accumulate locally and reach the task Counters in one Add at
+/// close (the engine calls FlushEmitCount), not one locked lookup per pair.
+template <typename K2, typename V2, typename Sink>
 class MapContext {
  public:
-  using EmitFn = std::function<void(const K2&, const V2&)>;
-
-  MapContext(SplitAccess* input, MrEnv* env, TaskCost* cost, Counters* sink,
-             EmitFn emit)
-      : input_(input), env_(env), cost_(cost), counters_(sink),
-        emit_(std::move(emit)) {}
+  MapContext(SplitAccess* input, MrEnv* env, TaskCost* cost, Counters* counters,
+             Sink* sink)
+      : input_(input), env_(env), cost_(cost), counters_(counters), sink_(sink),
+        emit_cpu_ns_(env->cost_model.emit_cpu_ns_per_pair) {}
 
   /// Emits an intermediate pair (charged per pair; wire bytes are accounted
   /// after the optional combine stage).
   void Emit(const K2& key, const V2& value) {
-    cost_->cpu_ns += env_->cost_model.emit_cpu_ns_per_pair;
-    counters_->Add("map_output_pairs", 1);
-    emit_(key, value);
+    cost_->cpu_ns += emit_cpu_ns_;
+    ++emitted_pairs_;
+    sink_->Emit(key, value);
   }
 
   /// Charges algorithm-specific CPU work (e.g. a local wavelet transform).
@@ -103,6 +155,13 @@ class MapContext {
   }
   bool HasState() const { return env_->state.Contains(StateKey()); }
 
+  /// Folds the locally counted emits into the task Counters; called once by
+  /// the engine after Mapper::Run returns.
+  void FlushEmitCount() {
+    if (emitted_pairs_ > 0) counters_->Add("map_output_pairs", emitted_pairs_);
+    emitted_pairs_ = 0;
+  }
+
  private:
   std::string StateKey() const {
     return "split-" + std::to_string(input_->split_id());
@@ -112,18 +171,43 @@ class MapContext {
   MrEnv* env_;
   TaskCost* cost_;
   Counters* counters_;
-  EmitFn emit_;
+  Sink* sink_;
+  double emit_cpu_ns_;
+  uint64_t emitted_pairs_ = 0;
 };
 
 /// A map task. One instance is created per split per round; Run() owns the
 /// whole task lifecycle (the paper's Map-per-record plus Close pattern).
 /// Instances run concurrently under --threads > 1, so a Mapper must not
 /// mutate state shared across splits (the MapContext channels are safe).
+///
+/// The engine instantiates one of two statically-typed contexts per task --
+/// buffered emit or in-task combine -- so Run is overloaded per sink type.
+/// Derive from MapperBase and implement a single `template <typename Ctx>
+/// void RunImpl(Ctx&)`; the base forwards both overloads.
 template <typename K2, typename V2>
 class Mapper {
  public:
+  using BufferContext = MapContext<K2, V2, internal::BufferSink<K2, V2>>;
+  using CombineContext = MapContext<K2, V2, internal::CombineSink<K2, V2>>;
+
   virtual ~Mapper() = default;
-  virtual void Run(MapContext<K2, V2>& ctx) = 0;
+  virtual void Run(BufferContext& ctx) = 0;
+  virtual void Run(CombineContext& ctx) = 0;
+};
+
+/// CRTP adapter: routes both statically-typed Run overloads into the derived
+/// class's single RunImpl template, so mapper code is written once and the
+/// emit path still inlines for either sink.
+template <typename Derived, typename K2, typename V2>
+class MapperBase : public Mapper<K2, V2> {
+ public:
+  void Run(typename Mapper<K2, V2>::BufferContext& ctx) override {
+    static_cast<Derived*>(this)->RunImpl(ctx);
+  }
+  void Run(typename Mapper<K2, V2>::CombineContext& ctx) override {
+    static_cast<Derived*>(this)->RunImpl(ctx);
+  }
 };
 
 /// Context handed to the (single) Reducer.
@@ -201,23 +285,6 @@ struct JobPlan {
   bool sorted_shuffle = false;
 };
 
-namespace internal {
-
-/// Everything one map task produces, buffered on its worker thread and
-/// merged by the driver in split-index order. Buffering per task (instead of
-/// absorbing into the reducer from the mapper thread) is what makes the
-/// round's outcome independent of task completion order.
-template <typename K2, typename V2>
-struct MapTaskOutput {
-  TaskCost cost;
-  Counters counters;                      // task-private counter increments
-  std::vector<std::pair<K2, V2>> pairs;   // post-combine, in emit order
-  uint64_t combine_output_pairs = 0;
-  bool combined = false;
-};
-
-}  // namespace internal
-
 /// Executes one round over all splits of `dataset` and appends a RoundStats
 /// to env->stats. Mapper/reducer code runs for real; seconds are simulated
 /// per the CostModel.
@@ -281,23 +348,21 @@ RoundStats RunRound(const JobPlan<K2, V2>& plan, const Dataset& dataset, MrEnv* 
     std::unique_ptr<Mapper<K2, V2>> mapper = plan.mapper_factory(split);
     if (plan.combiner) {
       // Combine inside the task: aggregate emissions by key, flush at Close.
-      std::unordered_map<K2, V2> buffer;
-      MapContext<K2, V2> ctx(&access, env, &out.cost, &out.counters,
-                             [&buffer, &plan](const K2& k, const V2& v) {
-                               auto [it, inserted] = buffer.emplace(k, v);
-                               if (!inserted) it->second = plan.combiner(it->second, v);
-                             });
+      internal::CombineSink<K2, V2> sink(&plan.combiner);
+      typename Mapper<K2, V2>::CombineContext ctx(&access, env, &out.cost,
+                                                  &out.counters, &sink);
       mapper->Run(ctx);
+      ctx.FlushEmitCount();
       out.combined = true;
-      out.combine_output_pairs = buffer.size();
-      out.pairs.reserve(buffer.size());
-      for (const auto& [k, v] : buffer) out.pairs.emplace_back(k, v);
+      out.combine_output_pairs = sink.buffer().size();
+      out.pairs.reserve(sink.buffer().size());
+      for (const auto& [k, v] : sink.buffer()) out.pairs.emplace_back(k, v);
     } else {
-      MapContext<K2, V2> ctx(&access, env, &out.cost, &out.counters,
-                             [&out](const K2& k, const V2& v) {
-                               out.pairs.emplace_back(k, v);
-                             });
+      internal::BufferSink<K2, V2> sink(&out.pairs);
+      typename Mapper<K2, V2>::BufferContext ctx(&access, env, &out.cost,
+                                                 &out.counters, &sink);
       mapper->Run(ctx);
+      ctx.FlushEmitCount();
     }
     return out;
   };

@@ -3,7 +3,7 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
+#include <utility>
 
 #include "data/dataset.h"
 #include "mapreduce/cost_model.h"
@@ -18,6 +18,9 @@ namespace wavemr {
 /// 2-3, which only read state files) -- is charged consistently.
 class SplitAccess {
  public:
+  /// Keys delivered per ScanBatches callback (one Dataset::ReadKeys call).
+  static constexpr uint64_t kScanBatch = kKeyBatchSize;
+
   SplitAccess(const Dataset& dataset, uint64_t split, const CostModel& cost_model,
               TaskCost* cost)
       : dataset_(dataset), split_(split), cost_model_(cost_model), cost_(cost) {}
@@ -27,14 +30,25 @@ class SplitAccess {
   uint64_t split_bytes() const { return dataset_.SplitBytes(split_); }
   const DatasetInfo& dataset_info() const { return dataset_.info(); }
 
-  /// Sequential scan of every record; charges disk for the whole split and
-  /// base map CPU per record.
-  void Scan(const std::function<void(uint64_t key)>& fn) {
-    cost_->disk_bytes += split_bytes();
-    uint64_t n = num_records();
-    cost_->records_read += n;
-    cost_->cpu_ns += static_cast<double>(n) * cost_model_.map_cpu_ns_per_record;
-    dataset_.ScanSplit(split_, fn);
+  /// Sequential scan of every record in chunks: `fn(const uint64_t* keys,
+  /// uint64_t n)` is invoked with batches of up to kScanBatch keys in record
+  /// order. Templated on the callback so the per-batch call inlines -- this
+  /// is the data plane's hot path. Charges disk for the whole split and base
+  /// map CPU per record, exactly like the per-key Scan.
+  template <typename BatchFn>
+  void ScanBatches(BatchFn&& fn) {
+    ChargeSequentialScan();
+    ForEachKeyBatch(dataset_, split_, std::forward<BatchFn>(fn));
+  }
+
+  /// Per-key sequential scan: thin adapter over ScanBatches for call sites
+  /// that want one key at a time. `fn(uint64_t key)` still inlines; only
+  /// prefer ScanBatches when the loop body wants the whole chunk.
+  template <typename KeyFn>
+  void Scan(KeyFn&& fn) {
+    ScanBatches([&fn](const uint64_t* keys, uint64_t n) {
+      for (uint64_t i = 0; i < n; ++i) fn(keys[i]);
+    });
   }
 
   /// Random access to one record's key. Charges CPU only; use
@@ -55,6 +69,13 @@ class SplitAccess {
   }
 
  private:
+  void ChargeSequentialScan() {
+    cost_->disk_bytes += split_bytes();
+    uint64_t n = num_records();
+    cost_->records_read += n;
+    cost_->cpu_ns += static_cast<double>(n) * cost_model_.map_cpu_ns_per_record;
+  }
+
   const Dataset& dataset_;
   uint64_t split_;
   const CostModel& cost_model_;

@@ -6,6 +6,35 @@
 
 namespace wavemr {
 
+namespace {
+
+constexpr uint64_t kPrime = PolyHash::kPrime;
+
+// Degree-2 polynomial over GF(2^61 - 1), Horner order matching
+// PolyHash::Hash so values are bit-identical.
+inline uint64_t Hash2(const uint64_t c[2], uint64_t xr) {
+  uint64_t acc = MulMod61(c[1], xr) + c[0];
+  return acc >= kPrime ? acc - kPrime : acc;
+}
+
+// Degree-4 polynomial, same Horner order as PolyHash::Hash.
+inline uint64_t Hash4(const uint64_t c[4], uint64_t xr) {
+  uint64_t acc = MulMod61(c[3], xr) + c[2];
+  if (acc >= kPrime) acc -= kPrime;
+  acc = MulMod61(acc, xr) + c[1];
+  if (acc >= kPrime) acc -= kPrime;
+  acc = MulMod61(acc, xr) + c[0];
+  return acc >= kPrime ? acc - kPrime : acc;
+}
+
+void CopyCoeffs(const PolyHash& hash, uint64_t* out, size_t degree) {
+  const std::vector<uint64_t>& coeffs = hash.coeffs();
+  WAVEMR_CHECK_EQ(coeffs.size(), degree);
+  std::copy(coeffs.begin(), coeffs.end(), out);
+}
+
+}  // namespace
+
 GroupCountSketch::GroupCountSketch(uint64_t seed, size_t reps, size_t buckets,
                                    size_t subbuckets)
     : reps_(reps),
@@ -14,58 +43,119 @@ GroupCountSketch::GroupCountSketch(uint64_t seed, size_t reps, size_t buckets,
       seed_(seed),
       table_(reps * buckets * subbuckets, 0.0) {
   WAVEMR_CHECK_GE(reps, 1u);
+  WAVEMR_CHECK_LE(reps, kMaxReps);
   WAVEMR_CHECK_GE(buckets, 1u);
   WAVEMR_CHECK_GE(subbuckets, 1u);
-  group_hash_.reserve(reps);
-  item_hash_.reserve(reps);
-  sign_hash_.reserve(reps);
+  rep_hash_.resize(reps);
   for (size_t r = 0; r < reps; ++r) {
-    group_hash_.emplace_back(Mix64(seed ^ (3 * r + 1)), 2);
-    item_hash_.emplace_back(Mix64(seed ^ (3 * r + 2)), 2);
-    sign_hash_.emplace_back(Mix64(seed ^ (3 * r + 3)), 4);
+    CopyCoeffs(PolyHash(Mix64(seed ^ (3 * r + 1)), 2), rep_hash_[r].g, 2);
+    CopyCoeffs(PolyHash(Mix64(seed ^ (3 * r + 2)), 2), rep_hash_[r].i, 2);
+    CopyCoeffs(PolyHash(Mix64(seed ^ (3 * r + 3)), 4), rep_hash_[r].s, 4);
   }
 }
 
-size_t GroupCountSketch::CellIndex(size_t rep, uint64_t group, uint64_t item) const {
-  size_t bucket = group_hash_[rep].Bucket(group, buckets_);
-  size_t sub = item_hash_[rep].Bucket(item, subbuckets_);
-  return (rep * buckets_ + bucket) * subbuckets_ + sub;
+void GroupCountSketch::Update(uint64_t group, uint64_t item, double value) {
+  const uint64_t gr = group % kPrime;
+  const uint64_t ir = item % kPrime;
+  const size_t row_stride = buckets_ * subbuckets_;
+  double* rep_row = table_.data();
+  for (size_t r = 0; r < reps_; ++r, rep_row += row_stride) {
+    const RepHash& h = rep_hash_[r];
+    double* cell = rep_row + (Hash2(h.g, gr) % buckets_) * subbuckets_ +
+                   Hash2(h.i, ir) % subbuckets_;
+    *cell += (Hash4(h.s, ir) & 1) ? value : -value;
+  }
 }
 
-void GroupCountSketch::Update(uint64_t group, uint64_t item, double value) {
-  for (size_t r = 0; r < reps_; ++r) {
-    table_[CellIndex(r, group, item)] += sign_hash_[r].Sign(item) * value;
+template <bool kPow2Sub>
+void GroupCountSketch::UpdateBatchImpl(const uint64_t* items, const double* values,
+                                       size_t n, uint32_t group_shift) {
+  // Blocked rep-outer loop: within a block each repetition's hash
+  // coefficients stay in registers and the group bucket is reused across
+  // runs of items sharing a dyadic group, while the block bound keeps the
+  // item/value stream L1-resident across the `reps` passes. Per-cell add
+  // order equals the scalar loop's (items in order within each rep), so
+  // results are bit-identical to calling Update n times. The sub-bucket
+  // reduction -- one per counter touch, the single hottest op in
+  // Send-Sketch -- compiles to a mask when subbuckets is a power of two
+  // (the default) instead of a runtime 64-bit division.
+  constexpr size_t kBlock = 256;
+  const uint64_t sub_mask = subbuckets_ - 1;  // valid only when kPow2Sub
+  const size_t row_stride = buckets_ * subbuckets_;
+  for (size_t base = 0; base < n; base += kBlock) {
+    const size_t end = std::min(n, base + kBlock);
+    double* rep_row = table_.data();
+    for (size_t r = 0; r < reps_; ++r, rep_row += row_stride) {
+      const RepHash h = rep_hash_[r];
+      uint64_t cached_group = ~uint64_t{0};
+      double* row = nullptr;
+      for (size_t k = base; k < end; ++k) {
+        const uint64_t item = items[k];
+        const uint64_t group = group_shift >= 64 ? 0 : item >> group_shift;
+        if (group != cached_group || row == nullptr) {
+          cached_group = group;
+          row = rep_row + (Hash2(h.g, group % kPrime) % buckets_) * subbuckets_;
+        }
+        const uint64_t ir = item % kPrime;
+        const uint64_t ih = Hash2(h.i, ir);
+        const uint64_t sub = kPow2Sub ? (ih & sub_mask) : (ih % subbuckets_);
+        const double value = values[k];
+        row[sub] += (Hash4(h.s, ir) & 1) ? value : -value;
+      }
+    }
+  }
+}
+
+void GroupCountSketch::UpdateBatch(const uint64_t* items, const double* values,
+                                   size_t n, uint32_t group_shift) {
+  if ((subbuckets_ & (subbuckets_ - 1)) == 0) {
+    UpdateBatchImpl<true>(items, values, n, group_shift);
+  } else {
+    UpdateBatchImpl<false>(items, values, n, group_shift);
   }
 }
 
 double GroupCountSketch::GroupEnergy(uint64_t group) const {
-  std::vector<double> est(reps_);
+  double est[kMaxReps];
+  const uint64_t gr = group % kPrime;
   for (size_t r = 0; r < reps_; ++r) {
-    size_t bucket = group_hash_[r].Bucket(group, buckets_);
+    size_t bucket = Hash2(rep_hash_[r].g, gr) % buckets_;
     const double* cell = &table_[(r * buckets_ + bucket) * subbuckets_];
     double energy = 0.0;
     for (size_t s = 0; s < subbuckets_; ++s) energy += cell[s] * cell[s];
     est[r] = energy;
   }
-  std::nth_element(est.begin(), est.begin() + reps_ / 2, est.end());
+  std::nth_element(est, est + reps_ / 2, est + reps_);
   return est[reps_ / 2];
 }
 
 double GroupCountSketch::EstimateItem(uint64_t group, uint64_t item) const {
-  std::vector<double> est(reps_);
+  double est[kMaxReps];
+  const uint64_t gr = group % kPrime;
+  const uint64_t ir = item % kPrime;
   for (size_t r = 0; r < reps_; ++r) {
-    est[r] = sign_hash_[r].Sign(item) * table_[CellIndex(r, group, item)];
+    const RepHash& h = rep_hash_[r];
+    const double cell = table_[(r * buckets_ + Hash2(h.g, gr) % buckets_) *
+                                   subbuckets_ +
+                               Hash2(h.i, ir) % subbuckets_];
+    est[r] = (Hash4(h.s, ir) & 1) ? cell : -cell;
   }
-  std::nth_element(est.begin(), est.begin() + reps_ / 2, est.end());
+  std::nth_element(est, est + reps_ / 2, est + reps_);
   return est[reps_ / 2];
 }
 
 void GroupCountSketch::Merge(const GroupCountSketch& other) {
+  // Structural assertions up front (equal table sizes do NOT imply equal
+  // geometry -- 2x8x4 and 4x4x4 tables are both 64 cells), then one tight
+  // pointer loop over the counters.
+  WAVEMR_CHECK_EQ(seed_, other.seed_);
   WAVEMR_CHECK_EQ(reps_, other.reps_);
   WAVEMR_CHECK_EQ(buckets_, other.buckets_);
   WAVEMR_CHECK_EQ(subbuckets_, other.subbuckets_);
-  WAVEMR_CHECK_EQ(seed_, other.seed_);
-  for (size_t i = 0; i < table_.size(); ++i) table_[i] += other.table_[i];
+  const double* src = other.table_.data();
+  double* dst = table_.data();
+  const size_t n = table_.size();
+  for (size_t i = 0; i < n; ++i) dst[i] += src[i];
 }
 
 uint64_t GroupCountSketch::NonzeroCounters() const {

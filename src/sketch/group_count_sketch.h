@@ -16,11 +16,29 @@ namespace wavemr {
 ///     counters[rep][h_rep(group)][f_rep(item)] += sign_rep(item) * value.
 /// GroupEnergy(g) = median over reps of the summed squares of g's bucket.
 /// Linear in the input, so local sketches merge by addition.
+///
+/// The update kernel is the map-side unit of cost in Send-Sketch, so it is
+/// laid out for throughput: each repetition's three polynomial hashes live
+/// in one flat 64-byte record (no per-call vector indirection), Update
+/// resolves the repetition's bucket row pointer once, and UpdateBatch
+/// amortizes the group hash across runs of items sharing a group (sorted
+/// batches -- the wavelet hierarchy's natural order -- hash each group
+/// once per repetition).
 class GroupCountSketch {
  public:
+  /// Median buffers in the query path live on the stack; reps is tiny in
+  /// every published configuration (t = 3..7).
+  static constexpr size_t kMaxReps = 64;
+
   GroupCountSketch(uint64_t seed, size_t reps, size_t buckets, size_t subbuckets);
 
   void Update(uint64_t group, uint64_t item, double value);
+
+  /// Bulk weighted update: applies values[k] to items[k], whose group is
+  /// items[k] >> group_shift (the dyadic grouping the wavelet hierarchy
+  /// uses). Ascending items maximize group-hash reuse; any order is correct.
+  void UpdateBatch(const uint64_t* items, const double* values, size_t n,
+                   uint32_t group_shift);
 
   /// Estimate of sum over items i in `group` of value(i)^2.
   double GroupEnergy(uint64_t group) const;
@@ -40,16 +58,26 @@ class GroupCountSketch {
   void AddToCounter(size_t flat_index, double delta) { table_[flat_index] += delta; }
 
  private:
-  size_t CellIndex(size_t rep, uint64_t group, uint64_t item) const;
+  template <bool kPow2Sub>
+  void UpdateBatchImpl(const uint64_t* items, const double* values, size_t n,
+                       uint32_t group_shift);
+
+  /// One repetition's hash functions, flattened: the 2-wise group and item
+  /// polynomials and the 4-wise sign polynomial, coefficients c0-first.
+  /// Exactly the coefficients PolyHash would draw, so hash values (and
+  /// therefore sketch contents) are independent of the kernel layout.
+  struct RepHash {
+    uint64_t g[2];
+    uint64_t i[2];
+    uint64_t s[4];
+  };
 
   size_t reps_;
   size_t buckets_;
   size_t subbuckets_;
   uint64_t seed_;
-  std::vector<PolyHash> group_hash_;  // 2-wise per rep
-  std::vector<PolyHash> item_hash_;   // 2-wise per rep
-  std::vector<PolyHash> sign_hash_;   // 4-wise per rep
-  std::vector<double> table_;         // reps x buckets x subbuckets
+  std::vector<RepHash> rep_hash_;
+  std::vector<double> table_;  // reps x buckets x subbuckets
 };
 
 }  // namespace wavemr

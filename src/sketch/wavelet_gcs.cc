@@ -14,6 +14,7 @@ WaveletGcs::WaveletGcs(uint64_t u, const WaveletGcsOptions& options)
   WAVEMR_CHECK(IsPowerOfTwo(u));
   WAVEMR_CHECK_GE(options.degree_bits, 1u);
   const uint32_t bits = Log2Floor(u);
+  WAVEMR_CHECK_LE(bits, kMaxTreeDepth);
   // Levels 0..L, where the root level has at most 2^degree_bits groups.
   size_t num_levels = 1;
   while (bits > degree_bits_ * (num_levels - 1) + degree_bits_) ++num_levels;
@@ -43,15 +44,29 @@ uint64_t WaveletGcs::NumGroupsAtLevel(size_t level) const {
 
 void WaveletGcs::UpdateData(uint64_t x, double count) {
   const uint32_t bits = Log2Floor(u_);
-  // Average coefficient.
-  UpdateCoeff(0, count / std::sqrt(static_cast<double>(u_)));
-  // One detail coefficient per level of the error tree.
+  // The error-tree path of x: the average coefficient plus one detail
+  // coefficient per level, in ascending index order. Built once on the
+  // stack, then bulk-applied level by level -- each sketch level walks the
+  // whole (sorted) path with its per-repetition hashes in registers and the
+  // group bucket reused across items that share a dyadic group.
+  uint64_t indices[kMaxTreeDepth + 1];
+  double deltas[kMaxTreeDepth + 1];
+  WAVEMR_DCHECK(bits <= kMaxTreeDepth);
+  indices[0] = 0;
+  deltas[0] = count / std::sqrt(static_cast<double>(u_));
   for (uint32_t j = 0; j < bits; ++j) {
     uint64_t block = u_ >> j;
     uint64_t k = x / block;
     uint64_t offset = x - k * block;
     double mag = count / std::sqrt(static_cast<double>(block));
-    UpdateCoeff((uint64_t{1} << j) + k, (offset < block / 2) ? -mag : mag);
+    indices[j + 1] = (uint64_t{1} << j) + k;
+    deltas[j + 1] = (offset < block / 2) ? -mag : mag;
+  }
+  const size_t n = bits + 1;
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    levels_[l].UpdateBatch(indices, deltas, n,
+                           static_cast<uint32_t>(degree_bits_) *
+                               static_cast<uint32_t>(l));
   }
 }
 

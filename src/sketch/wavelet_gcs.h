@@ -38,6 +38,10 @@ struct WaveletGcsOptions {
 /// root, expanding only groups whose estimated energy clears a threshold.
 class WaveletGcs {
  public:
+  /// Deepest supported error tree (u <= 2^60); bounds the stack buffers the
+  /// bulk update path uses.
+  static constexpr uint32_t kMaxTreeDepth = 60;
+
   WaveletGcs(uint64_t u, const WaveletGcsOptions& options);
 
   uint64_t domain_size() const { return u_; }

@@ -1,0 +1,166 @@
+#include "core/flat_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/zipf.h"
+
+namespace wavemr {
+namespace {
+
+// Reference-checks a FlatHashCounter against std::unordered_map after an
+// identical sequence of increments.
+void ExpectMatches(const FlatHashCounter<uint64_t, uint64_t>& flat,
+                   const std::unordered_map<uint64_t, uint64_t>& ref) {
+  ASSERT_EQ(flat.size(), ref.size());
+  for (const auto& [key, value] : ref) {
+    const uint64_t* got = flat.Find(key);
+    ASSERT_NE(got, nullptr) << "missing key " << key;
+    EXPECT_EQ(*got, value) << "key " << key;
+  }
+  // Iteration covers exactly the inserted keys.
+  uint64_t seen = 0;
+  for (const auto& [key, value] : flat) {
+    auto it = ref.find(key);
+    ASSERT_NE(it, ref.end()) << "phantom key " << key;
+    EXPECT_EQ(value, it->second);
+    ++seen;
+  }
+  EXPECT_EQ(seen, ref.size());
+}
+
+TEST(FlatHashCounterTest, EmptyBehaves) {
+  FlatHashCounter<uint64_t, uint64_t> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.Find(42), nullptr);
+  EXPECT_EQ(map.begin(), map.end());
+  EXPECT_EQ(map.find(42), map.end());
+}
+
+TEST(FlatHashCounterTest, CountingMatchesUnorderedMapUniformKeys) {
+  FlatHashCounter<uint64_t, uint64_t> flat;
+  std::unordered_map<uint64_t, uint64_t> ref;
+  Rng rng(123);
+  for (int i = 0; i < 200000; ++i) {
+    uint64_t key = rng.NextBounded(50000);
+    ++flat[key];
+    ++ref[key];
+  }
+  ExpectMatches(flat, ref);
+}
+
+TEST(FlatHashCounterTest, CountingMatchesUnorderedMapZipfKeys) {
+  // Skewed keys: a few keys absorb most increments, the tail exercises
+  // growth with many near-singleton entries (the map-side workload).
+  FlatHashCounter<uint64_t, uint64_t> flat;
+  std::unordered_map<uint64_t, uint64_t> ref;
+  ZipfDistribution zipf(1 << 16, 1.1);
+  Rng rng(7);
+  for (int i = 0; i < 150000; ++i) {
+    uint64_t key = zipf.Sample(rng);
+    ++flat[key];
+    ++ref[key];
+  }
+  ExpectMatches(flat, ref);
+}
+
+TEST(FlatHashCounterTest, ResizeBoundariesPreserveContents) {
+  // Insert exactly around every doubling threshold (load factor 1/2 of a
+  // power-of-two capacity) and verify contents at each boundary.
+  FlatHashCounter<uint64_t, uint64_t> flat;
+  std::unordered_map<uint64_t, uint64_t> ref;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    uint64_t key = Mix64(i) >> 16;  // scrambled but reproducible
+    flat[key] = i;
+    ref[key] = i;
+    bool at_boundary =
+        flat.capacity() != 0 && (2 * flat.size() == flat.capacity() ||
+                                 2 * (flat.size() + 1) > flat.capacity());
+    if (at_boundary) ExpectMatches(flat, ref);
+  }
+  ExpectMatches(flat, ref);
+}
+
+TEST(FlatHashCounterTest, ReservePreallocatesAndKeepsSemantics) {
+  FlatHashCounter<uint64_t, uint64_t> flat;
+  flat.reserve(10000);
+  size_t cap = flat.capacity();
+  EXPECT_GE(cap, 20000u);  // load factor <= 1/2
+  std::unordered_map<uint64_t, uint64_t> ref;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    ++flat[i * 977];
+    ++ref[i * 977];
+  }
+  EXPECT_EQ(flat.capacity(), cap);  // no rehash happened
+  ExpectMatches(flat, ref);
+}
+
+TEST(FlatHashCounterTest, FindOrEmplaceReportsInsertion) {
+  FlatHashCounter<uint64_t, uint64_t> flat;
+  auto [v1, inserted1] = flat.FindOrEmplace(9, 5);
+  EXPECT_TRUE(inserted1);
+  EXPECT_EQ(*v1, 5u);
+  auto [v2, inserted2] = flat.FindOrEmplace(9, 11);
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(*v2, 5u);  // existing value untouched
+  *v2 += 1;
+  EXPECT_EQ(flat.at(9), 6u);
+}
+
+TEST(FlatHashCounterTest, InitializerListAndEquality) {
+  FlatHashCounter<uint64_t, uint64_t> a = {{5, 3}, {9, 1}};
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.at(5), 3u);
+  EXPECT_EQ(a.at(9), 1u);
+
+  // Equality is order-independent: build the same contents the other way.
+  FlatHashCounter<uint64_t, uint64_t> b;
+  b[9] = 1;
+  b[5] = 3;
+  EXPECT_EQ(a, b);
+  b[5] = 4;
+  EXPECT_NE(a, b);
+  b[5] = 3;
+  b[6] = 0;
+  EXPECT_NE(a, b);  // extra key, even with zero value
+}
+
+TEST(FlatHashCounterTest, NonTrivialValueType) {
+  struct Acc {
+    uint64_t hits = 0;
+    double weight = 0.0;
+  };
+  FlatHashCounter<uint64_t, Acc> flat;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    Acc& a = flat[i % 37];
+    a.hits += 1;
+    a.weight += 0.5;
+  }
+  EXPECT_EQ(flat.size(), 37u);
+  for (const auto& [key, acc] : flat) {
+    EXPECT_GE(acc.hits, 27u);
+    EXPECT_DOUBLE_EQ(acc.weight, 0.5 * static_cast<double>(acc.hits));
+  }
+}
+
+TEST(FlatHashCounterTest, DeterministicIterationForSameInsertSequence) {
+  auto build = [] {
+    FlatHashCounter<uint64_t, uint64_t> m;
+    Rng rng(55);
+    for (int i = 0; i < 20000; ++i) ++m[rng.NextBounded(3000)];
+    return m;
+  };
+  FlatHashCounter<uint64_t, uint64_t> a = build();
+  FlatHashCounter<uint64_t, uint64_t> b = build();
+  std::vector<std::pair<uint64_t, uint64_t>> order_a(a.begin(), a.end());
+  std::vector<std::pair<uint64_t, uint64_t>> order_b(b.begin(), b.end());
+  EXPECT_EQ(order_a, order_b);  // slot order is a pure function of the data
+}
+
+}  // namespace
+}  // namespace wavemr

@@ -1,0 +1,186 @@
+// Equivalence of the batched data plane with the per-key primitives: for
+// every Dataset implementation, ReadKeys / ScanBatches must visit exactly
+// the key sequence Scan and KeyAt define, for any chunking.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/file_dataset.h"
+#include "mapreduce/cost_model.h"
+#include "mapreduce/split_access.h"
+#include "mapreduce/stats.h"
+
+namespace wavemr {
+namespace {
+
+std::vector<uint64_t> KeysViaKeyAt(const Dataset& ds, uint64_t split) {
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < ds.SplitRecords(split); ++i) {
+    keys.push_back(ds.KeyAt(split, i));
+  }
+  return keys;
+}
+
+std::vector<uint64_t> KeysViaScanSplit(const Dataset& ds, uint64_t split) {
+  std::vector<uint64_t> keys;
+  ds.ScanSplit(split, [&keys](uint64_t k) { keys.push_back(k); });
+  return keys;
+}
+
+std::vector<uint64_t> KeysViaReadKeys(const Dataset& ds, uint64_t split,
+                                      uint64_t chunk) {
+  std::vector<uint64_t> keys;
+  std::vector<uint64_t> buffer(chunk);
+  uint64_t start = 0;
+  for (;;) {
+    uint64_t got = ds.ReadKeys(split, start, buffer.data(), chunk);
+    if (got == 0) break;
+    EXPECT_LE(got, chunk) << "ReadKeys overfilled the buffer";
+    keys.insert(keys.end(), buffer.begin(), buffer.begin() + got);
+    start += got;
+  }
+  return keys;
+}
+
+void ExpectAllAccessPathsAgree(const Dataset& ds) {
+  for (uint64_t j = 0; j < ds.info().num_splits; ++j) {
+    std::vector<uint64_t> want = KeysViaKeyAt(ds, j);
+    EXPECT_EQ(KeysViaScanSplit(ds, j), want) << "split " << j;
+    // Chunk sizes around the awkward boundaries: 1, a prime, larger than
+    // the split.
+    for (uint64_t chunk : {uint64_t{1}, uint64_t{7}, uint64_t{1000},
+                           ds.SplitRecords(j) + 3}) {
+      std::vector<uint64_t> got;
+      KeysViaReadKeys(ds, j, chunk).swap(got);
+      EXPECT_EQ(got, want) << "split " << j << " chunk " << chunk;
+    }
+    // Reading past the end yields nothing.
+    uint64_t sink[4];
+    EXPECT_EQ(ds.ReadKeys(j, ds.SplitRecords(j), sink, 4), 0u);
+  }
+}
+
+TEST(ScanBatchesTest, ZipfDatasetCachedAndUncachedAgree) {
+  ZipfDatasetOptions opt;
+  opt.num_records = 5000;
+  opt.domain_size = 1 << 10;
+  opt.num_splits = 7;  // uneven splits: 5000 = 7*714 + 2
+  opt.seed = 11;
+
+  ZipfDataset cached(opt);
+  opt.cache_keys = false;
+  ZipfDataset uncached(opt);
+
+  ExpectAllAccessPathsAgree(cached);
+  ExpectAllAccessPathsAgree(uncached);
+  for (uint64_t j = 0; j < opt.num_splits; ++j) {
+    EXPECT_EQ(KeysViaScanSplit(cached, j), KeysViaScanSplit(uncached, j))
+        << "key cache changed the data, split " << j;
+  }
+}
+
+TEST(ScanBatchesTest, WorldCupDatasetCachedAndUncachedAgree) {
+  WorldCupDatasetOptions opt;
+  opt.num_records = 3000;
+  opt.num_clients = 1 << 5;
+  opt.num_objects = 1 << 3;
+  opt.num_splits = 5;
+  opt.seed = 4;
+
+  WorldCupDataset cached(opt);
+  opt.cache_keys = false;
+  WorldCupDataset uncached(opt);
+
+  ExpectAllAccessPathsAgree(cached);
+  ExpectAllAccessPathsAgree(uncached);
+  for (uint64_t j = 0; j < opt.num_splits; ++j) {
+    EXPECT_EQ(KeysViaScanSplit(cached, j), KeysViaScanSplit(uncached, j))
+        << "key cache changed the data, split " << j;
+  }
+}
+
+TEST(ScanBatchesTest, InMemoryDatasetAgrees) {
+  InMemoryDataset ds({{3, 1, 4, 1, 5}, {9, 2, 6}, {}, {5, 3}}, 16);
+  ExpectAllAccessPathsAgree(ds);
+}
+
+TEST(ScanBatchesTest, FileDatasetAgrees) {
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 1000; ++i) keys.push_back((i * 37) % 256);
+  std::string path = testing::TempDir() + "/scan_batches_test.bin";
+  ASSERT_TRUE(WriteFixedRecordFile(path, keys, 8).ok());
+  auto ds = FileDataset::Open(path, 8, 256, 6);
+  ASSERT_TRUE(ds.ok());
+  ExpectAllAccessPathsAgree(*ds);
+}
+
+// SplitAccess::ScanBatches and SplitAccess::Scan must deliver the same key
+// sequence and charge the same cost.
+TEST(ScanBatchesTest, SplitAccessBatchAndPerKeyAgree) {
+  ZipfDatasetOptions opt;
+  opt.num_records = 10000;
+  opt.domain_size = 1 << 8;
+  opt.num_splits = 3;
+  opt.seed = 21;
+  ZipfDataset ds(opt);
+  CostModel cm;
+
+  for (uint64_t j = 0; j < opt.num_splits; ++j) {
+    TaskCost cost_batch, cost_key;
+    SplitAccess batch_access(ds, j, cm, &cost_batch);
+    SplitAccess key_access(ds, j, cm, &cost_key);
+
+    std::vector<uint64_t> via_batches;
+    batch_access.ScanBatches([&via_batches](const uint64_t* keys, uint64_t n) {
+      via_batches.insert(via_batches.end(), keys, keys + n);
+    });
+    std::vector<uint64_t> via_keys;
+    key_access.Scan([&via_keys](uint64_t k) { via_keys.push_back(k); });
+
+    EXPECT_EQ(via_batches, via_keys) << "split " << j;
+    EXPECT_EQ(via_batches.size(), ds.SplitRecords(j));
+    EXPECT_EQ(cost_batch.disk_bytes, cost_key.disk_bytes);
+    EXPECT_EQ(cost_batch.records_read, cost_key.records_read);
+    EXPECT_DOUBLE_EQ(cost_batch.cpu_ns, cost_key.cpu_ns);
+  }
+}
+
+// Concurrent first-touch materialization must be safe and exact: many
+// threads scanning the same splits see identical data (exercises the
+// SplitKeyCache once-per-split path under TSan).
+TEST(ScanBatchesTest, ConcurrentScansSeeIdenticalKeys) {
+  ZipfDatasetOptions opt;
+  opt.num_records = 20000;
+  opt.domain_size = 1 << 10;
+  opt.num_splits = 8;
+  opt.seed = 31;
+  ZipfDataset ds(opt);
+
+  opt.cache_keys = false;
+  ZipfDataset reference(opt);
+
+  std::vector<std::vector<uint64_t>> seen(16);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 16; ++t) {
+      threads.emplace_back([&ds, &seen, t] {
+        for (uint64_t j = 0; j < ds.info().num_splits; ++j) {
+          ds.ScanSplit(j, [&seen, t](uint64_t k) { seen[t].push_back(k); });
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  std::vector<uint64_t> want;
+  for (uint64_t j = 0; j < reference.info().num_splits; ++j) {
+    reference.ScanSplit(j, [&want](uint64_t k) { want.push_back(k); });
+  }
+  for (int t = 0; t < 16; ++t) EXPECT_EQ(seen[t], want) << "thread " << t;
+}
+
+}  // namespace
+}  // namespace wavemr

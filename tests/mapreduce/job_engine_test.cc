@@ -11,9 +11,10 @@ namespace wavemr {
 namespace {
 
 // Word-count-style fixture: count keys across splits.
-class CountMapper : public Mapper<uint64_t, uint64_t> {
+class CountMapper : public MapperBase<CountMapper, uint64_t, uint64_t> {
  public:
-  void Run(MapContext<uint64_t, uint64_t>& ctx) override {
+  template <typename Ctx>
+  void RunImpl(Ctx& ctx) {
     ctx.input().Scan([&ctx](uint64_t key) { ctx.Emit(key, 1); });
   }
 };
@@ -148,16 +149,18 @@ TEST(JobEngineTest, BroadcastBytesChargeCacheOnce) {
 }
 
 // State round-trip: mapper saves in round 1, loads in round 2.
-class SaveMapper : public Mapper<uint64_t, uint64_t> {
+class SaveMapper : public MapperBase<SaveMapper, uint64_t, uint64_t> {
  public:
-  void Run(MapContext<uint64_t, uint64_t>& ctx) override {
+  template <typename Ctx>
+  void RunImpl(Ctx& ctx) {
     ctx.SaveState("state-of-" + std::to_string(ctx.split_id()));
   }
 };
 
-class LoadMapper : public Mapper<uint64_t, uint64_t> {
+class LoadMapper : public MapperBase<LoadMapper, uint64_t, uint64_t> {
  public:
-  void Run(MapContext<uint64_t, uint64_t>& ctx) override {
+  template <typename Ctx>
+  void RunImpl(Ctx& ctx) {
     auto blob = ctx.LoadState();
     ASSERT_TRUE(blob.ok());
     EXPECT_EQ(*blob, "state-of-" + std::to_string(ctx.split_id()));
@@ -223,15 +226,26 @@ TEST(JobEngineTest, ParallelStateRoundTrip) {
   EXPECT_EQ(round.threads_used, 4);
 }
 
-TEST(JobEngineTest, MapperExceptionPropagatesFromParallelRound) {
-  class ThrowingMapper : public Mapper<uint64_t, uint64_t> {
-   public:
-    void Run(MapContext<uint64_t, uint64_t>& ctx) override {
-      if (ctx.split_id() == 1) throw std::runtime_error("split 1 failed");
-      ctx.Emit(ctx.split_id(), 1);
-    }
-  };
+// Local classes cannot hold member templates, so the CRTP mappers used by
+// the tests below live at namespace scope.
+class ThrowingMapper : public MapperBase<ThrowingMapper, uint64_t, uint64_t> {
+ public:
+  template <typename Ctx>
+  void RunImpl(Ctx& ctx) {
+    if (ctx.split_id() == 1) throw std::runtime_error("split 1 failed");
+    ctx.Emit(ctx.split_id(), 1);
+  }
+};
 
+class ExpensiveMapper : public MapperBase<ExpensiveMapper, uint64_t, uint64_t> {
+ public:
+  template <typename Ctx>
+  void RunImpl(Ctx& ctx) {
+    ctx.ChargeCpuNs(5e9);  // 5 simulated seconds
+  }
+};
+
+TEST(JobEngineTest, MapperExceptionPropagatesFromParallelRound) {
   // Many more splits than workers, failing early: the engine must drain the
   // still-queued tasks before unwinding (they reference RunRound's frame).
   std::vector<std::vector<uint64_t>> splits(32, std::vector<uint64_t>{1});
@@ -248,13 +262,6 @@ TEST(JobEngineTest, MapperExceptionPropagatesFromParallelRound) {
 
 TEST(JobEngineTest, ChargedCpuShowsUpInMakespan) {
   InMemoryDataset ds = TinyDataset();
-
-  class ExpensiveMapper : public Mapper<uint64_t, uint64_t> {
-   public:
-    void Run(MapContext<uint64_t, uint64_t>& ctx) override {
-      ctx.ChargeCpuNs(5e9);  // 5 simulated seconds
-    }
-  };
 
   MrEnv env;
   CountReducer reducer;

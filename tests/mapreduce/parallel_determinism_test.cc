@@ -88,10 +88,16 @@ TEST_P(ParallelDeterminismTest, MatchesSerialExecution) {
 INSTANTIATE_TEST_SUITE_P(
     AllAlgorithms, ParallelDeterminismTest,
     testing::Values(Case{AlgorithmKind::kSendV, 1}, Case{AlgorithmKind::kSendV, 2},
-                    Case{AlgorithmKind::kSendV, 8}, Case{AlgorithmKind::kHWTopk, 1},
-                    Case{AlgorithmKind::kHWTopk, 2}, Case{AlgorithmKind::kHWTopk, 8},
+                    Case{AlgorithmKind::kSendV, 4}, Case{AlgorithmKind::kSendV, 8},
+                    Case{AlgorithmKind::kHWTopk, 1}, Case{AlgorithmKind::kHWTopk, 2},
+                    Case{AlgorithmKind::kHWTopk, 4}, Case{AlgorithmKind::kHWTopk, 8},
+                    Case{AlgorithmKind::kSendCoef, 4},
                     Case{AlgorithmKind::kSendCoef, 8},
+                    Case{AlgorithmKind::kBasicS, 4},
+                    Case{AlgorithmKind::kImprovedS, 4},
+                    Case{AlgorithmKind::kTwoLevelS, 4},
                     Case{AlgorithmKind::kTwoLevelS, 8},
+                    Case{AlgorithmKind::kSendSketch, 4},
                     Case{AlgorithmKind::kSendSketch, 8}),
     CaseName);
 

@@ -53,6 +53,64 @@ TEST(GroupCountSketchTest, MergeMatchesBulk) {
   }
 }
 
+TEST(GroupCountSketchTest, UpdateBatchMatchesScalarUpdatesBitForBit) {
+  // The restructured kernel must be a pure layout change: a bulk update is
+  // the same sequence of counter additions as the scalar loop, so tables
+  // agree exactly (not just approximately).
+  const uint32_t shift = 3;  // dyadic groups of 8, as in the wavelet tree
+  GroupCountSketch scalar(42, 5, 32, 8), batch(42, 5, 32, 8);
+  std::vector<uint64_t> items;
+  std::vector<double> values;
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    items.push_back(rng.NextBounded(1 << 12));
+    values.push_back(static_cast<double>(rng.NextBounded(100)) * 0.25 - 12.0);
+  }
+  for (size_t i = 0; i < items.size(); ++i) {
+    scalar.Update(items[i] >> shift, items[i], values[i]);
+  }
+  batch.UpdateBatch(items.data(), values.data(), items.size(), shift);
+  ASSERT_EQ(scalar.NumCounters(), batch.NumCounters());
+  for (size_t i = 0; i < scalar.NumCounters(); ++i) {
+    EXPECT_DOUBLE_EQ(scalar.CounterAt(i), batch.CounterAt(i)) << "counter " << i;
+  }
+}
+
+TEST(GroupCountSketchTest, UpdateBatchSortedItemsReuseGroupBuckets) {
+  // Ascending items trigger the group-hash reuse fast path; interleaved
+  // (unsorted) items must still land identically.
+  GroupCountSketch sorted(7, 3, 16, 4), shuffled(7, 3, 16, 4);
+  std::vector<uint64_t> asc;
+  std::vector<double> val_asc;
+  for (uint64_t i = 0; i < 256; ++i) {
+    asc.push_back(i);
+    val_asc.push_back(1.0 + static_cast<double>(i % 5));
+  }
+  sorted.UpdateBatch(asc.data(), val_asc.data(), asc.size(), 2);
+  // Same multiset of updates, worst-case order for the cache (alternating
+  // ends), applied scalar-wise.
+  for (uint64_t i = 0; i < 256; ++i) {
+    uint64_t item = (i % 2 == 0) ? i / 2 : 255 - i / 2;
+    shuffled.Update(item >> 2, item, 1.0 + static_cast<double>(item % 5));
+  }
+  for (size_t i = 0; i < sorted.NumCounters(); ++i) {
+    // Same cells, same totals; order differs so allow FP-rounding slack.
+    EXPECT_NEAR(sorted.CounterAt(i), shuffled.CounterAt(i),
+                1e-9 * (1.0 + std::fabs(sorted.CounterAt(i))));
+  }
+}
+
+TEST(GroupCountSketchTest, LargeGroupShiftMapsEverythingToGroupZero) {
+  GroupCountSketch a(3, 3, 16, 4), b(3, 3, 16, 4);
+  std::vector<uint64_t> items = {1, 5, 900, 12345};
+  std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  a.UpdateBatch(items.data(), values.data(), items.size(), 64);
+  for (size_t i = 0; i < items.size(); ++i) b.Update(0, items[i], values[i]);
+  for (size_t i = 0; i < a.NumCounters(); ++i) {
+    EXPECT_DOUBLE_EQ(a.CounterAt(i), b.CounterAt(i));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Hierarchical wavelet GCS
 // ---------------------------------------------------------------------------
@@ -123,6 +181,38 @@ TEST(WaveletGcsTest, MergeAndFlatCountersMatchDirectUpdates) {
     double d = direct.EstimateCoeff(i);
     EXPECT_NEAR(wire.EstimateCoeff(i), d, 1e-9 * (1.0 + std::fabs(d))) << i;
   }
+}
+
+TEST(WaveletGcsTest, BulkUpdateDataMatchesPerCoefficientPath) {
+  // UpdateData now feeds every level one sorted batch; the counters must be
+  // exactly what the per-coefficient UpdateCoeff walk produces (the add
+  // order per cell is preserved: ascending coefficient index).
+  const uint64_t u = 512;
+  WaveletGcsOptions opt = TestGcsOptions();
+  WaveletGcs bulk(u, opt), scalar(u, opt);
+  Rng rng(77);
+  std::vector<std::pair<uint64_t, double>> points;
+  for (int i = 0; i < 200; ++i) {
+    points.emplace_back(rng.NextBounded(u), 1.0 + rng.NextBounded(20));
+  }
+  for (const auto& [x, c] : points) bulk.UpdateData(x, c);
+  // Reference path: the error-tree coefficients of each point, applied one
+  // UpdateCoeff at a time in ascending index order.
+  for (const auto& [x, c] : points) {
+    scalar.UpdateCoeff(0, c / std::sqrt(static_cast<double>(u)));
+    for (uint32_t j = 0; j < 9; ++j) {  // log2(512) levels
+      uint64_t block = u >> j;
+      uint64_t k = x / block;
+      uint64_t offset = x - k * block;
+      double mag = c / std::sqrt(static_cast<double>(block));
+      scalar.UpdateCoeff((uint64_t{1} << j) + k, (offset < block / 2) ? -mag : mag);
+    }
+  }
+  uint64_t differing = 0;
+  for (uint64_t i = 0; i < u; ++i) {
+    if (bulk.EstimateCoeff(i) != scalar.EstimateCoeff(i)) ++differing;
+  }
+  EXPECT_EQ(differing, 0u);
 }
 
 TEST(WaveletGcsTest, EnergyEstimateTracksParseval) {
