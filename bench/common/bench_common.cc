@@ -1,11 +1,16 @@
 #include "common/bench_common.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <utility>
+
+#include "core/rng.h"
+#include "mapreduce/shuffle.h"
 
 namespace wavemr {
 namespace bench {
@@ -72,6 +77,80 @@ Measurement Run(const Dataset& ds, AlgorithmKind kind, const BuildOptions& opt,
   return m;
 }
 
+// ----------------------------------------------------- shuffle-merge kernel
+
+namespace {
+
+uint64_t FoldPair(uint64_t checksum, uint64_t key, uint64_t value) {
+  return checksum * 1315423911ull + key * 31 + value;
+}
+
+}  // namespace
+
+ShuffleKernelResult RunShuffleMergeKernel(const ShuffleKernelOptions& opt) {
+  using Clock = std::chrono::steady_clock;
+  using Run = ShuffleRun<uint64_t, uint64_t>;
+
+  // Pristine per-task runs: uniform keys over the domain, globally unique
+  // sequence values so any ordering deviation between the two paths flips
+  // the checksum.
+  Rng rng(opt.seed);
+  std::vector<Run> pristine(std::max<size_t>(opt.num_runs, 1));
+  const uint64_t per_run = opt.total_pairs / pristine.size();
+  uint64_t sequence = 0;
+  for (Run& run : pristine) {
+    run.Reserve(per_run);
+    for (uint64_t i = 0; i < per_run; ++i) {
+      run.Append(rng.NextBounded(opt.key_domain), sequence++);
+    }
+  }
+  const uint64_t total = sequence;
+
+  ShuffleKernelResult result;
+
+  {
+    // Reference: the pre-columnar driver path. Concatenate every run into
+    // one pair vector (the old engine materialized exactly this way) and
+    // stable_sort it on the driver.
+    const auto t0 = Clock::now();
+    std::vector<std::pair<uint64_t, uint64_t>> all;
+    all.reserve(total);
+    for (const Run& run : pristine) {
+      for (size_t i = 0; i < run.size(); ++i) {
+        all.emplace_back(run.keys[i], run.values[i]);
+      }
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    uint64_t checksum = 0;
+    for (const auto& [k, v] : all) checksum = FoldPair(checksum, k, v);
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    result.pair_vector_pairs_per_sec = static_cast<double>(total) / s;
+    result.pair_vector_checksum = checksum;
+  }
+
+  {
+    // Columnar path: radix-sort each packed run, drain the loser tree. The
+    // run sort is timed (it is real work, even though the engine runs it on
+    // parallel map workers) but the pristine->working copy is not -- the
+    // engine sorts task-owned runs in place, whereas the reference's
+    // concatenation is exactly the old driver's materialization step.
+    std::vector<Run> runs = pristine;
+    const auto t0 = Clock::now();
+    for (Run& run : runs) run.SortByKey();
+    RunMerger<uint64_t, uint64_t> merger(runs);
+    uint64_t checksum = 0;
+    merger.Drain([&checksum](const uint64_t& k, const uint64_t& v) {
+      checksum = FoldPair(checksum, k, v);
+    });
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    result.columnar_pairs_per_sec = static_cast<double>(total) / s;
+    result.columnar_checksum = checksum;
+  }
+
+  return result;
+}
+
 // ------------------------------------------------------------ JSON reporting
 
 BenchJsonReporter::BenchJsonReporter(std::string name) : name_(std::move(name)) {}
@@ -117,8 +196,12 @@ bool BenchJsonReporter::WriteFileTo(const std::string& path) const {
         << ", \"map_wall_ms\": " << r.map_wall_ms
         << ", \"map_records_per_sec\": " << r.map_records_per_sec
         << ", \"simulated_s\": " << r.simulated_s
-        << ", \"shuffle_bytes\": " << r.shuffle_bytes << "}"
-        << (i + 1 < records_.size() ? "," : "") << "\n";
+        << ", \"shuffle_bytes\": " << r.shuffle_bytes;
+    // Kernel-only fields stay out of algorithm records so the schema of
+    // existing baselines and artifacts is unchanged.
+    if (r.pairs_per_sec > 0.0) out << ", \"pairs_per_sec\": " << r.pairs_per_sec;
+    if (r.min_speedup > 0.0) out << ", \"min_speedup\": " << r.min_speedup;
+    out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
   }
   out << "]\n";
   return static_cast<bool>(out);
@@ -149,6 +232,8 @@ void ApplyField(BenchRecord* r, const std::string& key, const std::string& value
   else if (key == "map_records_per_sec") r->map_records_per_sec = num;
   else if (key == "simulated_s") r->simulated_s = num;
   else if (key == "shuffle_bytes") r->shuffle_bytes = static_cast<uint64_t>(num);
+  else if (key == "pairs_per_sec") r->pairs_per_sec = num;
+  else if (key == "min_speedup") r->min_speedup = num;
 }
 
 }  // namespace

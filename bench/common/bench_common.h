@@ -85,6 +85,11 @@ struct BenchRecord {
   double map_records_per_sec = 0.0;  // map-side throughput at `threads`
   double simulated_s = 0.0;
   uint64_t shuffle_bytes = 0;
+  /// Kernel rows only (algorithm == "shuffle-merge-kernel"): measured
+  /// merged pairs/sec, and -- in the checked-in baseline -- the required
+  /// speedup of the columnar path over the pair-vector reference.
+  double pairs_per_sec = 0.0;
+  double min_speedup = 0.0;
 };
 
 /// Collects BenchRecords and writes them as a JSON array to
@@ -117,6 +122,36 @@ class BenchJsonReporter {
 /// Parses a BENCH_*.json file written by BenchJsonReporter (or hand-written
 /// as a baseline). Unknown fields are ignored; missing numbers default to 0.
 bool ReadBenchJson(const std::string& path, std::vector<BenchRecord>* out);
+
+/// The shuffle-merge kernel: the driver-side work of a sorted shuffle over
+/// R per-task runs, in both engine generations. The pair-vector reference
+/// concatenates the runs into one std::vector<std::pair> and stable_sorts
+/// it (the pre-columnar engine's global driver sort); the columnar path
+/// sorts each packed run (the work the engine now does on map worker
+/// threads) and drains a loser-tree merge. Checksums fold (key, value) in
+/// delivery order, so equal checksums prove the two paths produce the same
+/// stream.
+struct ShuffleKernelOptions {
+  uint64_t total_pairs = uint64_t{1} << 22;
+  size_t num_runs = 64;
+  uint64_t key_domain = uint64_t{1} << 17;
+  uint64_t seed = 42;
+};
+
+struct ShuffleKernelResult {
+  double pair_vector_pairs_per_sec = 0.0;
+  double columnar_pairs_per_sec = 0.0;
+  uint64_t pair_vector_checksum = 0;
+  uint64_t columnar_checksum = 0;
+
+  double Speedup() const {
+    return pair_vector_pairs_per_sec > 0.0
+               ? columnar_pairs_per_sec / pair_vector_pairs_per_sec
+               : 0.0;
+  }
+};
+
+ShuffleKernelResult RunShuffleMergeKernel(const ShuffleKernelOptions& opt);
 
 /// Aligned fixed-width table printer (one per sub-figure).
 class Table {

@@ -5,15 +5,22 @@
 //               on generated (cold) and materialized (warm) Zipf data;
 //   count       std::unordered_map vs FlatHashCounter frequency counting;
 //   gcs         scalar GroupCountSketch::Update vs the batched kernel
-//               (UpdateBatch), plus the full WaveletGcs::UpdateData path.
+//               (UpdateBatch), plus the full WaveletGcs::UpdateData path;
+//   shuffle     the sorted-shuffle driver path: pair-vector global
+//               stable_sort vs columnar per-run radix sort + loser-tree
+//               merge (mapreduce/shuffle.h).
 //
 // Each kernel prints rows of (variant, items/sec, speedup vs the first
 // variant). Checksums keep the optimizer honest and double as a cheap
-// equivalence check between variants.
+// equivalence check between variants. --json=PATH additionally writes every
+// row as a JSON array (the perf-smoke CI job uploads it next to
+// BENCH_ci.json).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -40,7 +47,11 @@ struct Row {
   uint64_t checksum = 0;
 };
 
+/// Every printed row, retained for --json output.
+std::vector<std::pair<std::string, Row>> g_all_rows;
+
 void PrintRows(const char* kernel, const std::vector<Row>& rows) {
+  for (const Row& r : rows) g_all_rows.emplace_back(kernel, r);
   Table table(std::string("hotpath: ") + kernel,
               {"variant", "items/s", "speedup", "checksum"});
   for (const Row& r : rows) {
@@ -229,14 +240,63 @@ void BenchGcs(uint64_t n) {
   PrintRows("hierarchical tracker (points/s)", grows);
 }
 
+// ---------------------------------------------------------------- shuffle
+
+void BenchShuffle(uint64_t n) {
+  ShuffleKernelOptions opt;
+  opt.total_pairs = n;
+  ShuffleKernelResult r = RunShuffleMergeKernel(opt);
+  std::vector<Row> rows;
+  rows.push_back({"pair-vector stable_sort", r.pair_vector_pairs_per_sec,
+                  r.pair_vector_checksum});
+  rows.push_back({"columnar radix + loser-tree", r.columnar_pairs_per_sec,
+                  r.columnar_checksum});
+  PrintRows("shuffle merge (pairs/s)", rows);
+}
+
+bool WriteJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "[\n";
+  for (size_t i = 0; i < g_all_rows.size(); ++i) {
+    const auto& [kernel, row] = g_all_rows[i];
+    out << "  {\"kernel\": \"" << kernel << "\", \"variant\": \"" << row.variant
+        << "\", \"items_per_sec\": " << row.items_per_sec << ", \"checksum\": "
+        << row.checksum << "}" << (i + 1 < g_all_rows.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  return static_cast<bool>(out);
+}
+
 int Main(int argc, char** argv) {
   uint64_t n = 1 << 21;
-  if (argc > 1) n = std::strtoull(argv[1], nullptr, 10);
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--n=", 4) == 0) {
+      n = std::strtoull(argv[i] + 4, nullptr, 10);
+    } else if (argv[i][0] != '-') {
+      n = std::strtoull(argv[i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_hotpath_micro [N | --n=N] [--json=PATH]\n");
+      return 2;
+    }
+  }
   std::printf("hotpath micro-benchmarks over n=%llu items\n",
               static_cast<unsigned long long>(n));
   BenchScan(n);
   BenchCount(n);
   BenchGcs(n);
+  BenchShuffle(n);
+  if (!json_path.empty()) {
+    if (!WriteJson(json_path)) return 1;
+    std::printf("wrote %s (%zu rows)\n", json_path.c_str(), g_all_rows.size());
+  }
   return 0;
 }
 

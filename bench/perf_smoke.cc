@@ -10,7 +10,12 @@
 //     (default 15%); the 1-thread map throughput (records/sec) must not
 //     fall below the baseline's threads==1 map_records_per_sec by more than
 //     --rps-tolerance (default 15%); with --min-speedup=F, the map-phase
-//     speedup of N threads over 1 must reach F.
+//     speedup of N threads over 1 must reach F;
+//   * shuffle kernel: when the baseline has a "shuffle-merge-kernel"
+//     record, the columnar sort+merge path must deliver at least
+//     min_speedup x the pair-vector reference measured in the same
+//     process, and at least pairs_per_sec (minus --rps-tolerance), with
+//     equal checksums between the two paths.
 //
 // The dataset's key cache is warmed before timing, so map phases measure
 // the steady-state read path (memory-speed scans), not first-touch
@@ -85,9 +90,11 @@ int Main(int argc, char** argv) {
   BenchDefaults d = BenchDefaults::FromEnv();
   ZipfDataset ds(d.ZipfOptions());
 
+  // One algorithm per layer, plus both sorted-shuffle users (H-WTopk and
+  // Send-Coef) so the columnar merge path is always under the wall gates.
   const std::vector<AlgorithmKind> kinds = {
-      AlgorithmKind::kSendV, AlgorithmKind::kHWTopk, AlgorithmKind::kTwoLevelS,
-      AlgorithmKind::kSendSketch};
+      AlgorithmKind::kSendV, AlgorithmKind::kSendCoef, AlgorithmKind::kHWTopk,
+      AlgorithmKind::kTwoLevelS, AlgorithmKind::kSendSketch};
 
   std::printf("perf-smoke: n=%llu u=%llu m=%llu  threads: 1 vs %d\n",
               static_cast<unsigned long long>(d.n),
@@ -165,12 +172,81 @@ int Main(int argc, char** argv) {
   }
   table.Print();
 
+  // Shuffle-merge kernel: both engine generations of the sorted-shuffle
+  // driver path over identical runs. Best of three shots per variant keeps
+  // the gate off the scheduler-noise floor.
+  ShuffleKernelResult kernel;
+  for (int shot = 0; shot < 3; ++shot) {
+    ShuffleKernelResult r = RunShuffleMergeKernel(ShuffleKernelOptions{});
+    if (r.columnar_pairs_per_sec > kernel.columnar_pairs_per_sec) {
+      kernel.columnar_pairs_per_sec = r.columnar_pairs_per_sec;
+    }
+    if (r.pair_vector_pairs_per_sec > kernel.pair_vector_pairs_per_sec) {
+      kernel.pair_vector_pairs_per_sec = r.pair_vector_pairs_per_sec;
+    }
+    kernel.pair_vector_checksum = r.pair_vector_checksum;
+    kernel.columnar_checksum = r.columnar_checksum;
+    if (r.columnar_checksum != r.pair_vector_checksum) break;
+  }
+  std::printf(
+      "shuffle-merge kernel: columnar %.3e pairs/s, pair-vector %.3e pairs/s "
+      "(%.2fx)\n",
+      kernel.columnar_pairs_per_sec, kernel.pair_vector_pairs_per_sec,
+      kernel.Speedup());
+  if (kernel.columnar_checksum != kernel.pair_vector_checksum) {
+    std::fprintf(stderr,
+                 "FAIL shuffle-merge-kernel: columnar checksum %llx != "
+                 "pair-vector checksum %llx\n",
+                 static_cast<unsigned long long>(kernel.columnar_checksum),
+                 static_cast<unsigned long long>(kernel.pair_vector_checksum));
+    failed = true;
+  }
+  {
+    BenchRecord kr;
+    kr.algorithm = "shuffle-merge-kernel";
+    kr.threads = 1;
+    kr.pairs_per_sec = kernel.columnar_pairs_per_sec;
+    reporter.Add(std::move(kr));
+  }
+
   if (!opt.baseline.empty()) {
     std::vector<BenchRecord> baseline;
     if (!ReadBenchJson(opt.baseline, &baseline) || baseline.empty()) {
       std::fprintf(stderr, "cannot read baseline %s (missing or no records)\n",
                    opt.baseline.c_str());
       return 2;
+    }
+    for (const BenchRecord& b : baseline) {
+      if (b.algorithm != "shuffle-merge-kernel") continue;
+      if (b.min_speedup > 0.0) {
+        if (kernel.Speedup() < b.min_speedup) {
+          std::fprintf(stderr,
+                       "FAIL shuffle-merge-kernel: %.2fx vs pair-vector "
+                       "reference below required %.2fx\n",
+                       kernel.Speedup(), b.min_speedup);
+          failed = true;
+        } else {
+          std::printf("ok   shuffle-merge-kernel: %.2fx vs pair-vector "
+                      "reference (need %.2fx)\n",
+                      kernel.Speedup(), b.min_speedup);
+        }
+      }
+      if (b.pairs_per_sec > 0.0) {
+        double floor = b.pairs_per_sec * (1.0 - opt.rps_tolerance);
+        if (kernel.columnar_pairs_per_sec < floor) {
+          std::fprintf(stderr,
+                       "FAIL shuffle-merge-kernel: %.3e pairs/s below "
+                       "baseline %.3e pairs/s (-%.0f%% tolerance => %.3e)\n",
+                       kernel.columnar_pairs_per_sec, b.pairs_per_sec,
+                       opt.rps_tolerance * 100.0, floor);
+          failed = true;
+        } else {
+          std::printf("ok   shuffle-merge-kernel: %.3e pairs/s within "
+                      "baseline %.3e pairs/s (-%.0f%%)\n",
+                      kernel.columnar_pairs_per_sec, b.pairs_per_sec,
+                      opt.rps_tolerance * 100.0);
+        }
+      }
     }
     for (size_t i = 0; i < kinds.size(); ++i) {
       const char* algo = AlgorithmName(kinds[i]);

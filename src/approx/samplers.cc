@@ -190,7 +190,9 @@ StatusOr<BuildResult> BasicSampling::Build(const Dataset& dataset,
     return std::make_unique<BasicMapper>(p, options.seed);
   };
   plan.reducer = &reducer;
-  plan.wire_bytes = [](const uint64_t&, const uint64_t&) { return kKeyCountBytes; };
+  plan.wire_bytes = [](const uint64_t*, const uint64_t*, size_t n) {
+    return n * kKeyCountBytes;
+  };
   RunRound(plan, dataset, &env);
 
   BuildResult result;
@@ -216,7 +218,9 @@ StatusOr<BuildResult> ImprovedSampling::Build(const Dataset& dataset,
     return std::make_unique<ImprovedMapper>(p, options.epsilon, options.seed);
   };
   plan.reducer = &reducer;
-  plan.wire_bytes = [](const uint64_t&, const uint64_t&) { return kKeyCountBytes; };
+  plan.wire_bytes = [](const uint64_t*, const uint64_t*, size_t n) {
+    return n * kKeyCountBytes;
+  };
   RunRound(plan, dataset, &env);
 
   BuildResult result;
@@ -246,8 +250,12 @@ StatusOr<BuildResult> TwoLevelSampling::Build(const Dataset& dataset,
     return std::make_unique<TwoLevelMapper>(p, options.epsilon, m, options.seed);
   };
   plan.reducer = &reducer;
-  plan.wire_bytes = [](const uint64_t&, const TwoLevelMsg& msg) {
-    return msg.is_null() ? kKeyNullBytes : kKeyCountBytes;
+  plan.wire_bytes = [](const uint64_t*, const TwoLevelMsg* msgs, size_t n) {
+    uint64_t bytes = 0;
+    for (size_t i = 0; i < n; ++i) {
+      bytes += msgs[i].is_null() ? kKeyNullBytes : kKeyCountBytes;
+    }
+    return bytes;
   };
   RunRound(plan, dataset, &env);
 

@@ -92,7 +92,9 @@ StatusOr<BuildResult> SendSketch::Build(const Dataset& dataset,
     return std::make_unique<SketchMapper>(u, gcs);
   };
   plan.reducer = &reducer;
-  plan.wire_bytes = [](const uint64_t&, const double&) { return kPairBytes; };
+  plan.wire_bytes = [](const uint64_t*, const double*, size_t n) {
+    return n * kPairBytes;
+  };
   RunRound(plan, dataset, &env);
 
   BuildResult result;

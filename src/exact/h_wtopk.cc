@@ -458,7 +458,7 @@ StatusOr<BuildResult> HWTopk::Build(const Dataset& dataset,
   if (dataset.info().domain_size > (uint64_t{1} << 32)) {
     return Status::InvalidArgument("H-WTopk wire format assumes u <= 2^32");
   }
-  auto wire = [](const uint64_t&, const HwMsg&) { return kPairBytes; };
+  auto wire = [](const uint64_t*, const HwMsg*, size_t n) { return n * kPairBytes; };
 
   // ---- Round 1.
   Round1Reducer r1(m, options.k);
@@ -470,6 +470,10 @@ StatusOr<BuildResult> HWTopk::Build(const Dataset& dataset,
     };
     plan.reducer = &r1;
     plan.wire_bytes = wire;
+    // All three rounds use Hadoop's sorted delivery: messages for one
+    // coefficient index arrive grouped (splits in ascending order within a
+    // group), which is the access pattern the coordinator state wants.
+    plan.sorted_shuffle = true;
     RunRound(plan, dataset, &env);
   }
 
@@ -486,6 +490,7 @@ StatusOr<BuildResult> HWTopk::Build(const Dataset& dataset,
     };
     plan.reducer = &r2;
     plan.wire_bytes = wire;
+    plan.sorted_shuffle = true;
     RunRound(plan, dataset, &env);
   }
 
@@ -499,6 +504,7 @@ StatusOr<BuildResult> HWTopk::Build(const Dataset& dataset,
     };
     plan.reducer = &r3;
     plan.wire_bytes = wire;
+    plan.sorted_shuffle = true;
     RunRound(plan, dataset, &env);
   }
 

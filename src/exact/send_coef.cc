@@ -97,7 +97,12 @@ StatusOr<BuildResult> SendCoef::Build(const Dataset& dataset,
     return std::make_unique<SendCoefMapper>(options);
   };
   plan.reducer = &reducer;
-  plan.wire_bytes = [](const uint64_t&, const double&) { return kPairBytes; };
+  plan.wire_bytes = [](const uint64_t*, const double*, size_t n) {
+    return n * kPairBytes;
+  };
+  // Hadoop's reducer contract: coefficient partials arrive grouped and
+  // sorted by index; each map task sorts its run on its worker thread.
+  plan.sorted_shuffle = true;
 
   RunRound(plan, dataset, &env);
 

@@ -95,7 +95,9 @@ StatusOr<BuildResult> SendV::Build(const Dataset& dataset, const BuildOptions& o
     return std::make_unique<SendVMapper>(options.send_v_emit_per_record);
   };
   plan.reducer = &reducer;
-  plan.wire_bytes = [](const uint64_t&, const uint64_t&) { return kPairBytes; };
+  plan.wire_bytes = [](const uint64_t*, const uint64_t*, size_t n) {
+    return n * kPairBytes;
+  };
   if (options.send_v_emit_per_record && !options.send_v_disable_combiner) {
     plan.combiner = [](const uint64_t& a, const uint64_t& b) { return a + b; };
   }

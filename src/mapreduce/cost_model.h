@@ -41,6 +41,13 @@ struct CostModel {
   /// CPU cost for the Reducer to absorb one intermediate pair.
   double reduce_cpu_ns_per_pair = 200.0;
 
+  /// In-memory budget for the map-output runs a sorted shuffle retains on
+  /// the driver before the plane would spill to disk (Hadoop's io.sort.mb
+  /// analog, applied to the whole round). The in-memory plane counts
+  /// would-spill events against this budget; actual spilling is the seam a
+  /// later PR fills in. 0 disables the check.
+  uint64_t shuffle_buffer_bytes = uint64_t{256} << 20;
+
   /// Bytes of sequential disk transfer charged per randomly sampled record
   /// (one page); total random-read cost is capped at the split size, since
   /// sorted-offset sampling degrades to a sequential scan when dense.

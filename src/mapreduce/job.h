@@ -19,6 +19,7 @@
 #include "mapreduce/cost_model.h"
 #include "mapreduce/counters.h"
 #include "mapreduce/job_config.h"
+#include "mapreduce/shuffle.h"
 #include "mapreduce/split_access.h"
 #include "mapreduce/state_store.h"
 #include "mapreduce/stats.h"
@@ -60,15 +61,16 @@ struct MrEnv {
 
 namespace internal {
 
-/// Emit sink that buffers pairs verbatim, in emit order (no combiner).
+/// Emit sink that appends pairs verbatim to the task's columnar run, in
+/// emit order (no combiner).
 template <typename K2, typename V2>
 class BufferSink {
  public:
-  explicit BufferSink(std::vector<std::pair<K2, V2>>* out) : out_(out) {}
-  void Emit(const K2& key, const V2& value) { out_->emplace_back(key, value); }
+  explicit BufferSink(ShuffleRun<K2, V2>* out) : out_(out) {}
+  void Emit(const K2& key, const V2& value) { out_->Append(key, value); }
 
  private:
-  std::vector<std::pair<K2, V2>>* out_;
+  ShuffleRun<K2, V2>* out_;
 };
 
 /// Emit sink that merges values with equal keys inside the task before the
@@ -96,12 +98,14 @@ class CombineSink {
 /// Everything one map task produces, buffered on its worker thread and
 /// merged by the driver in split-index order. Buffering per task (instead of
 /// absorbing into the reducer from the mapper thread) is what makes the
-/// round's outcome independent of task completion order.
+/// round's outcome independent of task completion order. Under a sorted
+/// shuffle the run is already key-sorted by the worker thread, so the
+/// driver's only serial work is the k-way merge.
 template <typename K2, typename V2>
 struct MapTaskOutput {
   TaskCost cost;
-  Counters counters;                      // task-private counter increments
-  std::vector<std::pair<K2, V2>> pairs;   // post-combine, in emit order
+  Counters counters;             // task-private counter increments
+  ShuffleRun<K2, V2> run;        // post-combine, columnar, in emit order
   uint64_t combine_output_pairs = 0;
   bool combined = false;
 };
@@ -247,8 +251,10 @@ class ReduceContext {
 /// The single reduce task, in streaming form: Start, one Absorb per
 /// intermediate pair, Finish. With JobPlan::sorted_shuffle the engine
 /// delivers pairs grouped and sorted by key (Hadoop's semantics); otherwise
-/// pairs stream in split-index order. The reducer always runs on the driver
-/// thread, so it needs no synchronization of its own.
+/// pairs stream in split-index order. Start runs exactly once, before any
+/// map task, in both modes -- it may read prior-round state but never this
+/// round's map output. The reducer always runs on the driver thread, so it
+/// needs no synchronization of its own.
 template <typename K2, typename V2>
 class Reducer {
  public:
@@ -271,17 +277,21 @@ struct JobPlan {
   /// the algorithm can read results out of it after the round. Required.
   Reducer<K2, V2>* reducer = nullptr;
 
-  /// Wire size of one shuffled pair; defaults to sizeof(K2) + sizeof(V2).
-  /// The paper's accounting (4-byte keys, 4-byte local counts, 8-byte
-  /// coefficients) plugs in here.
-  std::function<uint64_t(const K2&, const V2&)> wire_bytes;
+  /// Wire size of one whole run of shuffled pairs, called once per map
+  /// task's post-combine output with the packed key/value columns; defaults
+  /// to n * (sizeof(K2) + sizeof(V2)). The paper's accounting (4-byte keys,
+  /// 4-byte local counts, 8-byte coefficients) plugs in here as a bulk
+  /// formula -- or a loop over the columns when per-pair sizes vary.
+  std::function<uint64_t(const K2* keys, const V2* values, size_t n)> wire_bytes;
 
   /// Optional combine function: merges values with equal keys inside each
   /// map task before the shuffle (Hadoop's Combiner). Shuffle bytes are
   /// counted after combining.
   std::function<V2(const V2&, const V2&)> combiner;
 
-  /// Deliver pairs to the reducer sorted by key (materializes the shuffle).
+  /// Deliver pairs to the reducer grouped and sorted by key (Hadoop's
+  /// reducer contract): each map task sorts its own run on its worker
+  /// thread and the driver merges the runs with a loser tree.
   bool sorted_shuffle = false;
 };
 
@@ -291,9 +301,10 @@ struct JobPlan {
 ///
 /// Parallel execution: with env->threads != 1 map tasks run on a ThreadPool
 /// (env->threads == 0 means hardware concurrency). Each task emits into a
-/// private buffer; the driver absorbs buffers into the reducer in
-/// split-index order, so shuffle accounting, counters, and reducer results
-/// are bit-identical for every thread count.
+/// private columnar ShuffleRun (sorted on the worker under sorted_shuffle);
+/// the driver hands runs to the ShufflePlane in split-index order, so
+/// shuffle accounting, counters, and reducer results are bit-identical for
+/// every thread count.
 template <typename K2, typename V2>
 RoundStats RunRound(const JobPlan<K2, V2>& plan, const Dataset& dataset, MrEnv* env) {
   WAVEMR_CHECK(plan.mapper_factory != nullptr);
@@ -315,33 +326,38 @@ RoundStats RunRound(const JobPlan<K2, V2>& plan, const Dataset& dataset, MrEnv* 
   uint64_t slaves = env->cluster.NumSlaves();
   round.broadcast_bytes = env->cache.TakeNewBytes() * slaves;
 
-  auto wire = plan.wire_bytes;
+  typename ShufflePlane<K2, V2>::WireFn wire = plan.wire_bytes;
   if (!wire) {
-    wire = [](const K2&, const V2&) -> uint64_t { return sizeof(K2) + sizeof(V2); };
+    wire = [](const K2*, const V2*, size_t n) -> uint64_t {
+      return n * (sizeof(K2) + sizeof(V2));
+    };
   }
 
   TaskCost reduce_cost;
   ReduceContext<K2, V2> reduce_ctx(env, &reduce_cost);
 
-  std::vector<std::pair<K2, V2>> materialized;  // only with sorted_shuffle
-  auto deliver = [&](const K2& k, const V2& v) {
-    round.shuffle_pairs += 1;
-    round.shuffle_bytes += wire(k, v);
-    reduce_cost.cpu_ns += env->cost_model.reduce_cpu_ns_per_pair;
-    if (plan.sorted_shuffle) {
-      materialized.emplace_back(k, v);
-    } else {
-      plan.reducer->Absorb(k, v, reduce_ctx);
-    }
+  // The plane owns run collection, wire accounting, and delivery: streaming
+  // planes absorb each run the moment the driver merges it (and free it);
+  // sorted planes retain the worker-sorted runs for the loser-tree merge.
+  ShufflePlane<K2, V2> plane(wire, plan.sorted_shuffle,
+                             SpillPolicy{env->cost_model.shuffle_buffer_bytes});
+  auto absorb = [&](const K2& k, const V2& v) {
+    plan.reducer->Absorb(k, v, reduce_ctx);
   };
 
-  if (!plan.sorted_shuffle) plan.reducer->Start(reduce_ctx);
+  // The reducer starts exactly once, before any map task runs, in both
+  // delivery modes: Start may only depend on prior-round state, never on
+  // this round's map output, so giving it one fixed lifecycle point keeps
+  // reducers that allocate or load state in Start single-shot.
+  plan.reducer->Start(reduce_ctx);
 
   using TaskOutput = internal::MapTaskOutput<K2, V2>;
 
   // Runs one map task end to end; called on a worker thread (or inline when
   // serial). Touches only the task's own output, the immutable dataset, and
-  // the thread-safe MrEnv channels (config/cache/state).
+  // the thread-safe MrEnv channels (config/cache/state). Under a sorted
+  // shuffle the run sort happens here too -- on the already-parallel map
+  // side, off the serial driver path.
   auto run_map_task = [&plan, &dataset, env](uint64_t split) {
     TaskOutput out;
     SplitAccess access(dataset, split, env->cost_model, &out.cost);
@@ -355,15 +371,16 @@ RoundStats RunRound(const JobPlan<K2, V2>& plan, const Dataset& dataset, MrEnv* 
       ctx.FlushEmitCount();
       out.combined = true;
       out.combine_output_pairs = sink.buffer().size();
-      out.pairs.reserve(sink.buffer().size());
-      for (const auto& [k, v] : sink.buffer()) out.pairs.emplace_back(k, v);
+      out.run.Reserve(sink.buffer().size());
+      for (const auto& [k, v] : sink.buffer()) out.run.Append(k, v);
     } else {
-      internal::BufferSink<K2, V2> sink(&out.pairs);
+      internal::BufferSink<K2, V2> sink(&out.run);
       typename Mapper<K2, V2>::BufferContext ctx(&access, env, &out.cost,
                                                  &out.counters, &sink);
       mapper->Run(ctx);
       ctx.FlushEmitCount();
     }
+    if (plan.sorted_shuffle) out.run.SortByKey();
     return out;
   };
 
@@ -413,7 +430,9 @@ RoundStats RunRound(const JobPlan<K2, V2>& plan, const Dataset& dataset, MrEnv* 
     if (out.combined) {
       env->stats.counters.Add("combine_output_pairs", out.combine_output_pairs);
     }
-    for (const auto& [k, v] : out.pairs) deliver(k, v);
+    reduce_cost.cpu_ns += static_cast<double>(out.run.size()) *
+                          env->cost_model.reduce_cpu_ns_per_pair;
+    plane.Accept(std::move(out.run), absorb);
 
     task_seconds.push_back(env->cost_model.task_overhead_s +
                            env->cost_model.time_scale *
@@ -427,14 +446,14 @@ RoundStats RunRound(const JobPlan<K2, V2>& plan, const Dataset& dataset, MrEnv* 
                                                 map_start)
           .count();
 
-  if (plan.sorted_shuffle) {
-    std::stable_sort(
-        materialized.begin(), materialized.end(),
-        [](const auto& a, const auto& b) { return a.first < b.first; });
-    plan.reducer->Start(reduce_ctx);
-    for (const auto& [k, v] : materialized) plan.reducer->Absorb(k, v, reduce_ctx);
-  }
+  if (plan.sorted_shuffle) plane.Merge(absorb);
   plan.reducer->Finish(reduce_ctx);
+
+  round.shuffle_pairs = plane.pairs();
+  round.shuffle_bytes = plane.wire_bytes();
+  if (plane.spill_events() > 0) {
+    env->stats.counters.Add("shuffle_spill_events", plane.spill_events());
+  }
 
   round.map_makespan_s = ScheduleMakespan(env->cluster, task_seconds);
   round.shuffle_s =

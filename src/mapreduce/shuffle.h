@@ -1,0 +1,335 @@
+#ifndef WAVEMR_MAPREDUCE_SHUFFLE_H_
+#define WAVEMR_MAPREDUCE_SHUFFLE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/logging.h"
+
+namespace wavemr {
+
+/// Columnar shuffle data plane.
+///
+/// The paper's algorithms are shuffle-bound by design (Send-V ships one
+/// (key, count) pair per distinct key per split; H-WTopk's three rounds
+/// hinge on shuffle volume), so the engine's intermediate representation is
+/// laid out for the merge loop, not for convenience: each map task emits
+/// into a ShuffleRun of packed parallel keys[] / values[] arrays, sorts its
+/// own run on the worker thread when the round wants Hadoop's sorted
+/// delivery, and the driver merges the per-task runs with a loser tree --
+/// the structure Hadoop's framework uses over map-output spill files. The
+/// columnar layout halves the merge loop's cache traffic for small keys
+/// (the comparison path touches only the key column) and gives the run
+/// sort a radix-sortable contiguous key array instead of 16-byte pairs.
+
+// ---------------------------------------------------------------------------
+// ShuffleRun: one map task's packed intermediate output.
+// ---------------------------------------------------------------------------
+
+/// Packed columnar run of intermediate (key, value) pairs, in emit order.
+/// keys[i] and values[i] form pair i; the arrays always have equal length.
+template <typename K, typename V>
+struct ShuffleRun {
+  std::vector<K> keys;
+  std::vector<V> values;
+  /// Set by SortByKey; a sorted plane only merges sorted runs.
+  bool sorted = false;
+
+  size_t size() const { return keys.size(); }
+  bool empty() const { return keys.empty(); }
+
+  void Reserve(size_t n) {
+    keys.reserve(n);
+    values.reserve(n);
+  }
+
+  void Append(const K& key, const V& value) {
+    keys.push_back(key);
+    values.push_back(value);
+    sorted = false;  // appending past a sort invalidates it
+  }
+
+  /// Payload bytes this run holds in memory (what a spill would write).
+  uint64_t PayloadBytes() const {
+    return static_cast<uint64_t>(size()) * (sizeof(K) + sizeof(V));
+  }
+
+  /// Stable sort by key: the resulting permutation is exactly what
+  /// std::stable_sort over the equivalent pair vector would produce, so a
+  /// tie-broken merge of sorted runs reproduces the old engine's global
+  /// stable_sort bit for bit. Unsigned integer keys (every shuffle key in
+  /// this codebase) take an LSD radix path -- O(n) passes over contiguous
+  /// columns instead of a comparison sort over strided pairs.
+  void SortByKey() {
+    if (sorted) return;
+    if (keys.size() > 1) {
+      if constexpr (std::is_integral_v<K> && std::is_unsigned_v<K>) {
+        RadixSortByKey();
+      } else {
+        PermutationSortByKey();
+      }
+    }
+    sorted = true;
+  }
+
+ private:
+  /// LSD radix sort, one 8-bit digit per pass, skipping passes above the
+  /// highest set bit of any key (Zipf keys of a 2^17 domain take 3 passes,
+  /// not 8) and passes where every key shares the digit. Counting sort per
+  /// digit is stable, so the composition is a stable sort by the full key.
+  void RadixSortByKey() {
+    const size_t n = keys.size();
+    K seen = 0;
+    for (const K& k : keys) seen |= k;
+    std::vector<K> key_scratch(n);
+    std::vector<V> value_scratch(n);
+    std::vector<K>* src_k = &keys;
+    std::vector<K>* dst_k = &key_scratch;
+    std::vector<V>* src_v = &values;
+    std::vector<V>* dst_v = &value_scratch;
+    for (unsigned shift = 0; shift < 8 * sizeof(K); shift += 8) {
+      if ((seen >> shift) == 0) break;  // no key has bits at or above shift
+      size_t count[256] = {};
+      const K* sk = src_k->data();
+      for (size_t i = 0; i < n; ++i) ++count[(sk[i] >> shift) & 0xFF];
+      if (count[(sk[0] >> shift) & 0xFF] == n) continue;  // single digit
+      size_t offsets[256];
+      size_t total = 0;
+      for (size_t d = 0; d < 256; ++d) {
+        offsets[d] = total;
+        total += count[d];
+      }
+      const V* sv = src_v->data();
+      K* dk = dst_k->data();
+      V* dv = dst_v->data();
+      for (size_t i = 0; i < n; ++i) {
+        const size_t pos = offsets[(sk[i] >> shift) & 0xFF]++;
+        dk[pos] = sk[i];
+        dv[pos] = sv[i];
+      }
+      std::swap(src_k, dst_k);
+      std::swap(src_v, dst_v);
+    }
+    if (src_k != &keys) {
+      keys.swap(key_scratch);
+      values.swap(value_scratch);
+    }
+  }
+
+  /// Fallback for non-radix-sortable keys: stable-sort an index permutation,
+  /// then gather both columns through it.
+  void PermutationSortByKey() {
+    const size_t n = keys.size();
+    std::vector<uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    const K* k = keys.data();
+    std::stable_sort(order.begin(), order.end(),
+                     [k](uint32_t a, uint32_t b) { return k[a] < k[b]; });
+    std::vector<K> sorted_keys(n);
+    std::vector<V> sorted_values(n);
+    for (size_t i = 0; i < n; ++i) {
+      sorted_keys[i] = keys[order[i]];
+      sorted_values[i] = values[order[i]];
+    }
+    keys.swap(sorted_keys);
+    values.swap(sorted_values);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// RunMerger: loser-tree k-way merge over sorted runs.
+// ---------------------------------------------------------------------------
+
+/// Merges R stably-sorted columnar runs in (key, run-index) order: equal
+/// keys drain lower-indexed runs first, and each run preserves its internal
+/// order, so the merged stream equals std::stable_sort over the runs'
+/// concatenation in run-index order. log2(R) key comparisons per pair (the
+/// replayed path of a loser tree), touching only the key columns.
+template <typename K, typename V>
+class RunMerger {
+ public:
+  explicit RunMerger(const std::vector<ShuffleRun<K, V>>& runs) {
+    cursors_.reserve(runs.size());
+    for (uint32_t r = 0; r < runs.size(); ++r) {
+      WAVEMR_DCHECK(runs[r].sorted || runs[r].size() < 2);
+      if (runs[r].empty()) continue;
+      cursors_.push_back(Cursor{runs[r].keys.data(),
+                                runs[r].keys.data() + runs[r].size(),
+                                runs[r].values.data(), r});
+    }
+    BuildTree();
+  }
+
+  /// Pops every pair into `consume(key, value)` in merged order.
+  template <typename Consumer>
+  void Drain(Consumer&& consume) {
+    const uint32_t leaves = static_cast<uint32_t>(cursors_.size());
+    if (leaves == 0) return;
+    if (leaves == 1) {
+      Cursor& c = cursors_[0];
+      for (; c.key != c.end; ++c.key, ++c.value) consume(*c.key, *c.value);
+      return;
+    }
+    while (!Exhausted(winner_)) {
+      Cursor& c = cursors_[winner_];
+      // Drain the winner's whole prefix of equal keys before replaying the
+      // tree: every other live run's head is either > this key or == with a
+      // higher run index (a lower one would have won instead), so the
+      // winner keeps winning while its key does not change.
+      const K current = *c.key;
+      do {
+        consume(*c.key, *c.value);
+        ++c.key;
+        ++c.value;
+      } while (c.key != c.end && *c.key == current);
+      Replay(winner_);
+    }
+  }
+
+ private:
+  struct Cursor {
+    const K* key;
+    const K* end;
+    const V* value;
+    uint32_t run;  // original run index; the merge tie-break
+  };
+
+  bool Exhausted(uint32_t leaf) const {
+    return cursors_[leaf].key == cursors_[leaf].end;
+  }
+
+  /// True when leaf `a` wins the match against leaf `b`: smaller head key,
+  /// ties to the lower original run index; exhausted leaves always lose.
+  bool Beats(uint32_t a, uint32_t b) const {
+    const bool ae = Exhausted(a);
+    const bool be = Exhausted(b);
+    if (ae || be) return !ae;
+    const K& ka = *cursors_[a].key;
+    const K& kb = *cursors_[b].key;
+    if (ka != kb) return ka < kb;
+    return cursors_[a].run < cursors_[b].run;
+  }
+
+  /// Bottom-up build: compute subtree winners, store the loser of each
+  /// internal match. Leaves 0..R-1 are tree positions R..2R-1; node t's
+  /// parent is t/2.
+  void BuildTree() {
+    const uint32_t leaves = static_cast<uint32_t>(cursors_.size());
+    if (leaves < 2) return;
+    loser_.assign(leaves, 0);
+    std::vector<uint32_t> winner(2 * leaves);
+    for (uint32_t r = 0; r < leaves; ++r) winner[leaves + r] = r;
+    for (uint32_t t = leaves - 1; t >= 1; --t) {
+      const uint32_t a = winner[2 * t];
+      const uint32_t b = winner[2 * t + 1];
+      winner[t] = Beats(a, b) ? a : b;
+      loser_[t] = Beats(a, b) ? b : a;
+    }
+    winner_ = winner[1];
+  }
+
+  /// After the winning leaf advanced, replay its root path: every contender
+  /// it previously beat sits exactly on that path.
+  void Replay(uint32_t leaf) {
+    const uint32_t leaves = static_cast<uint32_t>(cursors_.size());
+    uint32_t w = leaf;
+    for (uint32_t t = (leaf + leaves) >> 1; t >= 1; t >>= 1) {
+      if (Beats(loser_[t], w)) std::swap(w, loser_[t]);
+    }
+    winner_ = w;
+  }
+
+  std::vector<Cursor> cursors_;
+  std::vector<uint32_t> loser_;  // loser_[t]: losing leaf of internal node t
+  uint32_t winner_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// SpillPolicy: byte budget for retained runs.
+// ---------------------------------------------------------------------------
+
+/// Byte budget for the runs a sorted shuffle retains in memory before the
+/// plane would spill them to disk (Hadoop's io.sort.mb analog, sized from
+/// the CostModel). Spilling itself is a later PR: today the plane counts
+/// would-spill events so large shuffles are visible in counters, and the
+/// decision point is already in place.
+struct SpillPolicy {
+  /// 0 = unbounded (never spill).
+  uint64_t buffer_bytes = 0;
+
+  bool ShouldSpill(uint64_t resident_bytes) const {
+    return buffer_bytes > 0 && resident_bytes > buffer_bytes;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ShufflePlane: run collection, wire accounting, delivery.
+// ---------------------------------------------------------------------------
+
+/// Owns one round's shuffle: accepts each map task's run in split-index
+/// order, accounts its wire bytes in bulk (one callback per run, not one
+/// per pair), and delivers pairs to the reducer either streaming (unsorted
+/// planes absorb a run the moment it arrives and free it) or via the
+/// loser-tree merge over all retained runs (sorted planes).
+template <typename K, typename V>
+class ShufflePlane {
+ public:
+  /// Wire bytes of a whole run: called once per run with the packed columns.
+  using WireFn = std::function<uint64_t(const K* keys, const V* values, size_t n)>;
+
+  ShufflePlane(WireFn wire, bool sorted, SpillPolicy spill)
+      : wire_(std::move(wire)), sorted_(sorted), spill_(spill) {}
+
+  /// Accounts `run` and either streams it into `absorb(key, value)` now
+  /// (unsorted plane) or retains it for Merge. Call in split-index order;
+  /// delivery and accounting order is what makes rounds thread-independent.
+  template <typename Absorb>
+  void Accept(ShuffleRun<K, V>&& run, Absorb&& absorb) {
+    const size_t n = run.size();
+    pairs_ += n;
+    wire_bytes_ += wire_(run.keys.data(), run.values.data(), n);
+    if (!sorted_) {
+      const K* k = run.keys.data();
+      const V* v = run.values.data();
+      for (size_t i = 0; i < n; ++i) absorb(k[i], v[i]);
+      return;  // streaming: the run dies here, nothing is retained
+    }
+    WAVEMR_DCHECK(run.sorted || n < 2) << "sorted plane fed an unsorted run";
+    resident_bytes_ += run.PayloadBytes();
+    if (spill_.ShouldSpill(resident_bytes_)) ++spill_events_;
+    runs_.push_back(std::move(run));
+  }
+
+  /// Sorted plane: loser-tree merge of every retained run into
+  /// `absorb(key, value)`, grouped and sorted by key.
+  template <typename Absorb>
+  void Merge(Absorb&& absorb) {
+    RunMerger<K, V> merger(runs_);
+    merger.Drain(absorb);
+  }
+
+  uint64_t pairs() const { return pairs_; }
+  uint64_t wire_bytes() const { return wire_bytes_; }
+  uint64_t resident_bytes() const { return resident_bytes_; }
+  uint64_t spill_events() const { return spill_events_; }
+  size_t num_runs() const { return runs_.size(); }
+
+ private:
+  WireFn wire_;
+  bool sorted_;
+  SpillPolicy spill_;
+  std::vector<ShuffleRun<K, V>> runs_;  // sorted planes only
+  uint64_t pairs_ = 0;
+  uint64_t wire_bytes_ = 0;
+  uint64_t resident_bytes_ = 0;
+  uint64_t spill_events_ = 0;
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_MAPREDUCE_SHUFFLE_H_

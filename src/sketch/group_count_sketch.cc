@@ -82,11 +82,22 @@ void GroupCountSketch::UpdateBatchImpl(const uint64_t* items, const double* valu
   constexpr size_t kBlock = 256;
   const uint64_t sub_mask = subbuckets_ - 1;  // valid only when kPow2Sub
   const size_t row_stride = buckets_ * subbuckets_;
+  // Per-item hash memo for the low indices every error-tree path shares
+  // (see kMemoItems). Filled on first touch with the exact hash results, so
+  // memo hits and misses produce the same counter updates bit for bit. The
+  // packed slot keeps the sub-bucket in 31 bits; absurdly wide tables just
+  // skip the memo.
+  const uint64_t memo_bound = subbuckets_ <= (uint64_t{1} << 30) ? kMemoItems : 0;
+  if (memo_bound > 0 && item_memo_.empty()) {
+    item_memo_.assign(reps_ * kMemoItems, kMemoEmpty);
+  }
   for (size_t base = 0; base < n; base += kBlock) {
     const size_t end = std::min(n, base + kBlock);
     double* rep_row = table_.data();
     for (size_t r = 0; r < reps_; ++r, rep_row += row_stride) {
       const RepHash h = rep_hash_[r];
+      uint32_t* memo_row =
+          memo_bound > 0 ? item_memo_.data() + r * kMemoItems : nullptr;
       uint64_t cached_group = ~uint64_t{0};
       double* row = nullptr;
       for (size_t k = base; k < end; ++k) {
@@ -96,11 +107,29 @@ void GroupCountSketch::UpdateBatchImpl(const uint64_t* items, const double* valu
           cached_group = group;
           row = rep_row + (Hash2(h.g, group % kPrime) % buckets_) * subbuckets_;
         }
-        const uint64_t ir = item % kPrime;
-        const uint64_t ih = Hash2(h.i, ir);
-        const uint64_t sub = kPow2Sub ? (ih & sub_mask) : (ih % subbuckets_);
+        uint64_t sub;
+        bool positive;
+        if (item < memo_bound) {
+          uint32_t slot = memo_row[item];
+          if (slot == kMemoEmpty) {
+            const uint64_t ir = item % kPrime;
+            const uint64_t ih = Hash2(h.i, ir);
+            sub = kPow2Sub ? (ih & sub_mask) : (ih % subbuckets_);
+            positive = (Hash4(h.s, ir) & 1) != 0;
+            memo_row[item] = static_cast<uint32_t>(sub) |
+                             (positive ? 0x80000000u : 0u);
+          } else {
+            sub = slot & 0x7FFFFFFFu;
+            positive = (slot >> 31) != 0;
+          }
+        } else {
+          const uint64_t ir = item % kPrime;
+          const uint64_t ih = Hash2(h.i, ir);
+          sub = kPow2Sub ? (ih & sub_mask) : (ih % subbuckets_);
+          positive = (Hash4(h.s, ir) & 1) != 0;
+        }
         const double value = values[k];
-        row[sub] += (Hash4(h.s, ir) & 1) ? value : -value;
+        row[sub] += positive ? value : -value;
       }
     }
   }

@@ -57,6 +57,13 @@ class GroupCountSketch {
   double CounterAt(size_t flat_index) const { return table_[flat_index]; }
   void AddToCounter(size_t flat_index, double delta) { table_[flat_index] += delta; }
 
+  /// Items below this bound get their per-repetition (sub-bucket, sign)
+  /// hash results memoized on first touch. The wavelet hierarchy feeds
+  /// UpdateBatch error-tree paths whose low coefficient indices (the top
+  /// levels of the tree) repeat across every data point's path, so most
+  /// Hash2/Hash4 work in Send-Sketch's map phase hits the memo.
+  static constexpr uint64_t kMemoItems = 1024;
+
  private:
   template <bool kPow2Sub>
   void UpdateBatchImpl(const uint64_t* items, const double* values, size_t n,
@@ -78,6 +85,14 @@ class GroupCountSketch {
   uint64_t seed_;
   std::vector<RepHash> rep_hash_;
   std::vector<double> table_;  // reps x buckets x subbuckets
+
+  /// Lazily built memo, reps x kMemoItems: bit 31 = sign, low bits = the
+  /// item's sub-bucket. kMemoEmpty marks an unfilled slot. Values are the
+  /// exact Hash2/Hash4 results, so memoized updates are bit-identical to
+  /// recomputed ones. Instances are task-private (one sketch per mapper),
+  /// so the memo needs no synchronization.
+  static constexpr uint32_t kMemoEmpty = 0xFFFFFFFFu;
+  std::vector<uint32_t> item_memo_;
 };
 
 }  // namespace wavemr

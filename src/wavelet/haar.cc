@@ -12,21 +12,32 @@ std::vector<double> ForwardHaar(std::span<const double> v) {
   WAVEMR_CHECK(IsPowerOfTwo(u)) << "ForwardHaar requires power-of-two size, got " << u;
   std::vector<double> coeffs(u, 0.0);
   std::vector<double> sums(v.begin(), v.end());
+  std::vector<double> scratch(u / 2);
   const uint32_t levels = Log2Floor(u);
-  // Bottom-up: at step t the `sums` array holds block sums of width 2^t.
+  // Bottom-up: at step t the input buffer holds block sums of width 2^t.
   // Pairing blocks (2k, 2k+1) of width 2^t yields the detail coefficient of
   // level j = levels - t - 1 with normalization 1/sqrt(u / 2^j).
+  //
+  // Each pass reads one buffer and writes two others through restrict-
+  // qualified pointers (ping-ponging sums <-> scratch) instead of updating
+  // sums[] in place: with no possible aliasing between the read and write
+  // streams the butterfly auto-vectorizes, while the arithmetic -- and so
+  // the output, bit for bit -- is unchanged from the scalar in-place form.
   uint64_t size = u;
   for (uint32_t t = 0; t < levels; ++t) {
     uint32_t j = levels - t - 1;
     double norm = 1.0 / std::sqrt(static_cast<double>(u >> j));
     uint64_t half = size / 2;
+    const double* __restrict in = sums.data();
+    double* __restrict out_sums = scratch.data();
+    double* __restrict out_coeffs = coeffs.data() + (uint64_t{1} << j);
     for (uint64_t k = 0; k < half; ++k) {
-      double left = sums[2 * k];
-      double right = sums[2 * k + 1];
-      coeffs[(uint64_t{1} << j) + k] = (right - left) * norm;
-      sums[k] = left + right;
+      double left = in[2 * k];
+      double right = in[2 * k + 1];
+      out_coeffs[k] = (right - left) * norm;
+      out_sums[k] = left + right;
     }
+    sums.swap(scratch);  // only the first `half` entries carry forward
     size = half;
   }
   coeffs[0] = sums[0] / std::sqrt(static_cast<double>(u));

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/bitops.h"
+#include "core/flat_hash.h"
 #include "core/logging.h"
 
 namespace wavemr {
@@ -36,12 +37,44 @@ std::unordered_map<uint64_t, double> SparseHaarMap(const SparseVector& v, uint64
 }
 
 std::vector<WCoeff> SparseHaar(const SparseVector& v, uint64_t u) {
-  auto map = SparseHaarMap(v, u);
+  WAVEMR_DCHECK(IsPowerOfTwo(u));
+  const uint32_t levels = Log2Floor(u);
+
+  // Level-major restructuring of the per-key error-tree walk (the transform
+  // is H-WTopk's round-1 bottleneck): one pass over the keys per coefficient
+  // level, with that level's sqrt hoisted out of the loop and the per-key
+  // block arithmetic reduced to shift/mask. Per coefficient the
+  // contributions still arrive in v's order -- a level touches disjoint
+  // indices, so key-major and level-major accumulate every coefficient in
+  // the same order -- which keeps the result bit-identical to the scalar
+  // AccumulatePointUpdate path (sparse_test proves it).
+  FlatHashCounter<uint64_t, double> coeffs;
+  coeffs.reserve(v.size() * 2);
+
+  const double sqrt_u = std::sqrt(static_cast<double>(u));
+  for (const auto& [key, weight] : v) {
+    WAVEMR_DCHECK(key < u);
+    coeffs[0] += weight / sqrt_u;
+  }
+  for (uint32_t j = 0; j < levels; ++j) {
+    const uint64_t block = u >> j;
+    const uint64_t half = block / 2;
+    const uint64_t base = uint64_t{1} << j;
+    const uint32_t shift = levels - j;  // log2(block)
+    const double sqrt_block = std::sqrt(static_cast<double>(block));
+    for (const auto& [key, weight] : v) {
+      const uint64_t k = key >> shift;
+      const uint64_t offset = key & (block - 1);
+      const double mag = weight / sqrt_block;
+      coeffs[base + k] += (offset < half) ? -mag : mag;
+    }
+  }
+
   std::vector<WCoeff> out;
-  out.reserve(map.size());
+  out.reserve(coeffs.size());
   // Contributions can cancel exactly (balanced blocks); drop the zeros so
   // downstream code really sees only nonzero coefficients.
-  for (const auto& [idx, val] : map) {
+  for (const auto& [idx, val] : coeffs) {
     if (val != 0.0) out.push_back({idx, val});
   }
   std::sort(out.begin(), out.end(),

@@ -42,7 +42,9 @@ JobPlan<uint64_t, uint64_t> CountPlan(CountReducer* reducer) {
   plan.name = "count";
   plan.mapper_factory = [](uint64_t) { return std::make_unique<CountMapper>(); };
   plan.reducer = reducer;
-  plan.wire_bytes = [](const uint64_t&, const uint64_t&) { return 8u; };
+  plan.wire_bytes = [](const uint64_t*, const uint64_t*, size_t n) {
+    return uint64_t{8} * n;
+  };
   return plan;
 }
 
@@ -98,6 +100,57 @@ TEST(JobEngineTest, SortedShuffleDeliversKeyOrder) {
     EXPECT_LE(reducer.absorbed[i - 1].first, reducer.absorbed[i].first);
   }
   EXPECT_EQ(reducer.counts[1], 3u);
+}
+
+// Regression for the Start-ordering bug: the streaming path used to call
+// Start before mapping while the sorted path called it after the map phase
+// (and the old sorted path could have re-run a pre-sort Start's
+// allocations). Both delivery modes must call Start exactly once, before
+// any Absorb, with Finish exactly once after everything.
+class LifecycleReducer : public Reducer<uint64_t, uint64_t> {
+ public:
+  void Start(ReduceContext<uint64_t, uint64_t>& ctx) override {
+    (void)ctx;
+    ++starts;
+    baseline.push_back(0);  // Start-time allocation: doubled if Start re-ran
+  }
+  void Absorb(const uint64_t& k, const uint64_t& v,
+              ReduceContext<uint64_t, uint64_t>& ctx) override {
+    (void)k;
+    (void)v;
+    (void)ctx;
+    if (starts != 1 || finishes != 0) ++out_of_order_absorbs;
+    ++absorbs;
+  }
+  void Finish(ReduceContext<uint64_t, uint64_t>& ctx) override {
+    (void)ctx;
+    ++finishes;
+  }
+
+  int starts = 0;
+  int absorbs = 0;
+  int finishes = 0;
+  int out_of_order_absorbs = 0;
+  std::vector<int> baseline;
+};
+
+TEST(JobEngineTest, StartRunsOnceBeforeAbsorbsInBothDeliveryModes) {
+  InMemoryDataset ds = TinyDataset();
+  for (bool sorted : {false, true}) {
+    MrEnv env;
+    LifecycleReducer reducer;
+    JobPlan<uint64_t, uint64_t> plan;
+    plan.name = sorted ? "lifecycle-sorted" : "lifecycle-streaming";
+    plan.mapper_factory = [](uint64_t) { return std::make_unique<CountMapper>(); };
+    plan.reducer = &reducer;
+    plan.sorted_shuffle = sorted;
+    RunRound(plan, ds, &env);
+    EXPECT_EQ(reducer.starts, 1) << "sorted=" << sorted;
+    EXPECT_EQ(reducer.finishes, 1) << "sorted=" << sorted;
+    EXPECT_EQ(reducer.absorbs, 6) << "sorted=" << sorted;
+    EXPECT_EQ(reducer.out_of_order_absorbs, 0) << "sorted=" << sorted;
+    EXPECT_EQ(reducer.baseline.size(), 1u) << "sorted=" << sorted;
+  }
 }
 
 TEST(JobEngineTest, SimulatedTimeIsPositiveAndDecomposed) {

@@ -6,6 +6,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
 #include "histogram/builder.h"
@@ -82,24 +83,24 @@ TEST_P(ParallelDeterminismTest, MatchesSerialExecution) {
   }
 }
 
-// send_v and H-WTopk are the ISSUE-mandated pair (single-round combiner-free
-// aggregation and 3-round stateful TPUT); the sketch and sampling paths ride
-// along to prove all four Mapper/Reducer families are thread-clean.
-INSTANTIATE_TEST_SUITE_P(
-    AllAlgorithms, ParallelDeterminismTest,
-    testing::Values(Case{AlgorithmKind::kSendV, 1}, Case{AlgorithmKind::kSendV, 2},
-                    Case{AlgorithmKind::kSendV, 4}, Case{AlgorithmKind::kSendV, 8},
-                    Case{AlgorithmKind::kHWTopk, 1}, Case{AlgorithmKind::kHWTopk, 2},
-                    Case{AlgorithmKind::kHWTopk, 4}, Case{AlgorithmKind::kHWTopk, 8},
-                    Case{AlgorithmKind::kSendCoef, 4},
-                    Case{AlgorithmKind::kSendCoef, 8},
-                    Case{AlgorithmKind::kBasicS, 4},
-                    Case{AlgorithmKind::kImprovedS, 4},
-                    Case{AlgorithmKind::kTwoLevelS, 4},
-                    Case{AlgorithmKind::kTwoLevelS, 8},
-                    Case{AlgorithmKind::kSendSketch, 4},
-                    Case{AlgorithmKind::kSendSketch, 8}),
-    CaseName);
+// The full cross product: every algorithm (streaming and sorted shuffle
+// planes, combiner and stateful multi-round paths) must be bit-identical
+// at every thread count the columnar shuffle plane schedules differently.
+std::vector<Case> AllCases() {
+  std::vector<Case> cases;
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kSendV, AlgorithmKind::kSendCoef, AlgorithmKind::kHWTopk,
+        AlgorithmKind::kBasicS, AlgorithmKind::kImprovedS,
+        AlgorithmKind::kTwoLevelS, AlgorithmKind::kSendSketch}) {
+    for (int threads : {1, 2, 4, 8}) {
+      cases.push_back(Case{kind, threads});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ParallelDeterminismTest,
+                         testing::ValuesIn(AllCases()), CaseName);
 
 // threads=0 means "all hardware threads"; it must obey the same guarantee.
 TEST(ParallelDeterminismTest, HardwareDefaultMatchesSerial) {

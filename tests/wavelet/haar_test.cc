@@ -4,8 +4,10 @@
 
 #include <cmath>
 #include <numeric>
+#include <span>
 #include <vector>
 
+#include "core/bitops.h"
 #include "core/rng.h"
 #include "wavelet/coefficient.h"
 
@@ -78,6 +80,47 @@ TEST(HaarTest, SizeOneIsIdentity) {
   EXPECT_NEAR(ForwardHaar(v)[0], 5.5, kTol);
   EXPECT_NEAR(InverseHaar(v)[0], 5.5, kTol);
 }
+
+// The original in-place butterfly, kept verbatim as the reference for the
+// vectorizable ping-pong restructuring in haar.cc: the new form must be a
+// pure loop transformation, so every coefficient matches bit for bit.
+std::vector<double> ForwardHaarScalarReference(std::span<const double> v) {
+  const uint64_t u = v.size();
+  std::vector<double> coeffs(u, 0.0);
+  std::vector<double> sums(v.begin(), v.end());
+  const uint32_t levels = Log2Floor(u);
+  uint64_t size = u;
+  for (uint32_t t = 0; t < levels; ++t) {
+    uint32_t j = levels - t - 1;
+    double norm = 1.0 / std::sqrt(static_cast<double>(u >> j));
+    uint64_t half = size / 2;
+    for (uint64_t k = 0; k < half; ++k) {
+      double left = sums[2 * k];
+      double right = sums[2 * k + 1];
+      coeffs[(uint64_t{1} << j) + k] = (right - left) * norm;
+      sums[k] = left + right;
+    }
+    size = half;
+  }
+  coeffs[0] = sums[0] / std::sqrt(static_cast<double>(u));
+  return coeffs;
+}
+
+class HaarBitIdentityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HaarBitIdentityTest, RestructuredPassMatchesScalarBitwise) {
+  const uint64_t u = GetParam();
+  std::vector<double> v = RandomSignal(u, 1000 + u);
+  std::vector<double> want = ForwardHaarScalarReference(v);
+  std::vector<double> got = ForwardHaar(v);
+  ASSERT_EQ(want.size(), got.size());
+  for (uint64_t i = 0; i < u; ++i) {
+    EXPECT_EQ(want[i], got[i]) << "coefficient " << i;  // exact, not NEAR
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HaarBitIdentityTest,
+                         ::testing::Values(1u, 2u, 4u, 16u, 128u, 1024u, 8192u));
 
 TEST(HaarTest, LinearityOfTransform) {
   const uint64_t u = 64;

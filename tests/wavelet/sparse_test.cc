@@ -75,6 +75,37 @@ TEST(SparseHaarTest, EmptyInputYieldsNothing) {
   EXPECT_TRUE(SparseHaar({}, 64).empty());
 }
 
+TEST(SparseHaarTest, LevelMajorMatchesScalarPathBitwise) {
+  // SparseHaar's level-major restructuring (hoisted sqrt, shift/mask block
+  // math) must accumulate every coefficient in the same order as the
+  // key-major scalar path, so the two agree exactly -- not just to within a
+  // tolerance. SparseHaarMap/AccumulatePointUpdate is that scalar path.
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    Rng rng(seed);
+    const uint64_t u = 4096;
+    SparseVector v;
+    for (int i = 0; i < 500; ++i) {
+      v.emplace_back(rng.NextBounded(u), (rng.NextDouble() - 0.5) * 100.0);
+    }
+    std::unordered_map<uint64_t, double> want = SparseHaarMap(v, u);
+    std::vector<WCoeff> got = SparseHaar(v, u);
+    std::unordered_map<uint64_t, double> got_map;
+    for (const WCoeff& w : got) {
+      EXPECT_NE(w.value, 0.0);
+      got_map[w.index] = w.value;
+    }
+    for (const auto& [idx, val] : want) {
+      if (val == 0.0) {
+        EXPECT_EQ(got_map.count(idx), 0u) << "index " << idx;
+      } else {
+        ASSERT_EQ(got_map.count(idx), 1u) << "index " << idx;
+        EXPECT_EQ(got_map[idx], val) << "index " << idx;  // exact
+      }
+    }
+    EXPECT_LE(got_map.size(), want.size());
+  }
+}
+
 TEST(SparseHaarTest, NegativeWeightsSupported) {
   // Sampling estimators can produce non-integral, negative-ish corrections;
   // the transform must be linear over arbitrary weights.
