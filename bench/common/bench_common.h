@@ -136,6 +136,10 @@ struct ShuffleKernelOptions {
   size_t num_runs = 64;
   uint64_t key_domain = uint64_t{1} << 17;
   uint64_t seed = 42;
+  /// Give each run its own contiguous slice of the key domain instead of
+  /// uniform keys over all of it -- the workload where one run keeps winning
+  /// the merge and block-wise delivery collapses the tree walks.
+  bool disjoint_runs = false;
 };
 
 struct ShuffleKernelResult {
@@ -143,15 +147,54 @@ struct ShuffleKernelResult {
   double columnar_pairs_per_sec = 0.0;
   uint64_t pair_vector_checksum = 0;
   uint64_t columnar_checksum = 0;
+  /// Merge-only (pre-sorted runs, no run sort in the timed region) rates of
+  /// the two RunMerger delivery modes: the default adaptive block-wise drain
+  /// (galloped to the runner-up bound after a winner streak) vs the per-pair
+  /// replay reference. Their checksums must match; blockwise/per_pair is the
+  /// "blockwise-merge" CI floor -- parity by design on the uniform-key
+  /// kernel (the adaptive path degrades to the per-pair loop there), gated
+  /// at 0.95 in ci_baseline.json to absorb timer noise.
+  double merge_blockwise_pairs_per_sec = 0.0;
+  double merge_per_pair_pairs_per_sec = 0.0;
+  uint64_t merge_blockwise_checksum = 0;
+  uint64_t merge_per_pair_checksum = 0;
 
   double Speedup() const {
     return pair_vector_pairs_per_sec > 0.0
                ? columnar_pairs_per_sec / pair_vector_pairs_per_sec
                : 0.0;
   }
+  double BlockwiseSpeedup() const {
+    return merge_per_pair_pairs_per_sec > 0.0
+               ? merge_blockwise_pairs_per_sec / merge_per_pair_pairs_per_sec
+               : 0.0;
+  }
 };
 
 ShuffleKernelResult RunShuffleMergeKernel(const ShuffleKernelOptions& opt);
+
+/// The external-merge kernel: the same k-way sorted merge once over fully
+/// resident runs and once over fully file-backed runs (every run spilled to
+/// a temp file in the columnar framing, streamed back through
+/// FileRunCursor). Checksums fold (key, value) in delivery order -- equal
+/// checksums prove the external path reproduces the resident stream bit for
+/// bit; the rate ratio is what a spill actually costs.
+struct ExternalMergeKernelOptions {
+  uint64_t total_pairs = uint64_t{1} << 22;
+  size_t num_runs = 64;
+  uint64_t key_domain = uint64_t{1} << 17;
+  uint64_t seed = 42;
+};
+
+struct ExternalMergeKernelResult {
+  double resident_pairs_per_sec = 0.0;
+  double external_pairs_per_sec = 0.0;  // includes spill-file read-back
+  uint64_t resident_checksum = 0;
+  uint64_t external_checksum = 0;
+};
+
+ExternalMergeKernelResult RunExternalMergeKernel(
+    const ExternalMergeKernelOptions& opt);
 
 /// Aligned fixed-width table printer (one per sub-figure).
 class Table {

@@ -8,7 +8,11 @@
 //               (UpdateBatch), plus the full WaveletGcs::UpdateData path;
 //   shuffle     the sorted-shuffle driver path: pair-vector global
 //               stable_sort vs columnar per-run radix sort + loser-tree
-//               merge (mapreduce/shuffle.h).
+//               merge (mapreduce/shuffle.h), plus the merge-only
+//               comparison of per-pair replay vs block-wise delivery;
+//   extmerge    the external shuffle: the same k-way merge over resident
+//               runs vs runs spilled to temp files and streamed back
+//               through FileRunCursor (mapreduce/spill.h).
 //
 // Each kernel prints rows of (variant, items/sec, speedup vs the first
 // variant). Checksums keep the optimizer honest and double as a cheap
@@ -252,6 +256,38 @@ void BenchShuffle(uint64_t n) {
   rows.push_back({"columnar radix + loser-tree", r.columnar_pairs_per_sec,
                   r.columnar_checksum});
   PrintRows("shuffle merge (pairs/s)", rows);
+
+  std::vector<Row> mrows;
+  mrows.push_back({"merge-only per-pair replay", r.merge_per_pair_pairs_per_sec,
+                   r.merge_per_pair_checksum});
+  mrows.push_back({"merge-only block-wise", r.merge_blockwise_pairs_per_sec,
+                   r.merge_blockwise_checksum});
+  PrintRows("merge delivery, uniform keys (pairs/s)", mrows);
+
+  // The skewed counterpart: every run owns a contiguous key slice, so one
+  // run wins the merge for a long streak and block delivery collapses the
+  // per-pair tree walks into bulk copies.
+  opt.disjoint_runs = true;
+  ShuffleKernelResult d = RunShuffleMergeKernel(opt);
+  std::vector<Row> drows;
+  drows.push_back({"merge-only per-pair replay", d.merge_per_pair_pairs_per_sec,
+                   d.merge_per_pair_checksum});
+  drows.push_back({"merge-only block-wise", d.merge_blockwise_pairs_per_sec,
+                   d.merge_blockwise_checksum});
+  PrintRows("merge delivery, run-disjoint keys (pairs/s)", drows);
+}
+
+// ----------------------------------------------------------- external merge
+
+void BenchExternalMerge(uint64_t n) {
+  ExternalMergeKernelOptions opt;
+  opt.total_pairs = n;
+  ExternalMergeKernelResult r = RunExternalMergeKernel(opt);
+  std::vector<Row> rows;
+  rows.push_back({"resident runs", r.resident_pairs_per_sec, r.resident_checksum});
+  rows.push_back({"file-backed runs", r.external_pairs_per_sec,
+                  r.external_checksum});
+  PrintRows("external merge (pairs/s)", rows);
 }
 
 bool WriteJson(const std::string& path) {
@@ -293,6 +329,7 @@ int Main(int argc, char** argv) {
   BenchCount(n);
   BenchGcs(n);
   BenchShuffle(n);
+  BenchExternalMerge(n);
   if (!json_path.empty()) {
     if (!WriteJson(json_path)) return 1;
     std::printf("wrote %s (%zu rows)\n", json_path.c_str(), g_all_rows.size());

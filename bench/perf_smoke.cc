@@ -15,7 +15,16 @@
 //     record, the columnar sort+merge path must deliver at least
 //     min_speedup x the pair-vector reference measured in the same
 //     process, and at least pairs_per_sec (minus --rps-tolerance), with
-//     equal checksums between the two paths.
+//     equal checksums between the two paths;
+//   * merge delivery: when the baseline has a "blockwise-merge" record,
+//     RunMerger's block-wise drain must reach min_speedup x the per-pair
+//     replay reference on the same pre-sorted runs (parity by design on
+//     this uniform-key kernel; the baseline floor is 0.95 to absorb timer
+//     noise);
+//   * external merge: when the baseline has an "external-merge-kernel"
+//     record, merging file-backed (spilled) runs must deliver at least
+//     pairs_per_sec (minus --rps-tolerance) and reproduce the resident
+//     merge's checksum exactly.
 //
 // The dataset's key cache is warmed before timing, so map phases measure
 // the steady-state read path (memory-speed scans), not first-touch
@@ -184,8 +193,16 @@ int Main(int argc, char** argv) {
     if (r.pair_vector_pairs_per_sec > kernel.pair_vector_pairs_per_sec) {
       kernel.pair_vector_pairs_per_sec = r.pair_vector_pairs_per_sec;
     }
+    if (r.merge_blockwise_pairs_per_sec > kernel.merge_blockwise_pairs_per_sec) {
+      kernel.merge_blockwise_pairs_per_sec = r.merge_blockwise_pairs_per_sec;
+    }
+    if (r.merge_per_pair_pairs_per_sec > kernel.merge_per_pair_pairs_per_sec) {
+      kernel.merge_per_pair_pairs_per_sec = r.merge_per_pair_pairs_per_sec;
+    }
     kernel.pair_vector_checksum = r.pair_vector_checksum;
     kernel.columnar_checksum = r.columnar_checksum;
+    kernel.merge_blockwise_checksum = r.merge_blockwise_checksum;
+    kernel.merge_per_pair_checksum = r.merge_per_pair_checksum;
     if (r.columnar_checksum != r.pair_vector_checksum) break;
   }
   std::printf(
@@ -208,6 +225,63 @@ int Main(int argc, char** argv) {
     kr.pairs_per_sec = kernel.columnar_pairs_per_sec;
     reporter.Add(std::move(kr));
   }
+  std::printf(
+      "merge delivery: block-wise %.3e pairs/s, per-pair %.3e pairs/s (%.2fx)\n",
+      kernel.merge_blockwise_pairs_per_sec, kernel.merge_per_pair_pairs_per_sec,
+      kernel.BlockwiseSpeedup());
+  if (kernel.merge_blockwise_checksum != kernel.merge_per_pair_checksum) {
+    std::fprintf(stderr,
+                 "FAIL blockwise-merge: block-wise checksum %llx != per-pair "
+                 "checksum %llx\n",
+                 static_cast<unsigned long long>(kernel.merge_blockwise_checksum),
+                 static_cast<unsigned long long>(kernel.merge_per_pair_checksum));
+    failed = true;
+  }
+  {
+    BenchRecord kr;
+    kr.algorithm = "blockwise-merge";
+    kr.threads = 1;
+    kr.pairs_per_sec = kernel.merge_blockwise_pairs_per_sec;
+    reporter.Add(std::move(kr));
+  }
+
+  // External-merge kernel: resident vs file-backed runs through the same
+  // loser tree. Best of three shots, like the shuffle kernel.
+  ExternalMergeKernelResult ext;
+  for (int shot = 0; shot < 3; ++shot) {
+    ExternalMergeKernelResult r = RunExternalMergeKernel(ExternalMergeKernelOptions{});
+    if (r.external_pairs_per_sec > ext.external_pairs_per_sec) {
+      ext.external_pairs_per_sec = r.external_pairs_per_sec;
+    }
+    if (r.resident_pairs_per_sec > ext.resident_pairs_per_sec) {
+      ext.resident_pairs_per_sec = r.resident_pairs_per_sec;
+    }
+    ext.resident_checksum = r.resident_checksum;
+    ext.external_checksum = r.external_checksum;
+    if (r.external_checksum != r.resident_checksum) break;
+  }
+  std::printf(
+      "external-merge kernel: file-backed %.3e pairs/s, resident %.3e pairs/s "
+      "(%.2fx of resident)\n",
+      ext.external_pairs_per_sec, ext.resident_pairs_per_sec,
+      ext.resident_pairs_per_sec > 0.0
+          ? ext.external_pairs_per_sec / ext.resident_pairs_per_sec
+          : 0.0);
+  if (ext.external_checksum != ext.resident_checksum) {
+    std::fprintf(stderr,
+                 "FAIL external-merge-kernel: file-backed checksum %llx != "
+                 "resident checksum %llx\n",
+                 static_cast<unsigned long long>(ext.external_checksum),
+                 static_cast<unsigned long long>(ext.resident_checksum));
+    failed = true;
+  }
+  {
+    BenchRecord kr;
+    kr.algorithm = "external-merge-kernel";
+    kr.threads = 1;
+    kr.pairs_per_sec = ext.external_pairs_per_sec;
+    reporter.Add(std::move(kr));
+  }
 
   if (!opt.baseline.empty()) {
     std::vector<BenchRecord> baseline;
@@ -217,6 +291,41 @@ int Main(int argc, char** argv) {
       return 2;
     }
     for (const BenchRecord& b : baseline) {
+      if (b.algorithm == "blockwise-merge") {
+        if (b.min_speedup > 0.0) {
+          if (kernel.BlockwiseSpeedup() < b.min_speedup) {
+            std::fprintf(stderr,
+                         "FAIL blockwise-merge: %.2fx vs per-pair replay below "
+                         "required %.2fx\n",
+                         kernel.BlockwiseSpeedup(), b.min_speedup);
+            failed = true;
+          } else {
+            std::printf("ok   blockwise-merge: %.2fx vs per-pair replay "
+                        "(need %.2fx)\n",
+                        kernel.BlockwiseSpeedup(), b.min_speedup);
+          }
+        }
+        continue;
+      }
+      if (b.algorithm == "external-merge-kernel") {
+        if (b.pairs_per_sec > 0.0) {
+          double floor = b.pairs_per_sec * (1.0 - opt.rps_tolerance);
+          if (ext.external_pairs_per_sec < floor) {
+            std::fprintf(stderr,
+                         "FAIL external-merge-kernel: %.3e pairs/s below "
+                         "baseline %.3e pairs/s (-%.0f%% tolerance => %.3e)\n",
+                         ext.external_pairs_per_sec, b.pairs_per_sec,
+                         opt.rps_tolerance * 100.0, floor);
+            failed = true;
+          } else {
+            std::printf("ok   external-merge-kernel: %.3e pairs/s within "
+                        "baseline %.3e pairs/s (-%.0f%%)\n",
+                        ext.external_pairs_per_sec, b.pairs_per_sec,
+                        opt.rps_tolerance * 100.0);
+          }
+        }
+        continue;
+      }
       if (b.algorithm != "shuffle-merge-kernel") continue;
       if (b.min_speedup > 0.0) {
         if (kernel.Speedup() < b.min_speedup) {

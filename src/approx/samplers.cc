@@ -181,6 +181,7 @@ StatusOr<BuildResult> BasicSampling::Build(const Dataset& dataset,
   env.cluster = options.cluster;
   env.cost_model = options.cost_model;
   env.threads = options.threads;
+  env.reduce_tasks = options.reduce_tasks;
   const double p = LevelOneProbability(options.epsilon, dataset.info().num_records);
 
   BasicReducer reducer(dataset.info().domain_size, options.k, p);
@@ -193,6 +194,7 @@ StatusOr<BuildResult> BasicSampling::Build(const Dataset& dataset,
   plan.wire_bytes = [](const uint64_t*, const uint64_t*, size_t n) {
     return n * kKeyCountBytes;
   };
+  plan.sorted_shuffle = options.force_sorted_shuffle;
   RunRound(plan, dataset, &env);
 
   BuildResult result;
@@ -207,6 +209,7 @@ StatusOr<BuildResult> ImprovedSampling::Build(const Dataset& dataset,
   env.cluster = options.cluster;
   env.cost_model = options.cost_model;
   env.threads = options.threads;
+  env.reduce_tasks = options.reduce_tasks;
   const double p = LevelOneProbability(options.epsilon, dataset.info().num_records);
 
   // Improved-S reuses Basic-S's reducer: sum received counts, scale by 1/p.
@@ -221,6 +224,7 @@ StatusOr<BuildResult> ImprovedSampling::Build(const Dataset& dataset,
   plan.wire_bytes = [](const uint64_t*, const uint64_t*, size_t n) {
     return n * kKeyCountBytes;
   };
+  plan.sorted_shuffle = options.force_sorted_shuffle;
   RunRound(plan, dataset, &env);
 
   BuildResult result;
@@ -235,6 +239,7 @@ StatusOr<BuildResult> TwoLevelSampling::Build(const Dataset& dataset,
   env.cluster = options.cluster;
   env.cost_model = options.cost_model;
   env.threads = options.threads;
+  env.reduce_tasks = options.reduce_tasks;
   const uint64_t m = dataset.info().num_splits;
   const double p = LevelOneProbability(options.epsilon, dataset.info().num_records);
 
@@ -257,6 +262,7 @@ StatusOr<BuildResult> TwoLevelSampling::Build(const Dataset& dataset,
     }
     return bytes;
   };
+  plan.sorted_shuffle = options.force_sorted_shuffle;
   RunRound(plan, dataset, &env);
 
   BuildResult result;

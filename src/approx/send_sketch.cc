@@ -78,6 +78,7 @@ StatusOr<BuildResult> SendSketch::Build(const Dataset& dataset,
   env.cluster = options.cluster;
   env.cost_model = options.cost_model;
   env.threads = options.threads;
+  env.reduce_tasks = options.reduce_tasks;
 
   const uint64_t u = dataset.info().domain_size;
   // All mappers and the reducer must draw identical hash functions; derive
@@ -95,6 +96,7 @@ StatusOr<BuildResult> SendSketch::Build(const Dataset& dataset,
   plan.wire_bytes = [](const uint64_t*, const double*, size_t n) {
     return n * kPairBytes;
   };
+  plan.sorted_shuffle = options.force_sorted_shuffle;
   RunRound(plan, dataset, &env);
 
   BuildResult result;

@@ -453,6 +453,7 @@ StatusOr<BuildResult> HWTopk::Build(const Dataset& dataset,
   env.cluster = options.cluster;
   env.cost_model = options.cost_model;
   env.threads = options.threads;
+  env.reduce_tasks = options.reduce_tasks;
 
   const uint64_t m = dataset.info().num_splits;
   if (dataset.info().domain_size > (uint64_t{1} << 32)) {

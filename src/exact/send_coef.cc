@@ -88,6 +88,7 @@ StatusOr<BuildResult> SendCoef::Build(const Dataset& dataset,
   env.cluster = options.cluster;
   env.cost_model = options.cost_model;
   env.threads = options.threads;
+  env.reduce_tasks = options.reduce_tasks;
 
   SendCoefReducer reducer(options.k);
 

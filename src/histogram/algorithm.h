@@ -33,6 +33,19 @@ struct BuildOptions {
   /// every value; only wall-clock changes (see mapreduce/job.h RunRound).
   int threads = 1;
 
+  /// Key-range reduce partitions for sorted-shuffle rounds: 0 = match the
+  /// round's map thread count (default), N >= 1 = exactly N. Bit-identical
+  /// results for every value, like threads.
+  int reduce_tasks = 0;
+
+  /// Force Hadoop's sorted reducer delivery on every round, including the
+  /// rounds that default to streaming delivery (Send-V, the samplers,
+  /// Send-Sketch). Changes the order pairs reach the reducer -- so results
+  /// may differ from the streaming default -- but stays deterministic, and
+  /// routes every algorithm through the retained-run/spill path (the
+  /// spill-stress CI lane uses it to exercise external spills everywhere).
+  bool force_sorted_shuffle = false;
+
   /// GCS configuration for Send-Sketch (total_bytes 0 = paper's rule).
   WaveletGcsOptions gcs;
 

@@ -42,11 +42,20 @@ struct CostModel {
   double reduce_cpu_ns_per_pair = 200.0;
 
   /// In-memory budget for the map-output runs a sorted shuffle retains on
-  /// the driver before the plane would spill to disk (Hadoop's io.sort.mb
-  /// analog, applied to the whole round). The in-memory plane counts
-  /// would-spill events against this budget; actual spilling is the seam a
-  /// later PR fills in. 0 disables the check.
+  /// the driver before the plane spills to disk (Hadoop's io.sort.mb analog,
+  /// applied to the whole round). Crossing the budget counts a spill event
+  /// and evicts the largest retained runs to temp spill files; the merge
+  /// streams them back, bit-identical to the all-in-memory path. 0 disables
+  /// the check (never spill).
   uint64_t shuffle_buffer_bytes = uint64_t{256} << 20;
+
+  /// Sequential local-disk rate (MB/s) for the external shuffle's spill
+  /// writes and merge read-back. Spill time is *measured* from the bytes
+  /// actually moved and reported separately (RoundStats::spill_s) -- it is
+  /// NOT folded into TotalSeconds, so the headline simulated seconds stay
+  /// bit-identical across buffer sizes and the paper's in-memory-shuffle
+  /// numbers remain comparable.
+  double disk_spill_mbps = 80.0;
 
   /// Bytes of sequential disk transfer charged per randomly sampled record
   /// (one page); total random-read cost is capped at the split size, since
@@ -69,6 +78,11 @@ struct CostModel {
   /// Seconds of sequential disk transfer for `bytes`.
   double DiskSeconds(uint64_t bytes) const {
     return static_cast<double>(bytes) / (disk_mbps * 1e6);
+  }
+
+  /// Seconds of spill-disk transfer for `bytes` (external shuffle IO).
+  double SpillDiskSeconds(uint64_t bytes) const {
+    return static_cast<double>(bytes) / (disk_spill_mbps * 1e6);
   }
 };
 

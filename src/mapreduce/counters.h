@@ -14,6 +14,14 @@ namespace wavemr {
 /// also gives each task a private Counters that it merges in split order,
 /// but algorithm code is free to hit the shared instance directly). Counter
 /// values are sums, so accumulation order never affects the result.
+///
+/// Engine-maintained counters (all deterministic for any threads /
+/// reduce-tasks at a fixed shuffle buffer budget):
+///   map_records_read, map_output_pairs, combine_output_pairs,
+///   shuffle_pairs,
+///   shuffle_spill_events  -- Accepts that crossed the buffer budget,
+///   shuffle_spill_files   -- spill files actually written,
+///   shuffle_spill_bytes   -- bytes written to them (framing included).
 class Counters {
  public:
   Counters() = default;

@@ -20,6 +20,7 @@
 #include "mapreduce/counters.h"
 #include "mapreduce/job_config.h"
 #include "mapreduce/shuffle.h"
+#include "mapreduce/spill.h"
 #include "mapreduce/split_access.h"
 #include "mapreduce/state_store.h"
 #include "mapreduce/stats.h"
@@ -44,6 +45,18 @@ struct MrEnv {
   /// 0 = ThreadPool::DefaultThreadCount(), N > 1 = a pool of N workers. Any
   /// value produces bit-identical results; only wall-clock changes.
   int threads = 1;
+
+  /// Key-range reduce partitions for sorted rounds: 0 = match the round's
+  /// map thread count, N >= 1 = exactly N partitions. Any value produces
+  /// bit-identical results (partitions are disjoint key ranges delivered in
+  /// range order, exactly the full merge's stream); only wall-clock changes.
+  int reduce_tasks = 0;
+
+  /// Temp directory for external shuffle spill files, lazily created on the
+  /// first real spill and removed (recursively) when the env dies. Rounds
+  /// delete their own files as they complete -- including on exceptions --
+  /// so the env-level remove is the crash backstop, not the cleanup path.
+  SpillDir spill_dir;
 
   /// Lazily created worker pool, reused across rounds (H-WTopk runs three
   /// rounds on one MrEnv; respawning threads per round would dominate small
@@ -109,6 +122,106 @@ struct MapTaskOutput {
   uint64_t combine_output_pairs = 0;
   bool combined = false;
 };
+
+/// Sorted-round delivery: merges the plane's retained + spilled runs into
+/// `absorb`, split into `reduce_tasks` disjoint key-range partitions. Each
+/// partition is one reduce task: it k-way merges its own slice of every run
+/// (resident slices by binary search, spilled slices by on-disk binary
+/// search) on a pool worker into a staged columnar buffer, and the driver
+/// concatenates the staged partitions in range order -- which is exactly the
+/// stream a single full merge delivers, so results are bit-identical for
+/// every (reduce_tasks, threads, buffer size) combination. Returns the
+/// partition count actually used (1 when partitioning does not apply).
+template <typename K, typename V, typename Absorb>
+int DeliverSortedMerge(ShufflePlane<K, V>& plane, MrEnv* env, int reduce_tasks,
+                       int pool_threads, Absorb&& absorb) {
+  if constexpr (std::is_integral_v<K> && std::is_unsigned_v<K>) {
+    K min_key = 0;
+    K max_key = 0;
+    if (reduce_tasks > 1 && plane.KeyBounds(&min_key, &max_key)) {
+      // Equal-width ranges over the observed [min, max] key span. Duplicate
+      // boundaries (span < R) just yield empty partitions; skew-aware
+      // (rank-based) boundaries are a future lever, not a correctness one.
+      const int R = reduce_tasks;
+      std::vector<K> lo(static_cast<size_t>(R));
+      const unsigned __int128 span =
+          static_cast<unsigned __int128>(max_key - min_key) + 1;
+      for (int r = 0; r < R; ++r) {
+        lo[r] = static_cast<K>(
+            min_key + static_cast<K>((span * static_cast<unsigned>(r)) / R));
+      }
+      if (pool_threads > 1) {
+        struct Staged {
+          std::vector<K> keys;
+          std::vector<V> values;
+        };
+        ThreadPool* pool = env->EnsurePool(pool_threads);
+        // Sliding submission window: at most pool_threads partitions are
+        // staged in flight while the driver drains in range order, so peak
+        // staging memory is ~min(R, threads + 1)/R of the merged payload
+        // rather than all of it at once. For a shuffle that had to spill
+        // past RAM, pick reduce_tasks well above threads and the staged
+        // fraction shrinks accordingly.
+        const int window = pool_threads;
+        std::vector<std::future<Staged>> parts(static_cast<size_t>(R));
+        int submitted = 0;
+        auto submit_until = [&](int limit) {
+          for (; submitted < limit && submitted < R; ++submitted) {
+            const K range_lo = lo[submitted];
+            const bool has_hi = submitted + 1 < R;
+            const K range_hi = has_hi ? lo[submitted + 1] : K{};
+            parts[submitted] =
+                pool->Submit([&plane, range_lo, has_hi, range_hi] {
+                  Staged s;
+                  plane.MergeRange(range_lo, has_hi, range_hi,
+                                   [&s](const K& k, const V& v) {
+                                     s.keys.push_back(k);
+                                     s.values.push_back(v);
+                                   });
+                  return s;
+                });
+          }
+        };
+        int r = 0;
+        try {
+          submit_until(window);
+          for (; r < R; ++r) {
+            submit_until(r + 1 + window);
+            Staged s = parts[r].get();
+            for (size_t i = 0; i < s.keys.size(); ++i) {
+              absorb(s.keys[i], s.values[i]);
+            }
+          }
+        } catch (...) {
+          // Queued/running partitions reference this frame's plane; they
+          // must all finish before the frame unwinds. Start at r: when the
+          // throw came from submit_until, parts[r] was submitted but never
+          // retrieved (get() leaves a future invalid, so a consumed parts[r]
+          // is skipped). Futures past `submitted` were never created.
+          for (int rest = r; rest < submitted; ++rest) {
+            if (parts[rest].valid()) parts[rest].wait();
+          }
+          throw;
+        }
+      } else {
+        // Serial: deliver each range straight into the reducer -- no
+        // staging memory, same stream.
+        for (int r = 0; r < R; ++r) {
+          if (r + 1 < R) {
+            plane.MergeRange(lo[r], /*has_hi=*/true, lo[r + 1], absorb);
+          } else {
+            plane.MergeRange(lo[r], /*has_hi=*/false, K{}, absorb);
+          }
+        }
+      }
+      return R;
+    }
+  }
+  (void)env;
+  (void)pool_threads;
+  plane.Merge(absorb);
+  return 1;
+}
 
 }  // namespace internal
 
@@ -304,7 +417,11 @@ struct JobPlan {
 /// private columnar ShuffleRun (sorted on the worker under sorted_shuffle);
 /// the driver hands runs to the ShufflePlane in split-index order, so
 /// shuffle accounting, counters, and reducer results are bit-identical for
-/// every thread count.
+/// every thread count. Sorted rounds additionally partition the merge into
+/// env->reduce_tasks disjoint key ranges (0 = one per map thread) executed
+/// on the same pool, and spill retained runs past
+/// CostModel::shuffle_buffer_bytes to env->spill_dir -- neither changes any
+/// result bit (see internal::DeliverSortedMerge and ShufflePlane).
 template <typename K2, typename V2>
 RoundStats RunRound(const JobPlan<K2, V2>& plan, const Dataset& dataset, MrEnv* env) {
   WAVEMR_CHECK(plan.mapper_factory != nullptr);
@@ -336,11 +453,14 @@ RoundStats RunRound(const JobPlan<K2, V2>& plan, const Dataset& dataset, MrEnv* 
   TaskCost reduce_cost;
   ReduceContext<K2, V2> reduce_ctx(env, &reduce_cost);
 
-  // The plane owns run collection, wire accounting, and delivery: streaming
-  // planes absorb each run the moment the driver merges it (and free it);
-  // sorted planes retain the worker-sorted runs for the loser-tree merge.
+  // The plane owns run collection, wire accounting, spilling, and delivery:
+  // streaming planes absorb each run the moment the driver merges it (and
+  // free it); sorted planes retain the worker-sorted runs -- evicting the
+  // largest ones to env->spill_dir when they outgrow the buffer budget --
+  // for the loser-tree merge.
   ShufflePlane<K2, V2> plane(wire, plan.sorted_shuffle,
-                             SpillPolicy{env->cost_model.shuffle_buffer_bytes});
+                             SpillPolicy{env->cost_model.shuffle_buffer_bytes},
+                             &env->spill_dir);
   auto absorb = [&](const K2& k, const V2& v) {
     plan.reducer->Absorb(k, v, reduce_ctx);
   };
@@ -446,13 +566,39 @@ RoundStats RunRound(const JobPlan<K2, V2>& plan, const Dataset& dataset, MrEnv* 
                                                 map_start)
           .count();
 
-  if (plan.sorted_shuffle) plane.Merge(absorb);
+  if (plan.sorted_shuffle) {
+    const int reduce_tasks =
+        env->reduce_tasks > 0 ? env->reduce_tasks : round.threads_used;
+    const auto reduce_start = std::chrono::steady_clock::now();
+    round.reduce_tasks_used = internal::DeliverSortedMerge(
+        plane, env, reduce_tasks, pool_threads, absorb);
+    round.reduce_wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - reduce_start)
+                               .count();
+    // Like "wavemr.threads": record what actually ran (partitioning can
+    // fall back to a single merge, e.g. on an empty shuffle).
+    env->config.SetUint("wavemr.reduce_tasks",
+                        static_cast<uint64_t>(round.reduce_tasks_used));
+  }
   plan.reducer->Finish(reduce_ctx);
 
   round.shuffle_pairs = plane.pairs();
   round.shuffle_bytes = plane.wire_bytes();
+  round.spill_files = plane.spill_files();
+  round.spill_bytes = plane.spill_bytes();
+  // Every spilled payload byte is read back exactly once by the merge,
+  // independent of partition count or cursor block size -- charge the
+  // deterministic quantity, not the block-rounded fread total.
+  round.spill_read_bytes = plane.spill_payload_bytes();
+  round.spill_s = env->cost_model.time_scale *
+                  env->cost_model.SpillDiskSeconds(round.spill_bytes +
+                                                   round.spill_read_bytes);
   if (plane.spill_events() > 0) {
     env->stats.counters.Add("shuffle_spill_events", plane.spill_events());
+  }
+  if (plane.spill_files() > 0) {
+    env->stats.counters.Add("shuffle_spill_files", plane.spill_files());
+    env->stats.counters.Add("shuffle_spill_bytes", plane.spill_bytes());
   }
 
   round.map_makespan_s = ScheduleMakespan(env->cluster, task_seconds);

@@ -4,12 +4,14 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <numeric>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "core/logging.h"
+#include "mapreduce/spill.h"
 
 namespace wavemr {
 
@@ -22,10 +24,11 @@ namespace wavemr {
 /// into a ShuffleRun of packed parallel keys[] / values[] arrays, sorts its
 /// own run on the worker thread when the round wants Hadoop's sorted
 /// delivery, and the driver merges the per-task runs with a loser tree --
-/// the structure Hadoop's framework uses over map-output spill files. The
-/// columnar layout halves the merge loop's cache traffic for small keys
-/// (the comparison path touches only the key column) and gives the run
-/// sort a radix-sortable contiguous key array instead of 16-byte pairs.
+/// the structure Hadoop's framework uses over map-output spill files. When
+/// the retained runs outgrow the SpillPolicy budget the plane writes whole
+/// runs to temp spill files (mapreduce/spill.h) and the same loser tree
+/// merges file-backed and resident runs, so a shuffle larger than RAM
+/// produces bit-identical output to the all-in-memory path.
 
 // ---------------------------------------------------------------------------
 // ShuffleRun: one map task's packed intermediate output.
@@ -145,47 +148,129 @@ struct ShuffleRun {
 // RunMerger: loser-tree k-way merge over sorted runs.
 // ---------------------------------------------------------------------------
 
-/// Merges R stably-sorted columnar runs in (key, run-index) order: equal
-/// keys drain lower-indexed runs first, and each run preserves its internal
-/// order, so the merged stream equals std::stable_sort over the runs'
-/// concatenation in run-index order. log2(R) key comparisons per pair (the
-/// replayed path of a loser tree), touching only the key columns.
+/// One input to the merge: either a resident slice of a sorted columnar run
+/// (keys/values/n) or a file-backed cursor over a spilled run. `ordinal` is
+/// the run's arrival index at the plane -- the merge tie-break -- so a run
+/// merges identically whether it stayed resident or went to disk.
+template <typename K, typename V>
+struct MergeInput {
+  const K* keys = nullptr;
+  const V* values = nullptr;
+  size_t n = 0;
+  FileRunCursor<K, V>* file = nullptr;  // non-null: stream blocks from disk
+  uint32_t ordinal = 0;
+};
+
+/// Merges R stably-sorted columnar runs (resident or file-backed) in
+/// (key, ordinal) order: equal keys drain lower-ordinal runs first, and each
+/// run preserves its internal order, so the merged stream equals
+/// std::stable_sort over the runs' concatenation in ordinal order.
+///
+/// Delivery is adaptively block-wise: the default loop replays once per
+/// equal-key group, but when the same run keeps winning (kGallopStreak
+/// consecutive replays -- a skewed or key-clustered run) it computes the
+/// runner-up bound (the best head among the leaves the winner defeated on
+/// its root path) and bulk-drains the winner's whole remaining prefix up to
+/// that bound with a galloping search over its key column -- one tree walk
+/// per *prefix* instead of one per pair. Galloping keeps the search cost
+/// O(log prefix), so uniform workloads never pay for the block path while
+/// run-partitioned key ranges collapse to a streak of bulk copies.
+/// DrainPerPair keeps the classic loop as the reference (and the bench
+/// floor) for the block-wise path.
 template <typename K, typename V>
 class RunMerger {
  public:
   explicit RunMerger(const std::vector<ShuffleRun<K, V>>& runs) {
-    cursors_.reserve(runs.size());
+    std::vector<MergeInput<K, V>> inputs;
+    inputs.reserve(runs.size());
     for (uint32_t r = 0; r < runs.size(); ++r) {
       WAVEMR_DCHECK(runs[r].sorted || runs[r].size() < 2);
-      if (runs[r].empty()) continue;
-      cursors_.push_back(Cursor{runs[r].keys.data(),
-                                runs[r].keys.data() + runs[r].size(),
-                                runs[r].values.data(), r});
+      inputs.push_back(MergeInput<K, V>{runs[r].keys.data(), runs[r].values.data(),
+                                        runs[r].size(), nullptr, r});
     }
-    BuildTree();
+    Init(inputs);
   }
 
-  /// Pops every pair into `consume(key, value)` in merged order.
+  explicit RunMerger(const std::vector<MergeInput<K, V>>& inputs) { Init(inputs); }
+
+  /// Consecutive wins by one run before Drain switches from per-group
+  /// replay to the galloped block drain for that run.
+  static constexpr uint32_t kGallopStreak = 4;
+
+  /// Pops every pair into `consume(key, value)` in merged order (adaptive
+  /// block-wise delivery; identical stream to DrainPerPair).
   template <typename Consumer>
   void Drain(Consumer&& consume) {
     const uint32_t leaves = static_cast<uint32_t>(cursors_.size());
     if (leaves == 0) return;
     if (leaves == 1) {
-      Cursor& c = cursors_[0];
-      for (; c.key != c.end; ++c.key, ++c.value) consume(*c.key, *c.value);
+      DrainAll(cursors_[0], consume);
+      return;
+    }
+    uint32_t prev = leaves;  // not a valid leaf
+    uint32_t streak = 0;
+    while (!Exhausted(winner_)) {
+      Cursor& c = cursors_[winner_];
+      if (winner_ == prev) {
+        ++streak;
+      } else {
+        prev = winner_;
+        streak = 0;
+      }
+      if (streak >= kGallopStreak) {
+        streak = 0;
+        const uint32_t ru = RunnerUp(winner_);
+        if (Exhausted(ru)) {
+          // No live contender: the winner owns the rest of the stream.
+          DrainAll(c, consume);
+        } else {
+          // Every other live head is >= the runner-up's head under (key,
+          // ordinal) order, so the winner keeps winning for its whole prefix
+          // of keys < bound -- or <= bound when it also wins the tie-break.
+          const K bound = *cursors_[ru].key;
+          const bool wins_ties = c.run < cursors_[ru].run;
+          for (;;) {
+            const K* stop = GallopStop(c.key, c.end, bound, wins_ties);
+            const size_t take = static_cast<size_t>(stop - c.key);
+            for (size_t i = 0; i < take; ++i) consume(c.key[i], c.value[i]);
+            c.key += take;
+            c.value += take;
+            if (c.key != c.end) break;                       // ends in block
+            if (c.file == nullptr || !RefillFile(c)) break;  // run exhausted
+            // Refilled from disk: the prefix may continue into this block.
+            if (wins_ties ? (bound < *c.key) : !(*c.key < bound)) break;
+          }
+        }
+      } else {
+        const K current = *c.key;
+        do {
+          consume(*c.key, *c.value);
+          AdvanceOne(c);
+        } while (c.key != c.end && *c.key == current);
+      }
+      Replay(winner_);
+    }
+  }
+
+  /// Reference delivery: one loser-tree replay per equal-key group, pairs
+  /// consumed one at a time. Same output stream as Drain.
+  template <typename Consumer>
+  void DrainPerPair(Consumer&& consume) {
+    const uint32_t leaves = static_cast<uint32_t>(cursors_.size());
+    if (leaves == 0) return;
+    if (leaves == 1) {
+      DrainAll(cursors_[0], consume);
       return;
     }
     while (!Exhausted(winner_)) {
       Cursor& c = cursors_[winner_];
       // Drain the winner's whole prefix of equal keys before replaying the
       // tree: every other live run's head is either > this key or == with a
-      // higher run index (a lower one would have won instead), so the
-      // winner keeps winning while its key does not change.
+      // higher ordinal (a lower one would have won instead).
       const K current = *c.key;
       do {
         consume(*c.key, *c.value);
-        ++c.key;
-        ++c.value;
+        AdvanceOne(c);
       } while (c.key != c.end && *c.key == current);
       Replay(winner_);
     }
@@ -196,15 +281,87 @@ class RunMerger {
     const K* key;
     const K* end;
     const V* value;
-    uint32_t run;  // original run index; the merge tie-break
+    uint32_t run;                  // merge ordinal; the tie-break
+    FileRunCursor<K, V>* file;     // non-null: refill from disk at block end
   };
+
+  void Init(const std::vector<MergeInput<K, V>>& inputs) {
+    cursors_.reserve(inputs.size());
+    for (const MergeInput<K, V>& in : inputs) {
+      if (in.file != nullptr) {
+        Cursor c{nullptr, nullptr, nullptr, in.ordinal, in.file};
+        if (!RefillFile(c)) continue;  // empty range
+        cursors_.push_back(c);
+      } else {
+        if (in.n == 0) continue;
+        cursors_.push_back(Cursor{in.keys, in.keys + in.n, in.values, in.ordinal,
+                                  nullptr});
+      }
+    }
+    BuildTree();
+  }
 
   bool Exhausted(uint32_t leaf) const {
     return cursors_[leaf].key == cursors_[leaf].end;
   }
 
+  /// Loads the cursor's next disk block; false at end of the file range.
+  /// Invariant everywhere else: a cursor with key == end is truly exhausted.
+  static bool RefillFile(Cursor& c) {
+    const K* keys = nullptr;
+    const V* values = nullptr;
+    const uint64_t got = c.file->NextBlock(&keys, &values);
+    if (got == 0) {
+      c.key = c.end = nullptr;
+      c.value = nullptr;
+      return false;
+    }
+    c.key = keys;
+    c.end = keys + got;
+    c.value = values;
+    return true;
+  }
+
+  /// Advances one pair, refilling across disk-block boundaries.
+  static void AdvanceOne(Cursor& c) {
+    ++c.key;
+    ++c.value;
+    if (c.key == c.end && c.file != nullptr) RefillFile(c);
+  }
+
+  /// First element of [begin, end) past the winning prefix: keys < bound
+  /// (exclusive) or <= bound (inclusive). begin is known to qualify.
+  /// Galloping (exponential probe, then bounded binary search) keeps the
+  /// cost O(log prefix) instead of O(log block), so short prefixes stay
+  /// cheap and long ones amortize to a bulk copy.
+  static const K* GallopStop(const K* begin, const K* end, const K& bound,
+                             bool inclusive) {
+    const size_t n = static_cast<size_t>(end - begin);
+    size_t off = 1;
+    if (inclusive) {
+      while (off < n && !(bound < begin[off])) off <<= 1;
+    } else {
+      while (off < n && begin[off] < bound) off <<= 1;
+    }
+    const K* lo = begin + (off >> 1);
+    const K* hi = begin + (off < n ? off : n);
+    return inclusive ? std::upper_bound(lo, hi, bound)
+                     : std::lower_bound(lo, hi, bound);
+  }
+
+  /// Consumes everything the cursor has left.
+  template <typename Consumer>
+  static void DrainAll(Cursor& c, Consumer&& consume) {
+    for (;;) {
+      const size_t n = static_cast<size_t>(c.end - c.key);
+      for (size_t i = 0; i < n; ++i) consume(c.key[i], c.value[i]);
+      c.key = c.end;
+      if (c.file == nullptr || !RefillFile(c)) return;
+    }
+  }
+
   /// True when leaf `a` wins the match against leaf `b`: smaller head key,
-  /// ties to the lower original run index; exhausted leaves always lose.
+  /// ties to the lower ordinal; exhausted leaves always lose.
   bool Beats(uint32_t a, uint32_t b) const {
     const bool ae = Exhausted(a);
     const bool be = Exhausted(b);
@@ -213,6 +370,18 @@ class RunMerger {
     const K& kb = *cursors_[b].key;
     if (ka != kb) return ka < kb;
     return cursors_[a].run < cursors_[b].run;
+  }
+
+  /// Best head among the leaves the winner defeated: they sit exactly on
+  /// its root path, and every other live leaf lost (transitively) to one of
+  /// them, so the returned leaf's head lower-bounds all non-winner heads.
+  uint32_t RunnerUp(uint32_t leaf) const {
+    const uint32_t leaves = static_cast<uint32_t>(cursors_.size());
+    uint32_t best = loser_[(leaf + leaves) >> 1];
+    for (uint32_t t = (leaf + leaves) >> 2; t >= 1; t >>= 1) {
+      if (Beats(loser_[t], best)) best = loser_[t];
+    }
+    return best;
   }
 
   /// Bottom-up build: compute subtree winners, store the loser of each
@@ -254,10 +423,10 @@ class RunMerger {
 // ---------------------------------------------------------------------------
 
 /// Byte budget for the runs a sorted shuffle retains in memory before the
-/// plane would spill them to disk (Hadoop's io.sort.mb analog, sized from
-/// the CostModel). Spilling itself is a later PR: today the plane counts
-/// would-spill events so large shuffles are visible in counters, and the
-/// decision point is already in place.
+/// plane spills them to disk (Hadoop's io.sort.mb analog, sized from the
+/// CostModel). Crossing the budget both counts a spill event and -- when the
+/// plane has a SpillDir -- serializes the largest retained runs until the
+/// resident footprint fits again.
 struct SpillPolicy {
   /// 0 = unbounded (never spill).
   uint64_t buffer_bytes = 0;
@@ -268,22 +437,34 @@ struct SpillPolicy {
 };
 
 // ---------------------------------------------------------------------------
-// ShufflePlane: run collection, wire accounting, delivery.
+// ShufflePlane: run collection, wire accounting, spill, delivery.
 // ---------------------------------------------------------------------------
 
 /// Owns one round's shuffle: accepts each map task's run in split-index
 /// order, accounts its wire bytes in bulk (one callback per run, not one
-/// per pair), and delivers pairs to the reducer either streaming (unsorted
-/// planes absorb a run the moment it arrives and free it) or via the
-/// loser-tree merge over all retained runs (sorted planes).
+/// per pair), spills the largest retained runs to disk when they outgrow
+/// the SpillPolicy budget, and delivers pairs to the reducer either
+/// streaming (unsorted planes absorb a run the moment it arrives and free
+/// it) or via the loser-tree merge over all retained + spilled runs
+/// (sorted planes). The plane deletes its spill files in its destructor, so
+/// a reducer exception unwinding RunRound leaves no files behind.
 template <typename K, typename V>
 class ShufflePlane {
  public:
   /// Wire bytes of a whole run: called once per run with the packed columns.
   using WireFn = std::function<uint64_t(const K* keys, const V* values, size_t n)>;
 
-  ShufflePlane(WireFn wire, bool sorted, SpillPolicy spill)
-      : wire_(std::move(wire)), sorted_(sorted), spill_(spill) {}
+  /// Without a SpillDir the plane only counts would-spill events (the
+  /// pre-external behavior unit tests pin); with one it spills for real.
+  ShufflePlane(WireFn wire, bool sorted, SpillPolicy spill,
+               SpillDir* spill_dir = nullptr)
+      : wire_(std::move(wire)), sorted_(sorted), spill_(spill),
+        spill_dir_(spill_dir) {}
+
+  ~ShufflePlane() { DeleteSpillFiles(); }
+
+  ShufflePlane(const ShufflePlane&) = delete;
+  ShufflePlane& operator=(const ShufflePlane&) = delete;
 
   /// Accounts `run` and either streams it into `absorb(key, value)` now
   /// (unsorted plane) or retains it for Merge. Call in split-index order;
@@ -301,33 +482,175 @@ class ShufflePlane {
     }
     WAVEMR_DCHECK(run.sorted || n < 2) << "sorted plane fed an unsorted run";
     resident_bytes_ += run.PayloadBytes();
-    if (spill_.ShouldSpill(resident_bytes_)) ++spill_events_;
-    runs_.push_back(std::move(run));
+    resident_.push_back(Retained{next_ordinal_++, std::move(run)});
+    if (spill_.ShouldSpill(resident_bytes_)) {
+      ++spill_events_;
+      SpillUntilWithinBudget();
+    }
   }
 
-  /// Sorted plane: loser-tree merge of every retained run into
+  /// Sorted plane: loser-tree merge of every retained + spilled run into
   /// `absorb(key, value)`, grouped and sorted by key.
   template <typename Absorb>
   void Merge(Absorb&& absorb) {
-    RunMerger<K, V> merger(runs_);
-    merger.Drain(absorb);
+    MergeImpl(/*bounded=*/false, K{}, /*has_hi=*/false, K{},
+              std::forward<Absorb>(absorb));
+  }
+
+  /// Merges only the pairs with key in [lo, hi) -- or [lo, inf) when
+  /// has_hi is false -- preserving the exact order the full Merge would
+  /// deliver them in. Each call opens its own file cursors, so disjoint
+  /// ranges can merge concurrently (the key-range partitioned reduce).
+  template <typename Absorb>
+  void MergeRange(const K& lo, bool has_hi, const K& hi, Absorb&& absorb) const {
+    MergeImpl(/*bounded=*/true, lo, has_hi, hi, std::forward<Absorb>(absorb));
+  }
+
+  /// Smallest and largest key across all retained + spilled pairs; false
+  /// when the plane holds no pairs. Sorted planes only.
+  bool KeyBounds(K* min_key, K* max_key) const {
+    bool any = false;
+    for (const Retained& r : resident_) {
+      if (r.run.empty()) continue;
+      const K lo = r.run.keys.front();
+      const K hi = r.run.keys.back();
+      if (!any || lo < *min_key) *min_key = lo;
+      if (!any || *max_key < hi) *max_key = hi;
+      any = true;
+    }
+    if constexpr (std::is_integral_v<K> && std::is_unsigned_v<K>) {
+      for (const Spilled& s : spilled_) {
+        if (s.info.num_pairs == 0) continue;
+        const K lo = static_cast<K>(s.info.min_key);
+        const K hi = static_cast<K>(s.info.max_key);
+        if (!any || lo < *min_key) *min_key = lo;
+        if (!any || *max_key < hi) *max_key = hi;
+        any = true;
+      }
+    }
+    return any;
   }
 
   uint64_t pairs() const { return pairs_; }
   uint64_t wire_bytes() const { return wire_bytes_; }
   uint64_t resident_bytes() const { return resident_bytes_; }
   uint64_t spill_events() const { return spill_events_; }
-  size_t num_runs() const { return runs_.size(); }
+  uint64_t spill_files() const { return spill_files_; }
+  /// Bytes written to spill files (framing included).
+  uint64_t spill_bytes() const { return spill_bytes_; }
+  /// Payload bytes living in spill files -- what every full merge reads
+  /// back, independent of reduce partitioning or cursor block size.
+  uint64_t spill_payload_bytes() const { return spill_payload_bytes_; }
+  size_t num_runs() const { return resident_.size() + spilled_.size(); }
 
  private:
+  struct Retained {
+    uint32_t ordinal;
+    ShuffleRun<K, V> run;
+  };
+  struct Spilled {
+    uint32_t ordinal;
+    SpillFileInfo info;
+  };
+
+  /// Spills the largest resident runs (ties to the lower ordinal, so the
+  /// choice is deterministic) until the footprint fits the budget again.
+  /// Largest-first minimizes file count for a given number of bytes evicted
+  /// -- the same policy Hadoop's merge uses to pick spill victims.
+  void SpillUntilWithinBudget() {
+    if constexpr (std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>) {
+      if (spill_dir_ == nullptr) return;  // counting-only plane
+      while (spill_.ShouldSpill(resident_bytes_) && !resident_.empty()) {
+        size_t victim = 0;
+        for (size_t i = 1; i < resident_.size(); ++i) {
+          if (resident_[i].run.PayloadBytes() >
+              resident_[victim].run.PayloadBytes()) {
+            victim = i;
+          }
+        }
+        if (resident_[victim].run.empty()) break;  // nothing left worth evicting
+        SpillRun(victim);
+      }
+    }
+  }
+
+  void SpillRun(size_t idx) {
+    Retained& r = resident_[idx];
+    SpillFileInfo info;
+    info.path = spill_dir_->NextFilePath("run-" + std::to_string(r.ordinal));
+    info.num_pairs = r.run.size();
+    if constexpr (std::is_integral_v<K> && std::is_unsigned_v<K>) {
+      info.min_key = static_cast<uint64_t>(r.run.keys.front());
+      info.max_key = static_cast<uint64_t>(r.run.keys.back());
+    }
+    info.file_bytes = WriteSpillFile<K, V>(info.path, r.run.keys.data(),
+                                           r.run.values.data(), r.run.size());
+    ++spill_files_;
+    spill_bytes_ += info.file_bytes;
+    spill_payload_bytes_ += r.run.PayloadBytes();
+    resident_bytes_ -= r.run.PayloadBytes();
+    spilled_.push_back(Spilled{r.ordinal, std::move(info)});
+    resident_.erase(resident_.begin() + static_cast<ptrdiff_t>(idx));
+  }
+
+  template <typename Absorb>
+  void MergeImpl(bool bounded, const K& lo, bool has_hi, const K& hi,
+                 Absorb&& absorb) const {
+    std::vector<MergeInput<K, V>> inputs;
+    std::vector<std::unique_ptr<FileRunCursor<K, V>>> cursors;
+    inputs.reserve(resident_.size() + spilled_.size());
+    for (const Retained& r : resident_) {
+      const K* begin = r.run.keys.data();
+      const K* end = begin + r.run.size();
+      const K* s = bounded ? std::lower_bound(begin, end, lo) : begin;
+      const K* e = (bounded && has_hi) ? std::lower_bound(s, end, hi) : end;
+      inputs.push_back(MergeInput<K, V>{
+          s, r.run.values.data() + (s - begin), static_cast<size_t>(e - s),
+          nullptr, r.ordinal});
+    }
+    for (const Spilled& s : spilled_) {
+      const uint64_t begin =
+          bounded ? FileRunCursor<K, V>::LowerBoundIndex(s.info, lo) : 0;
+      const uint64_t end = (bounded && has_hi)
+                               ? FileRunCursor<K, V>::LowerBoundIndex(s.info, hi)
+                               : s.info.num_pairs;
+      cursors.push_back(
+          std::make_unique<FileRunCursor<K, V>>(s.info, begin, end));
+      inputs.push_back(
+          MergeInput<K, V>{nullptr, nullptr, 0, cursors.back().get(), s.ordinal});
+    }
+    // Ordinal order keeps the loser tree's leaf numbering deterministic
+    // (inputs arrive resident-then-spilled above, not in arrival order).
+    std::sort(inputs.begin(), inputs.end(),
+              [](const MergeInput<K, V>& a, const MergeInput<K, V>& b) {
+                return a.ordinal < b.ordinal;
+              });
+    RunMerger<K, V> merger(inputs);
+    merger.Drain(absorb);
+  }
+
+  void DeleteSpillFiles() {
+    for (const Spilled& s : spilled_) {
+      std::error_code ec;  // best effort; SpillDir removal is the backstop
+      std::filesystem::remove(s.info.path, ec);
+    }
+    spilled_.clear();
+  }
+
   WireFn wire_;
   bool sorted_;
   SpillPolicy spill_;
-  std::vector<ShuffleRun<K, V>> runs_;  // sorted planes only
+  SpillDir* spill_dir_;
+  std::vector<Retained> resident_;  // sorted planes only
+  std::vector<Spilled> spilled_;
+  uint32_t next_ordinal_ = 0;
   uint64_t pairs_ = 0;
   uint64_t wire_bytes_ = 0;
   uint64_t resident_bytes_ = 0;
   uint64_t spill_events_ = 0;
+  uint64_t spill_files_ = 0;
+  uint64_t spill_bytes_ = 0;
+  uint64_t spill_payload_bytes_ = 0;
 };
 
 }  // namespace wavemr

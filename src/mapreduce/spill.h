@@ -1,0 +1,259 @@
+#ifndef WAVEMR_MAPREDUCE_SPILL_H_
+#define WAVEMR_MAPREDUCE_SPILL_H_
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <system_error>
+#include <type_traits>
+#include <vector>
+
+#include "core/logging.h"
+
+namespace wavemr {
+
+/// External shuffle spill files.
+///
+/// When a sorted round's retained map-output runs outgrow
+/// CostModel::shuffle_buffer_bytes, the ShufflePlane serializes whole runs
+/// to temp files in the columnar framing below and frees their memory; the
+/// loser-tree merge then streams them back through FileRunCursor, so the
+/// merged output is bit-identical to the all-in-memory path (same keys, same
+/// run-ordinal tie-breaks, same within-run order). This is Hadoop's
+/// map-output spill/merge pipeline made literal: sorted on-disk runs,
+/// file-backed cursors, k-way merge.
+///
+/// File framing (host-endian; spill files never outlive the process):
+///
+///   [u64 magic][u64 n][u32 sizeof(K)][u32 sizeof(V)]   24-byte header
+///   [K keys:   n * sizeof(K)]                          key block
+///   [V values: n * sizeof(V)]                          value block
+///
+/// The key and value blocks stay columnar -- a cursor's refill reads a block
+/// of keys and a block of values with two contiguous freads, and the
+/// on-disk lower-bound search for reduce partitioning touches only the key
+/// block.
+
+inline constexpr uint64_t kSpillMagic = 0x57564d5250494c31ull;  // "WVMRPIL1"
+inline constexpr uint64_t kSpillHeaderBytes = 24;
+
+/// Metadata the plane keeps per spilled run: enough to merge and partition
+/// it without re-reading the header.
+struct SpillFileInfo {
+  std::filesystem::path path;
+  uint64_t num_pairs = 0;
+  uint64_t min_key = 0;  // keys.front() at spill time (0 when empty)
+  uint64_t max_key = 0;  // keys.back() at spill time
+  uint64_t file_bytes = 0;
+};
+
+namespace internal {
+
+inline uint64_t SpillKeyOffset() { return kSpillHeaderBytes; }
+
+template <typename K, typename V>
+uint64_t SpillValueOffset(uint64_t num_pairs) {
+  return kSpillHeaderBytes + num_pairs * sizeof(K);
+}
+
+}  // namespace internal
+
+/// Writes one sorted run's columns to `path`. Returns the file size in
+/// bytes. Keys and values must be trivially copyable (every shuffle value in
+/// this codebase is a packed POD message).
+template <typename K, typename V>
+uint64_t WriteSpillFile(const std::filesystem::path& path, const K* keys,
+                        const V* values, uint64_t n) {
+  static_assert(std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>,
+                "spill framing memcpys raw columns");
+  std::FILE* f = std::fopen(path.string().c_str(), "wb");
+  WAVEMR_CHECK(f != nullptr) << "cannot create spill file " << path.string();
+  const uint64_t magic = kSpillMagic;
+  const uint32_t ksize = sizeof(K);
+  const uint32_t vsize = sizeof(V);
+  bool ok = std::fwrite(&magic, sizeof(magic), 1, f) == 1 &&
+            std::fwrite(&n, sizeof(n), 1, f) == 1 &&
+            std::fwrite(&ksize, sizeof(ksize), 1, f) == 1 &&
+            std::fwrite(&vsize, sizeof(vsize), 1, f) == 1;
+  if (n > 0) {
+    ok = ok && std::fwrite(keys, sizeof(K), n, f) == n &&
+         std::fwrite(values, sizeof(V), n, f) == n;
+  }
+  ok = std::fclose(f) == 0 && ok;
+  WAVEMR_CHECK(ok) << "short write to spill file " << path.string();
+  return kSpillHeaderBytes + n * (sizeof(K) + sizeof(V));
+}
+
+/// Streaming block cursor over an index range [begin, end) of one spill
+/// file's pairs. Each cursor owns its FILE*, so cursors over the same file
+/// (one per reduce partition) are safe to advance from different threads.
+/// NextBlock loads up to block_pairs (keys, values) pairs into owned
+/// buffers and hands out raw column pointers -- the same shape RunMerger's
+/// resident cursors have, so file-backed and in-memory runs merge through
+/// one loser tree.
+template <typename K, typename V>
+class FileRunCursor {
+ public:
+  /// Pairs per refill: 4096 * (8 + 8) bytes = 64 KiB per column pair for the
+  /// common u64/u64 shuffle -- big enough to amortize fread, small enough
+  /// that R cursors * 2 columns stay cache-friendly.
+  static constexpr uint64_t kDefaultBlockPairs = 4096;
+
+  FileRunCursor(const SpillFileInfo& info, uint64_t begin, uint64_t end,
+                uint64_t block_pairs = kDefaultBlockPairs)
+      : num_pairs_(info.num_pairs),
+        pos_(begin),
+        end_(end < info.num_pairs ? end : info.num_pairs),
+        block_pairs_(block_pairs == 0 ? 1 : block_pairs) {
+    static_assert(std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>);
+    WAVEMR_CHECK(begin <= end_) << "inverted spill cursor range";
+    file_ = std::fopen(info.path.string().c_str(), "rb");
+    WAVEMR_CHECK(file_ != nullptr) << "cannot open spill file "
+                                   << info.path.string();
+    uint64_t header[2] = {0, 0};
+    uint32_t sizes[2] = {0, 0};
+    WAVEMR_CHECK(std::fread(header, sizeof(uint64_t), 2, file_) == 2 &&
+                 std::fread(sizes, sizeof(uint32_t), 2, file_) == 2)
+        << "truncated spill header " << info.path.string();
+    WAVEMR_CHECK(header[0] == kSpillMagic) << "bad spill magic";
+    WAVEMR_CHECK(header[1] == info.num_pairs) << "spill pair-count mismatch";
+    WAVEMR_CHECK(sizes[0] == sizeof(K) && sizes[1] == sizeof(V))
+        << "spill record-size mismatch";
+    keys_.resize(static_cast<size_t>(block_pairs_));
+    values_.resize(static_cast<size_t>(block_pairs_));
+  }
+
+  ~FileRunCursor() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  FileRunCursor(const FileRunCursor&) = delete;
+  FileRunCursor& operator=(const FileRunCursor&) = delete;
+
+  uint64_t remaining() const { return end_ - pos_; }
+
+  /// Loads the next block of the range. Returns the number of pairs loaded
+  /// (0 at end of range); *keys/*values point at the cursor-owned buffers
+  /// and stay valid until the next NextBlock call.
+  uint64_t NextBlock(const K** keys, const V** values) {
+    const uint64_t want = remaining() < block_pairs_ ? remaining() : block_pairs_;
+    if (want == 0) return 0;
+    ReadColumn(internal::SpillKeyOffset() + pos_ * sizeof(K), keys_.data(),
+               sizeof(K), want);
+    ReadColumn(internal::SpillValueOffset<K, V>(num_pairs_) + pos_ * sizeof(V),
+               values_.data(), sizeof(V), want);
+    pos_ += want;
+    *keys = keys_.data();
+    *values = values_.data();
+    return want;
+  }
+
+  /// First index in [0, num_pairs) whose key is >= `key` -- std::lower_bound
+  /// over the sorted on-disk key block, one key-sized read per probe. Used
+  /// by the driver to slice a spilled run into reduce partitions without
+  /// streaming it. The stored key bounds short-circuit the common partition
+  /// boundaries (entirely before or after this run) with zero IO.
+  static uint64_t LowerBoundIndex(const SpillFileInfo& info, const K& key) {
+    static_assert(std::is_trivially_copyable_v<K>);
+    if constexpr (std::is_integral_v<K> && std::is_unsigned_v<K>) {
+      // min_key/max_key are only recorded for unsigned integral keys.
+      if (static_cast<uint64_t>(key) <= info.min_key) return 0;
+      if (static_cast<uint64_t>(key) > info.max_key) return info.num_pairs;
+    }
+    std::FILE* f = std::fopen(info.path.string().c_str(), "rb");
+    WAVEMR_CHECK(f != nullptr) << "cannot open spill file " << info.path.string();
+    uint64_t lo = 0;
+    uint64_t hi = info.num_pairs;
+    while (lo < hi) {
+      const uint64_t mid = lo + (hi - lo) / 2;
+      K probe;
+      WAVEMR_CHECK(fseeko(f, static_cast<off_t>(internal::SpillKeyOffset() +
+                                                mid * sizeof(K)),
+                          SEEK_SET) == 0 &&
+                   std::fread(&probe, sizeof(K), 1, f) == 1)
+          << "short read in spill lower-bound " << info.path.string();
+      if (probe < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    std::fclose(f);
+    return lo;
+  }
+
+ private:
+  void ReadColumn(uint64_t byte_offset, void* out, size_t elem_size,
+                  uint64_t count) {
+    // fseeko/off_t: spill files are sized by the data, not by LONG_MAX --
+    // multi-GiB offsets are the design point of the external shuffle.
+    WAVEMR_CHECK(fseeko(file_, static_cast<off_t>(byte_offset), SEEK_SET) == 0 &&
+                 std::fread(out, elem_size, count, file_) == count)
+        << "short read from spill file";
+  }
+
+  std::FILE* file_ = nullptr;
+  uint64_t num_pairs_;
+  uint64_t pos_;
+  uint64_t end_;
+  uint64_t block_pairs_;
+  std::vector<K> keys_;
+  std::vector<V> values_;
+};
+
+/// Lazily created process-unique temp directory for one MrEnv's spill files
+/// (the analog of a task tracker's mapred.local.dir). The directory and
+/// anything left inside it are removed when the env dies; individual rounds
+/// delete their own files as they finish (ShufflePlane is RAII over its
+/// spills), so the recursive remove is the backstop for crashes inside
+/// algorithm code, not the primary cleanup path.
+class SpillDir {
+ public:
+  SpillDir() = default;
+  ~SpillDir() { Remove(); }
+
+  SpillDir(const SpillDir&) = delete;
+  SpillDir& operator=(const SpillDir&) = delete;
+
+  /// Unique file path inside the (created-on-first-use) directory.
+  std::filesystem::path NextFilePath(const std::string& tag) {
+    EnsureCreated();
+    return dir_ / (tag + "-" + std::to_string(next_file_++) + ".spill");
+  }
+
+  /// True once a spill has forced the directory into existence.
+  bool created() const { return created_; }
+  const std::filesystem::path& path() const { return dir_; }
+
+  /// Deletes the directory tree; safe to call repeatedly.
+  void Remove() {
+    if (!created_) return;
+    std::error_code ec;  // best effort: never throw from a destructor path
+    std::filesystem::remove_all(dir_, ec);
+    created_ = false;
+  }
+
+ private:
+  void EnsureCreated() {
+    if (created_) return;
+    static std::atomic<uint64_t> counter{0};
+    const uint64_t id = counter.fetch_add(1, std::memory_order_relaxed);
+    dir_ = std::filesystem::temp_directory_path() /
+           ("wavemr-spill-" + std::to_string(::getpid()) + "-" + std::to_string(id));
+    std::filesystem::create_directories(dir_);
+    created_ = true;
+  }
+
+  std::filesystem::path dir_;
+  bool created_ = false;
+  uint64_t next_file_ = 0;
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_MAPREDUCE_SPILL_H_

@@ -35,8 +35,25 @@ struct RoundStats {
   /// perf-smoke CI gate tracks; it varies with --threads while everything
   /// above stays bit-identical.
   double map_wall_ms = 0.0;
+  /// Real wall-clock of the sorted-shuffle merge + reduce delivery (0 for
+  /// streaming rounds); varies with --reduce-tasks, results do not.
+  double reduce_wall_ms = 0.0;
   /// Threads the engine actually used for this round's map tasks.
   int threads_used = 1;
+  /// Key-range reduce partitions the sorted merge ran with (1 = the classic
+  /// single driver-thread merge; streaming rounds always report 1).
+  int reduce_tasks_used = 1;
+  /// External shuffle spill: files written this round, bytes written to them
+  /// (framing included), and payload bytes the merge read back from disk.
+  uint64_t spill_files = 0;
+  uint64_t spill_bytes = 0;
+  uint64_t spill_read_bytes = 0;
+  /// Simulated seconds of spill IO (CostModel::disk_spill_mbps over bytes
+  /// written + read), reported separately: TotalSeconds deliberately
+  /// excludes it so the headline simulated seconds are bit-identical across
+  /// {no spill, forced spill} and stay comparable to the paper's in-memory
+  /// shuffle numbers.
+  double spill_s = 0.0;
   double TotalSeconds() const {
     return overhead_s + map_makespan_s + shuffle_s + reduce_s;
   }
@@ -86,6 +103,21 @@ struct JobStats {
     double ms = 0.0;
     for (const RoundStats& r : rounds) ms += r.map_wall_ms;
     return ms;
+  }
+  uint64_t TotalSpillFiles() const {
+    uint64_t n = 0;
+    for (const RoundStats& r : rounds) n += r.spill_files;
+    return n;
+  }
+  uint64_t TotalSpillBytes() const {
+    uint64_t b = 0;
+    for (const RoundStats& r : rounds) b += r.spill_bytes;
+    return b;
+  }
+  double TotalSpillSeconds() const {
+    double s = 0.0;
+    for (const RoundStats& r : rounds) s += r.spill_s;
+    return s;
   }
   size_t NumRounds() const { return rounds.size(); }
 

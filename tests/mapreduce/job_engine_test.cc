@@ -313,6 +313,86 @@ TEST(JobEngineTest, MapperExceptionPropagatesFromParallelRound) {
   EXPECT_THROW(RunRound(plan, ds, &env), std::runtime_error);
 }
 
+TEST(JobEngineTest, PartitionedReduceDeliversTheExactSingleMergeStream) {
+  // Wider dataset so 8 key-range partitions are non-trivial.
+  std::vector<std::vector<uint64_t>> splits;
+  for (uint64_t j = 0; j < 6; ++j) {
+    std::vector<uint64_t> keys;
+    for (uint64_t i = 0; i < 40; ++i) keys.push_back((j * 977 + i * 131) % 256);
+    splits.push_back(std::move(keys));
+  }
+  InMemoryDataset ds(std::move(splits), 256);
+
+  MrEnv reference_env;
+  reference_env.reduce_tasks = 1;
+  CountReducer reference;
+  auto ref_plan = CountPlan(&reference);
+  ref_plan.sorted_shuffle = true;
+  RoundStats ref_round = RunRound(ref_plan, ds, &reference_env);
+  EXPECT_EQ(ref_round.reduce_tasks_used, 1);
+
+  for (int reduce_tasks : {2, 4, 8}) {
+    for (int threads : {1, 4}) {
+      MrEnv env;
+      env.threads = threads;
+      env.reduce_tasks = reduce_tasks;
+      CountReducer reducer;
+      auto plan = CountPlan(&reducer);
+      plan.sorted_shuffle = true;
+      RoundStats round = RunRound(plan, ds, &env);
+      EXPECT_EQ(round.reduce_tasks_used, reduce_tasks)
+          << "threads " << threads;
+      // The absorbed sequence -- not just the aggregates -- is identical.
+      EXPECT_EQ(reducer.absorbed, reference.absorbed)
+          << "reduce_tasks " << reduce_tasks << " threads " << threads;
+      EXPECT_EQ(reducer.counts, reference.counts);
+      EXPECT_EQ(env.config.GetUint("wavemr.reduce_tasks").value(),
+                static_cast<uint64_t>(reduce_tasks));
+    }
+  }
+}
+
+TEST(JobEngineTest, ReduceTasksDefaultMatchesThreadCount) {
+  InMemoryDataset ds = TinyDataset();
+  MrEnv env;
+  env.threads = 2;  // reduce_tasks stays 0 -> match the round's threads
+  CountReducer reducer;
+  auto plan = CountPlan(&reducer);
+  plan.sorted_shuffle = true;
+  RoundStats round = RunRound(plan, ds, &env);
+  EXPECT_EQ(round.reduce_tasks_used, 2);
+  EXPECT_EQ(round.spill_files, 0u);  // default budget: nothing spilled
+  // Streaming rounds ignore reduce partitioning entirely.
+  MrEnv streaming_env;
+  streaming_env.threads = 4;
+  CountReducer streaming_reducer;
+  RoundStats streaming = RunRound(CountPlan(&streaming_reducer), ds, &streaming_env);
+  EXPECT_EQ(streaming.reduce_tasks_used, 1);
+}
+
+TEST(JobEngineTest, SpillStatsFlowIntoRoundAndCounters) {
+  std::vector<std::vector<uint64_t>> splits(6, std::vector<uint64_t>{});
+  for (uint64_t j = 0; j < splits.size(); ++j) {
+    for (uint64_t i = 0; i < 64; ++i) splits[j].push_back((j * 31 + i) % 128);
+  }
+  InMemoryDataset ds(std::move(splits), 128);
+  MrEnv env;
+  env.cost_model.shuffle_buffer_bytes = 512;
+  CountReducer reducer;
+  auto plan = CountPlan(&reducer);
+  plan.sorted_shuffle = true;
+  RoundStats round = RunRound(plan, ds, &env);
+  EXPECT_GT(round.spill_files, 0u);
+  EXPECT_GT(round.spill_bytes, 0u);
+  EXPECT_GT(round.spill_read_bytes, 0u);
+  EXPECT_GT(round.spill_s, 0.0);
+  EXPECT_EQ(env.stats.counters.Get("shuffle_spill_files"), round.spill_files);
+  EXPECT_EQ(env.stats.counters.Get("shuffle_spill_bytes"), round.spill_bytes);
+  // TotalSeconds deliberately excludes spill_s (see RoundStats::spill_s).
+  EXPECT_DOUBLE_EQ(round.TotalSeconds(), round.overhead_s + round.map_makespan_s +
+                                             round.shuffle_s + round.reduce_s);
+}
+
 TEST(JobEngineTest, ChargedCpuShowsUpInMakespan) {
   InMemoryDataset ds = TinyDataset();
 

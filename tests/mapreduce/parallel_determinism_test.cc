@@ -24,12 +24,17 @@ ZipfDataset TestDataset() {
   return ZipfDataset(opt);
 }
 
-BuildResult BuildWith(const Dataset& ds, AlgorithmKind kind, int threads) {
+BuildResult BuildWith(const Dataset& ds, AlgorithmKind kind, int threads,
+                      int reduce_tasks = 0, uint64_t shuffle_buffer_bytes = 0) {
   BuildOptions opt;
   opt.k = 20;
   opt.epsilon = 0.05;
   opt.seed = 1234;
   opt.threads = threads;
+  opt.reduce_tasks = reduce_tasks;
+  if (shuffle_buffer_bytes > 0) {
+    opt.cost_model.shuffle_buffer_bytes = shuffle_buffer_bytes;
+  }
   auto result = BuildWaveletHistogram(ds, kind, opt);
   EXPECT_TRUE(result.ok()) << result.status().ToString();
   return std::move(*result);
@@ -38,6 +43,10 @@ BuildResult BuildWith(const Dataset& ds, AlgorithmKind kind, int threads) {
 struct Case {
   AlgorithmKind kind;
   int threads;
+  int reduce_tasks = 0;
+  /// 0 = CostModel default (no spill at this workload size); a tiny value
+  /// forces real spill files on every sorted round.
+  uint64_t shuffle_buffer_bytes = 0;
 };
 
 std::string CaseName(const testing::TestParamInfo<Case>& info) {
@@ -45,7 +54,12 @@ std::string CaseName(const testing::TestParamInfo<Case>& info) {
   for (char& c : algo) {
     if (c == '-') c = '_';
   }
-  return algo + "_t" + std::to_string(info.param.threads);
+  std::string name = algo + "_t" + std::to_string(info.param.threads);
+  if (info.param.reduce_tasks > 0) {
+    name += "_r" + std::to_string(info.param.reduce_tasks);
+  }
+  if (info.param.shuffle_buffer_bytes > 0) name += "_spill";
+  return name;
 }
 
 class ParallelDeterminismTest : public testing::TestWithParam<Case> {};
@@ -54,8 +68,13 @@ TEST_P(ParallelDeterminismTest, MatchesSerialExecution) {
   const Case param = GetParam();
   ZipfDataset ds = TestDataset();
 
-  BuildResult serial = BuildWith(ds, param.kind, /*threads=*/1);
-  BuildResult threaded = BuildWith(ds, param.kind, param.threads);
+  // The fixed reference: serial map, single reduce partition, unbounded
+  // shuffle buffer. Every scheduling/spill knob must reproduce it exactly.
+  BuildResult serial = BuildWith(ds, param.kind, /*threads=*/1,
+                                 /*reduce_tasks=*/1);
+  BuildResult threaded = BuildWith(ds, param.kind, param.threads,
+                                   param.reduce_tasks,
+                                   param.shuffle_buffer_bytes);
 
   // Identical histograms: same coefficients, bit-for-bit.
   const auto& want = serial.histogram.coefficients();
@@ -66,8 +85,26 @@ TEST_P(ParallelDeterminismTest, MatchesSerialExecution) {
     EXPECT_EQ(want[i].value, got[i].value) << "coefficient " << i;
   }
 
-  // Identical counters (exact equality of the whole map).
-  EXPECT_EQ(serial.stats.counters.values(), threaded.stats.counters.values());
+  // Identical counters. Spill counters are a function of the buffer budget
+  // (they appear when a tiny buffer forces the external path), so they are
+  // compared only when both runs used the same budget; everything else must
+  // match exactly in every case.
+  auto serial_counters = serial.stats.counters.values();
+  auto threaded_counters = threaded.stats.counters.values();
+  if (param.shuffle_buffer_bytes > 0) {
+    auto strip_spill = [](std::map<std::string, uint64_t>* counters) {
+      for (auto it = counters->begin(); it != counters->end();) {
+        if (it->first.rfind("shuffle_spill", 0) == 0) {
+          it = counters->erase(it);
+        } else {
+          ++it;
+        }
+      }
+    };
+    strip_spill(&serial_counters);
+    strip_spill(&threaded_counters);
+  }
+  EXPECT_EQ(serial_counters, threaded_counters);
 
   // Identical per-round shuffle/broadcast accounting and simulated time.
   ASSERT_EQ(serial.stats.NumRounds(), threaded.stats.NumRounds());
@@ -83,15 +120,21 @@ TEST_P(ParallelDeterminismTest, MatchesSerialExecution) {
   }
 }
 
+const std::vector<AlgorithmKind>& AllKinds() {
+  static const std::vector<AlgorithmKind> kinds = {
+      AlgorithmKind::kSendV,     AlgorithmKind::kSendCoef,
+      AlgorithmKind::kHWTopk,    AlgorithmKind::kBasicS,
+      AlgorithmKind::kImprovedS, AlgorithmKind::kTwoLevelS,
+      AlgorithmKind::kSendSketch};
+  return kinds;
+}
+
 // The full cross product: every algorithm (streaming and sorted shuffle
 // planes, combiner and stateful multi-round paths) must be bit-identical
 // at every thread count the columnar shuffle plane schedules differently.
 std::vector<Case> AllCases() {
   std::vector<Case> cases;
-  for (AlgorithmKind kind :
-       {AlgorithmKind::kSendV, AlgorithmKind::kSendCoef, AlgorithmKind::kHWTopk,
-        AlgorithmKind::kBasicS, AlgorithmKind::kImprovedS,
-        AlgorithmKind::kTwoLevelS, AlgorithmKind::kSendSketch}) {
+  for (AlgorithmKind kind : AllKinds()) {
     for (int threads : {1, 2, 4, 8}) {
       cases.push_back(Case{kind, threads});
     }
@@ -101,6 +144,64 @@ std::vector<Case> AllCases() {
 
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ParallelDeterminismTest,
                          testing::ValuesIn(AllCases()), CaseName);
+
+// Key-range partitioned parallel reduce: every algorithm x reduce-tasks
+// {1, 2, 4, 8} (at 4 map threads, so partition merges really run on the
+// pool) must reproduce the single-partition serial reference.
+std::vector<Case> ReduceTaskCases() {
+  std::vector<Case> cases;
+  for (AlgorithmKind kind : AllKinds()) {
+    for (int reduce_tasks : {1, 2, 4, 8}) {
+      cases.push_back(Case{kind, /*threads=*/4, reduce_tasks});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(ReduceTasks, ParallelDeterminismTest,
+                         testing::ValuesIn(ReduceTaskCases()), CaseName);
+
+// External spill: a 4 KiB buffer forces every sorted round to write real
+// spill files; results -- including simulated seconds, which deliberately
+// exclude the separately-reported spill IO time -- must not move a bit,
+// with and without partitioned reduce on top.
+std::vector<Case> SpillCases() {
+  std::vector<Case> cases;
+  for (AlgorithmKind kind : AllKinds()) {
+    for (int reduce_tasks : {1, 4}) {
+      cases.push_back(Case{kind, /*threads=*/4, reduce_tasks,
+                           /*shuffle_buffer_bytes=*/4096});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(ForcedSpill, ParallelDeterminismTest,
+                         testing::ValuesIn(SpillCases()), CaseName);
+
+// Sorted-shuffle algorithms under a forced-tiny buffer must actually hit
+// the external path (the determinism suite above would pass vacuously if
+// spilling never engaged).
+TEST(SpillEngagementTest, SortedAlgorithmsSpillUnderTinyBuffer) {
+  ZipfDataset ds = TestDataset();
+  for (AlgorithmKind kind : {AlgorithmKind::kSendCoef, AlgorithmKind::kHWTopk}) {
+    BuildResult r = BuildWith(ds, kind, /*threads=*/2, /*reduce_tasks=*/2,
+                              /*shuffle_buffer_bytes=*/4096);
+    EXPECT_GT(r.stats.counters.Get("shuffle_spill_files"), 0u)
+        << AlgorithmName(kind);
+    EXPECT_GT(r.stats.TotalSpillBytes(), 0u) << AlgorithmName(kind);
+    EXPECT_GT(r.stats.TotalSpillSeconds(), 0.0) << AlgorithmName(kind);
+
+    // At a fixed budget the spill decisions happen at the driver's
+    // split-order Accept, so the spill counters themselves are also
+    // schedule-independent: full counter equality across threads and
+    // reduce-task counts.
+    BuildResult other = BuildWith(ds, kind, /*threads=*/8, /*reduce_tasks=*/8,
+                                  /*shuffle_buffer_bytes=*/4096);
+    EXPECT_EQ(r.stats.counters.values(), other.stats.counters.values())
+        << AlgorithmName(kind);
+  }
+}
 
 // threads=0 means "all hardware threads"; it must obey the same guarantee.
 TEST(ParallelDeterminismTest, HardwareDefaultMatchesSerial) {

@@ -204,5 +204,151 @@ TEST(SpillPolicyTest, ZeroBudgetNeverSpills) {
   EXPECT_TRUE(tight.ShouldSpill(65));
 }
 
+// The two delivery modes are different loops over the same loser tree; the
+// stream must be bit-identical on every workload shape -- uniform duplicate
+// keys, run-disjoint key ranges (the streak/gallop path), single runs.
+TEST(RunMergerTest, BlockwiseDrainMatchesPerPairReplay) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const size_t num_runs = 1 + (seed % 7);
+    // Alternate workloads: tiny key domain (heavy ties) vs per-run disjoint
+    // ranges (long winner streaks).
+    std::vector<ShuffleRun<uint64_t, uint64_t>> runs;
+    if (seed % 2 == 0) {
+      runs = RandomRuns(seed * 31, num_runs, 500, /*key_domain=*/16);
+    } else {
+      Rng rng(seed * 31);
+      runs.resize(num_runs);
+      uint64_t sequence = 0;
+      for (size_t r = 0; r < num_runs; ++r) {
+        const size_t len = rng.NextBounded(501);
+        for (size_t i = 0; i < len; ++i) {
+          runs[r].Append(r * 1000 + rng.NextBounded(1000), sequence++);
+        }
+      }
+    }
+    for (auto& run : runs) run.SortByKey();
+
+    std::vector<Pair> blockwise, per_pair;
+    RunMerger<uint64_t, uint64_t> m1(runs);
+    m1.Drain([&blockwise](const uint64_t& k, const uint64_t& v) {
+      blockwise.emplace_back(k, v);
+    });
+    RunMerger<uint64_t, uint64_t> m2(runs);
+    m2.DrainPerPair([&per_pair](const uint64_t& k, const uint64_t& v) {
+      per_pair.emplace_back(k, v);
+    });
+    EXPECT_EQ(blockwise, per_pair) << "seed " << seed;
+    EXPECT_EQ(blockwise, StableSortedConcatenation(runs)) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Real spilling: merge over a mix of resident and file-backed runs.
+// ---------------------------------------------------------------------------
+
+// The satellite property test: a plane under a tiny budget spills real
+// files, and Merge still equals stable_sort of the runs' concatenation --
+// including empty runs and duplicate keys -- with the spill counters
+// reporting the eviction.
+TEST(ShufflePlaneTest, MergeWithRealSpillEqualsStableSort) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    SpillDir dir;
+    ShufflePlane<uint64_t, uint64_t> plane(
+        [](const uint64_t*, const uint64_t*, size_t n) { return uint64_t{8} * n; },
+        /*sorted=*/true, SpillPolicy{/*buffer_bytes=*/512}, &dir);
+    const size_t num_runs = 2 + (seed % 8);
+    auto runs = RandomRuns(seed * 131, num_runs, 120, /*key_domain=*/24);
+    std::vector<Pair> want = StableSortedConcatenation(runs);
+    uint64_t total = 0;
+    for (auto& run : runs) {
+      total += run.size();
+      run.SortByKey();
+      plane.Accept(std::move(run), [](const uint64_t&, const uint64_t&) {
+        FAIL() << "sorted plane must not stream at Accept";
+      });
+    }
+    if (total * 16 > 512) {
+      EXPECT_GT(plane.spill_files(), 0u) << "seed " << seed;
+      EXPECT_GT(plane.spill_bytes(), 0u) << "seed " << seed;
+    }
+    EXPECT_EQ(plane.num_runs(), num_runs);
+    EXPECT_LE(plane.resident_bytes(), 512u) << "largest-first eviction";
+
+    std::vector<Pair> got;
+    plane.Merge([&got](const uint64_t& k, const uint64_t& v) {
+      got.emplace_back(k, v);
+    });
+    ASSERT_EQ(got.size(), want.size()) << "seed " << seed;
+    EXPECT_EQ(got, want) << "seed " << seed;
+  }
+}
+
+// Spilling must not change a single delivered bit relative to the unbounded
+// (all-resident) plane, for the full merge and for every partition split.
+TEST(ShufflePlaneTest, SpilledAndResidentPlanesDeliverIdenticalStreams) {
+  for (uint64_t seed : {3u, 17u, 99u}) {
+    auto runs = RandomRuns(seed, 6, 200, /*key_domain=*/64);
+    for (auto& run : runs) run.SortByKey();
+
+    SpillDir dir;
+    ShufflePlane<uint64_t, uint64_t> spilled(
+        [](const uint64_t*, const uint64_t*, size_t n) { return uint64_t{8} * n; },
+        true, SpillPolicy{256}, &dir);
+    ShufflePlane<uint64_t, uint64_t> resident(
+        [](const uint64_t*, const uint64_t*, size_t n) { return uint64_t{8} * n; },
+        true, SpillPolicy{0}, nullptr);
+    for (auto& run : runs) {
+      auto copy = run;
+      spilled.Accept(std::move(copy), [](const uint64_t&, const uint64_t&) {});
+      resident.Accept(std::move(run), [](const uint64_t&, const uint64_t&) {});
+    }
+
+    std::vector<Pair> a, b;
+    spilled.Merge([&a](const uint64_t& k, const uint64_t& v) { a.emplace_back(k, v); });
+    resident.Merge([&b](const uint64_t& k, const uint64_t& v) { b.emplace_back(k, v); });
+    EXPECT_EQ(a, b) << "seed " << seed;
+
+    // Partitioned delivery: concatenating MergeRange over any key split
+    // reproduces the full merge exactly, resident or spilled.
+    for (uint64_t R : {2u, 3u, 8u}) {
+      std::vector<Pair> parts;
+      uint64_t min_key = 0, max_key = 0;
+      ASSERT_TRUE(spilled.KeyBounds(&min_key, &max_key));
+      const uint64_t span = max_key - min_key + 1;
+      for (uint64_t r = 0; r < R; ++r) {
+        const uint64_t lo = min_key + span * r / R;
+        if (r + 1 < R) {
+          spilled.MergeRange(lo, true, min_key + span * (r + 1) / R,
+                             [&parts](const uint64_t& k, const uint64_t& v) {
+                               parts.emplace_back(k, v);
+                             });
+        } else {
+          spilled.MergeRange(lo, false, 0,
+                             [&parts](const uint64_t& k, const uint64_t& v) {
+                               parts.emplace_back(k, v);
+                             });
+        }
+      }
+      EXPECT_EQ(parts, b) << "seed " << seed << " R " << R;
+    }
+  }
+}
+
+TEST(ShufflePlaneTest, CountingOnlyPlaneWithoutDirNeverWritesFiles) {
+  // The pre-external behavior: no SpillDir means would-spill accounting
+  // only, runs stay resident.
+  ShufflePlane<uint64_t, uint64_t> plane(
+      [](const uint64_t*, const uint64_t*, size_t n) { return uint64_t{8} * n; },
+      true, SpillPolicy{16}, nullptr);
+  auto runs = RandomRuns(5, 3, 40, 8);
+  for (auto& run : runs) {
+    run.SortByKey();
+    plane.Accept(std::move(run), [](const uint64_t&, const uint64_t&) {});
+  }
+  EXPECT_GT(plane.spill_events(), 0u);
+  EXPECT_EQ(plane.spill_files(), 0u);
+  EXPECT_EQ(plane.spill_bytes(), 0u);
+}
+
 }  // namespace
 }  // namespace wavemr

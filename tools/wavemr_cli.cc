@@ -32,7 +32,10 @@ struct CliOptions {
   size_t k = 30;
   double eps = 0.01;
   uint64_t seed = 42;
-  int threads = 0;        // 0 = hardware concurrency
+  int threads = 0;            // 0 = hardware concurrency
+  int reduce_tasks = 0;       // 0 = match the map thread count
+  uint64_t shuffle_buffer_bytes = 0;  // 0 = keep the CostModel default
+  bool force_sorted_shuffle = false;  // sorted delivery on every round
   bool evaluate = false;  // compute SSE vs ground truth (scans the data)
   bool dump = false;      // print the retained coefficients
 };
@@ -72,6 +75,14 @@ int Usage() {
       "  --seed=S          RNG seed (default 42)\n"
       "  --threads=N       map-task worker threads (default: all hardware\n"
       "                    threads; results are identical for any N)\n"
+      "  --reduce-tasks=N  key-range reduce partitions for sorted rounds\n"
+      "                    (default: match --threads; identical results)\n"
+      "  --shuffle-buffer-bytes=N\n"
+      "                    retained-run budget before the shuffle spills to\n"
+      "                    disk (default 256 MiB; identical results)\n"
+      "  --force-sorted-shuffle\n"
+      "                    sorted reducer delivery on every round (routes all\n"
+      "                    algorithms through the retained-run/spill path)\n"
       "  --evaluate        also compute SSE vs the exact coefficients\n"
       "  --dump            print the retained coefficients\n");
   return 2;
@@ -109,6 +120,16 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr, "--threads must be >= 0\n");
         return Usage();
       }
+    } else if (ParseFlag(argv[i], "reduce-tasks", &v)) {
+      opt.reduce_tasks = static_cast<int>(std::strtol(v.c_str(), nullptr, 10));
+      if (opt.reduce_tasks < 0) {
+        std::fprintf(stderr, "--reduce-tasks must be >= 0\n");
+        return Usage();
+      }
+    } else if (ParseFlag(argv[i], "shuffle-buffer-bytes", &v)) {
+      opt.shuffle_buffer_bytes = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--force-sorted-shuffle") == 0) {
+      opt.force_sorted_shuffle = true;
     } else if (std::strcmp(argv[i], "--evaluate") == 0) {
       opt.evaluate = true;
     } else if (std::strcmp(argv[i], "--dump") == 0) {
@@ -166,6 +187,11 @@ int Main(int argc, char** argv) {
   build.epsilon = opt.eps;
   build.seed = opt.seed;
   build.threads = opt.threads;
+  build.reduce_tasks = opt.reduce_tasks;
+  build.force_sorted_shuffle = opt.force_sorted_shuffle;
+  if (opt.shuffle_buffer_bytes > 0) {
+    build.cost_model.shuffle_buffer_bytes = opt.shuffle_buffer_bytes;
+  }
   auto result = BuildWaveletHistogram(*dataset, *kind, build);
   if (!result.ok()) {
     std::fprintf(stderr, "build failed: %s\n", result.status().ToString().c_str());
@@ -185,6 +211,11 @@ int Main(int argc, char** argv) {
   std::printf("comm bytes  : %llu\n",
               static_cast<unsigned long long>(result->stats.TotalCommBytes()));
   std::printf("sim seconds : %.2f\n", result->stats.TotalSeconds());
+  std::printf("spill files : %llu\n",
+              static_cast<unsigned long long>(result->stats.TotalSpillFiles()));
+  std::printf("spill bytes : %llu\n",
+              static_cast<unsigned long long>(result->stats.TotalSpillBytes()));
+  std::printf("spill sim s : %.2f\n", result->stats.TotalSpillSeconds());
 
   if (opt.evaluate) {
     std::vector<WCoeff> truth = TrueCoefficients(*dataset);
