@@ -11,6 +11,8 @@
 
 #include "core/rng.h"
 #include "mapreduce/shuffle.h"
+#include "serve/estimator.h"
+#include "serve/snapshot.h"
 
 namespace wavemr {
 namespace bench {
@@ -72,7 +74,7 @@ Measurement Run(const Dataset& ds, AlgorithmKind kind, const BuildOptions& opt,
   m.shuffle_bytes = shuffle;
   m.map_records = result->stats.counters.Get("map_records_read");
   if (truth != nullptr) {
-    m.sse = SseAgainstTrueCoefficients(result->histogram, *truth);
+    m.sse = SseAgainstTrueCoefficients(result->ToSnapshot(), *truth);
   }
   return m;
 }
@@ -311,6 +313,10 @@ bool BenchJsonReporter::WriteFileTo(const std::string& path) const {
     // existing baselines and artifacts is unchanged.
     if (r.pairs_per_sec > 0.0) out << ", \"pairs_per_sec\": " << r.pairs_per_sec;
     if (r.min_speedup > 0.0) out << ", \"min_speedup\": " << r.min_speedup;
+    if (r.queries_per_sec > 0.0)
+      out << ", \"queries_per_sec\": " << r.queries_per_sec;
+    if (r.p50_ms > 0.0) out << ", \"p50_ms\": " << r.p50_ms;
+    if (r.p99_ms > 0.0) out << ", \"p99_ms\": " << r.p99_ms;
     out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
   }
   out << "]\n";
@@ -344,6 +350,9 @@ void ApplyField(BenchRecord* r, const std::string& key, const std::string& value
   else if (key == "shuffle_bytes") r->shuffle_bytes = static_cast<uint64_t>(num);
   else if (key == "pairs_per_sec") r->pairs_per_sec = num;
   else if (key == "min_speedup") r->min_speedup = num;
+  else if (key == "queries_per_sec") r->queries_per_sec = num;
+  else if (key == "p50_ms") r->p50_ms = num;
+  else if (key == "p99_ms") r->p99_ms = num;
 }
 
 }  // namespace

@@ -90,6 +90,12 @@ struct BenchRecord {
   /// speedup of the columnar path over the pair-vector reference.
   double pairs_per_sec = 0.0;
   double min_speedup = 0.0;
+  /// Serve rows only (algorithm == "serve-load"): closed-loop query
+  /// throughput against a running wavemr_serve, and its latency tail. In
+  /// the checked-in baseline, queries_per_sec is the CI floor.
+  double queries_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
 };
 
 /// Collects BenchRecords and writes them as a JSON array to

@@ -1,0 +1,230 @@
+// Closed-loop load generator for a running wavemr_serve instance.
+//
+// Opens --connections blocking clients, each on its own thread, and for
+// --seconds issues a serving mix of 70% point / 25% range / 5% top-k
+// queries back-to-back (closed loop: the next request leaves when the
+// previous response lands). Reports aggregate queries/sec and the p50/p99
+// per-request latency, writes a BENCH_<name>.json record, and -- with
+// --baseline=FILE -- enforces the baseline's "serve-load" queries_per_sec
+// floor (minus --tolerance).
+//
+// The key domain is discovered from the server's stats op, so the generator
+// needs no knowledge of how the snapshot was built.
+//
+// Exit code 0 = ran (and gate passed), 1 = a query failed or the gate
+// tripped, 2 = bad usage.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_common.h"
+#include "core/flags.h"
+#include "core/rng.h"
+#include "serve/client.h"
+
+namespace wavemr {
+namespace bench {
+namespace {
+
+struct WorkerResult {
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+  std::vector<double> latencies_ms;
+};
+
+void RunWorker(const std::string& host, int port, uint64_t domain,
+               double seconds, uint64_t seed, const std::atomic<bool>* abort,
+               WorkerResult* out) {
+  ServeClient client;
+  if (!client.Connect(host, port).ok()) {
+    out->errors = 1;
+    return;
+  }
+  Rng rng(seed);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline &&
+         !abort->load(std::memory_order_relaxed)) {
+    const uint64_t die = rng.NextU64() % 100;
+    const auto t0 = std::chrono::steady_clock::now();
+    bool ok;
+    if (die < 70) {
+      ok = client.Point(rng.NextU64() % domain).ok();
+    } else if (die < 95) {
+      uint64_t a = rng.NextU64() % (domain + 1);
+      uint64_t b = rng.NextU64() % (domain + 1);
+      ok = client.Range(std::min(a, b), std::max(a, b)).ok();
+    } else {
+      ok = client.TopK(static_cast<uint32_t>(1 + rng.NextU64() % 30)).ok();
+    }
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (ok) {
+      ++out->ok;
+      out->latencies_ms.push_back(ms);
+    } else {
+      ++out->errors;
+    }
+  }
+}
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted->size() - 1));
+  return (*sorted)[idx];
+}
+
+int Main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int connections = 4;
+  double seconds = 3.0;
+  uint64_t seed = 42;
+  std::string name = "serve";
+  std::string out;
+  std::string baseline;
+  double tolerance = 0.25;
+
+  FlagParser parser(
+      "bench_serve_load --port=PORT [--host=127.0.0.1] [--connections=4]\n"
+      "  [--seconds=3] [--name=serve] [--out=PATH] [--baseline=FILE]\n"
+      "  [--tolerance=0.25]");
+  parser.String("host", &host, "server address");
+  parser.I32("port", &port, "server port (required)");
+  parser.I32("connections", &connections, "concurrent closed-loop clients");
+  parser.F64("seconds", &seconds, "measurement duration");
+  parser.U64("seed", &seed, "workload RNG seed");
+  parser.String("name", &name, "report written to BENCH_<name>.json");
+  parser.String("out", &out, "explicit report path (overrides --name)");
+  parser.String("baseline", &baseline,
+                "gate against this file's serve-load queries_per_sec");
+  parser.F64("tolerance", &tolerance,
+             "allowed fraction below the baseline floor");
+  Status parsed = parser.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.message().c_str(),
+                 parser.Help().c_str());
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::printf("%s", parser.Help().c_str());
+    return 0;
+  }
+  if (port <= 0 || connections <= 0 || seconds <= 0.0) {
+    std::fprintf(stderr, "--port, --connections and --seconds must be > 0\n");
+    return 2;
+  }
+
+  // Discover the snapshot's key domain (and warm the connection path).
+  uint64_t domain = 0;
+  {
+    ServeClient probe;
+    Status s = probe.Connect(host, port);
+    if (s.ok()) {
+      auto stats = probe.Stats();
+      if (!stats.ok()) {
+        std::fprintf(stderr, "stats query failed: %s\n",
+                     stats.status().ToString().c_str());
+        return 1;
+      }
+      domain = stats->domain_size;
+      std::printf("server: version %llu, %s, u=%llu, %llu terms\n",
+                  static_cast<unsigned long long>(stats->version),
+                  stats->algorithm.c_str(),
+                  static_cast<unsigned long long>(stats->domain_size),
+                  static_cast<unsigned long long>(stats->num_terms));
+    } else {
+      std::fprintf(stderr, "cannot connect to %s:%d: %s\n", host.c_str(), port,
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (domain == 0) {
+    std::fprintf(stderr, "server has no published snapshot to query\n");
+    return 1;
+  }
+
+  std::atomic<bool> abort{false};
+  std::vector<WorkerResult> results(static_cast<size_t>(connections));
+  std::vector<std::thread> threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back(RunWorker, host, port, domain, seconds,
+                         seed + static_cast<uint64_t>(c), &abort,
+                         &results[static_cast<size_t>(c)]);
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  uint64_t ok = 0, errors = 0;
+  std::vector<double> latencies;
+  for (const WorkerResult& r : results) {
+    ok += r.ok;
+    errors += r.errors;
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double qps = elapsed > 0.0 ? static_cast<double>(ok) / elapsed : 0.0;
+  const double p50 = Percentile(&latencies, 0.50);
+  const double p99 = Percentile(&latencies, 0.99);
+
+  std::printf(
+      "serve-load: %llu queries over %.2f s on %d connections -> "
+      "%.3e queries/s, p50 %.3f ms, p99 %.3f ms, %llu errors\n",
+      static_cast<unsigned long long>(ok), elapsed, connections, qps, p50, p99,
+      static_cast<unsigned long long>(errors));
+
+  bool failed = errors != 0;
+  if (failed) std::fprintf(stderr, "FAIL serve-load: %llu queries errored\n",
+                           static_cast<unsigned long long>(errors));
+
+  if (!baseline.empty()) {
+    std::vector<BenchRecord> records;
+    if (!ReadBenchJson(baseline, &records) || records.empty()) {
+      std::fprintf(stderr, "cannot read baseline %s (missing or no records)\n",
+                   baseline.c_str());
+      return 2;
+    }
+    for (const BenchRecord& b : records) {
+      if (b.algorithm != "serve-load" || b.queries_per_sec <= 0.0) continue;
+      const double floor = b.queries_per_sec * (1.0 - tolerance);
+      if (qps < floor) {
+        std::fprintf(stderr,
+                     "FAIL serve-load: %.3e queries/s below baseline %.3e "
+                     "(-%.0f%% tolerance => %.3e)\n",
+                     qps, b.queries_per_sec, tolerance * 100.0, floor);
+        failed = true;
+      } else {
+        std::printf("ok   serve-load: %.3e queries/s within baseline %.3e "
+                    "(-%.0f%%)\n",
+                    qps, b.queries_per_sec, tolerance * 100.0);
+      }
+    }
+  }
+
+  BenchJsonReporter reporter(name);
+  BenchRecord record;
+  record.algorithm = "serve-load";
+  record.threads = connections;
+  record.queries_per_sec = qps;
+  record.p50_ms = p50;
+  record.p99_ms = p99;
+  reporter.Add(std::move(record));
+  bool wrote = out.empty() ? reporter.WriteFile() : reporter.WriteFileTo(out);
+  if (!wrote) return 1;
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wavemr
+
+int main(int argc, char** argv) { return wavemr::bench::Main(argc, argv); }

@@ -7,6 +7,8 @@
 
 #include "data/frequency.h"
 #include "histogram/builder.h"
+#include "serve/estimator.h"
+#include "serve/snapshot.h"
 
 int main() {
   using namespace wavemr;
@@ -46,7 +48,7 @@ int main() {
                 result->stats.NumRounds(),
                 static_cast<unsigned long long>(result->stats.TotalCommBytes()),
                 result->stats.TotalSeconds(),
-                SseAgainstTrueCoefficients(result->histogram, truth));
+                SseAgainstTrueCoefficients(result->ToSnapshot(), truth));
   }
 
   std::printf(

@@ -6,6 +6,8 @@
 
 #include "data/frequency.h"
 #include "histogram/builder.h"
+#include "serve/estimator.h"
+#include "serve/snapshot.h"
 
 int main() {
   using namespace wavemr;
@@ -35,7 +37,9 @@ int main() {
     return 1;
   }
 
-  const WaveletHistogram& hist = result->histogram;
+  // Estimation goes through the serve layer's snapshot + estimator (the same
+  // code path wavemr_serve answers queries with).
+  HistogramSnapshot hist = result->ToSnapshot();
   std::printf("built a %zu-term wavelet histogram over [0, %llu)\n",
               hist.num_terms(),
               static_cast<unsigned long long>(hist.domain_size()));
@@ -54,7 +58,7 @@ int main() {
   }
   std::printf("heaviest key %llu: true frequency %llu, estimate %.0f\n",
               static_cast<unsigned long long>(heavy),
-              static_cast<unsigned long long>(best), hist.PointEstimate(heavy));
+              static_cast<unsigned long long>(best), PointEstimate(hist, heavy));
 
   uint64_t u = dataset.info().domain_size;
   for (uint64_t lo : {uint64_t{0}, u / 4, u / 2}) {
@@ -66,7 +70,7 @@ int main() {
     std::printf("range [%llu, %llu): true count %llu, estimate %.0f\n",
                 static_cast<unsigned long long>(lo),
                 static_cast<unsigned long long>(hi),
-                static_cast<unsigned long long>(exact), hist.RangeSum(lo, hi));
+                static_cast<unsigned long long>(exact), RangeSum(hist, lo, hi));
   }
 
   // And the quality metric the paper uses: SSE vs the best possible k terms.

@@ -10,6 +10,8 @@
 #include "core/rng.h"
 #include "data/frequency.h"
 #include "histogram/builder.h"
+#include "serve/estimator.h"
+#include "serve/snapshot.h"
 
 int main() {
   using namespace wavemr;
@@ -44,7 +46,7 @@ int main() {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
       return 1;
     }
-    const WaveletHistogram& hist = result->histogram;
+    HistogramSnapshot hist = result->ToSnapshot();
 
     Rng rng(k);
     double sum_err = 0.0, max_err = 0.0;
@@ -54,7 +56,7 @@ int main() {
       if (a > b) std::swap(a, b);
       ++b;
       double exact = prefix[b] - prefix[a];
-      double est = hist.RangeSum(a, b);
+      double est = RangeSum(hist, a, b);
       double err = std::fabs(est - exact) / n;
       sum_err += err;
       max_err = std::max(max_err, err);

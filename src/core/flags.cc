@@ -1,0 +1,226 @@
+#include "core/flags.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/logging.h"
+
+namespace wavemr {
+
+namespace {
+
+/// Classic dynamic-programming edit distance, capped inputs (flag names are
+/// short, so the quadratic cost is irrelevant).
+size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size() || s[0] == '-') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseI32(const std::string& s, int* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool ParseF64(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+void FlagParser::String(const std::string& name, std::string* out,
+                        const std::string& help) {
+  WAVEMR_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  flags_.push_back(Flag{name, help, Kind::kString, out});
+}
+
+void FlagParser::U64(const std::string& name, uint64_t* out,
+                     const std::string& help) {
+  WAVEMR_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  flags_.push_back(Flag{name, help, Kind::kU64, out});
+}
+
+void FlagParser::I32(const std::string& name, int* out,
+                     const std::string& help) {
+  WAVEMR_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  flags_.push_back(Flag{name, help, Kind::kI32, out});
+}
+
+void FlagParser::F64(const std::string& name, double* out,
+                     const std::string& help) {
+  WAVEMR_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  flags_.push_back(Flag{name, help, Kind::kF64, out});
+}
+
+void FlagParser::Bool(const std::string& name, bool* out,
+                      const std::string& help) {
+  WAVEMR_CHECK(Find(name) == nullptr) << "duplicate flag --" << name;
+  flags_.push_back(Flag{name, help, Kind::kBool, out});
+}
+
+const FlagParser::Flag* FlagParser::Find(const std::string& name) const {
+  for (const Flag& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+std::string FlagParser::Suggest(const std::string& name) const {
+  const Flag* best = nullptr;
+  size_t best_dist = 4;  // only suggest within edit distance 3
+  for (const Flag& f : flags_) {
+    const size_t d = EditDistance(name, f.name);
+    if (d < best_dist) {
+      best_dist = d;
+      best = &f;
+    }
+  }
+  if (best == nullptr) return "";
+  return " (did you mean --" + best->name + "?)";
+}
+
+Status FlagParser::SetValue(const Flag& flag, const std::string& value) {
+  switch (flag.kind) {
+    case Kind::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return Status::OK();
+    case Kind::kU64:
+      if (!ParseU64(value, static_cast<uint64_t*>(flag.target))) {
+        return Status::InvalidArgument("--" + flag.name +
+                                       " expects a non-negative integer, got "
+                                       "\"" + value + "\"");
+      }
+      return Status::OK();
+    case Kind::kI32:
+      if (!ParseI32(value, static_cast<int*>(flag.target))) {
+        return Status::InvalidArgument("--" + flag.name +
+                                       " expects an integer, got \"" + value +
+                                       "\"");
+      }
+      return Status::OK();
+    case Kind::kF64:
+      if (!ParseF64(value, static_cast<double*>(flag.target))) {
+        return Status::InvalidArgument("--" + flag.name +
+                                       " expects a number, got \"" + value +
+                                       "\"");
+      }
+      return Status::OK();
+    case Kind::kBool:
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return Status::InvalidArgument("--" + flag.name +
+                                       " expects true|false, got \"" + value +
+                                       "\"");
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unreachable flag kind");
+}
+
+Status FlagParser::Parse(int argc, char* const* argv, int start) {
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return Status::OK();
+    }
+    if (arg.size() < 3 || arg[0] != '-' || arg[1] != '-') {
+      return Status::InvalidArgument("unexpected argument: " + arg +
+                                     " (flags look like --name=value)");
+    }
+    const size_t eq = arg.find('=');
+    const std::string name = arg.substr(2, eq == std::string::npos
+                                               ? std::string::npos
+                                               : eq - 2);
+    const Flag* flag = Find(name);
+    if (flag == nullptr) {
+      return Status::InvalidArgument("unknown flag --" + name + Suggest(name));
+    }
+    if (eq == std::string::npos) {
+      if (flag->kind != Kind::kBool) {
+        return Status::InvalidArgument("--" + name +
+                                       " requires a value: --" + name +
+                                       "=...");
+      }
+      *static_cast<bool*>(flag->target) = true;
+      continue;
+    }
+    WAVEMR_RETURN_IF_ERROR(SetValue(*flag, arg.substr(eq + 1)));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Help() const {
+  std::string out = "usage: " + usage_ + "\n";
+  size_t width = 0;
+  for (const Flag& f : flags_) width = std::max(width, f.name.size());
+  for (const Flag& f : flags_) {
+    std::string default_str;
+    switch (f.kind) {
+      case Kind::kString: {
+        const auto& v = *static_cast<const std::string*>(f.target);
+        if (!v.empty()) default_str = "default " + v;
+        break;
+      }
+      case Kind::kU64:
+        default_str = "default " +
+                      std::to_string(*static_cast<const uint64_t*>(f.target));
+        break;
+      case Kind::kI32:
+        default_str =
+            "default " + std::to_string(*static_cast<const int*>(f.target));
+        break;
+      case Kind::kF64: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "default %g",
+                      *static_cast<const double*>(f.target));
+        default_str = buf;
+        break;
+      }
+      case Kind::kBool:
+        break;  // bools default to false; stating it is noise
+    }
+    out += "  --" + f.name + std::string(width - f.name.size() + 2, ' ') +
+           f.help;
+    if (!default_str.empty()) out += " (" + default_str + ")";
+    out += "\n";
+  }
+  out += "  --help" + std::string(width > 4 ? width - 4 + 2 : 2, ' ') +
+         "show this message\n";
+  return out;
+}
+
+}  // namespace wavemr

@@ -1,0 +1,63 @@
+#ifndef WAVEMR_CORE_FLAGS_H_
+#define WAVEMR_CORE_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace wavemr {
+
+/// Declarative command-line flag parser shared by the wavemr tools.
+///
+/// Register typed bindings, then Parse. Every `--name=value` (or bare
+/// `--name` for bools) must match a registered flag: an unknown flag is a
+/// hard InvalidArgument, with a "did you mean --x" hint when a registered
+/// name is within edit distance 3. `--help` / `-h` stop parsing and set
+/// help_requested(); the caller prints Help() and exits 0.
+class FlagParser {
+ public:
+  /// `usage` is the first line of Help(), e.g.
+  /// "wavemr_cli build (--input=FILE | --generate=zipf|worldcup) [options]".
+  explicit FlagParser(std::string usage) : usage_(std::move(usage)) {}
+
+  /// Bindings point at caller-owned storage, which also supplies the
+  /// default value shown in Help(). The target must outlive Parse.
+  void String(const std::string& name, std::string* out,
+              const std::string& help);
+  void U64(const std::string& name, uint64_t* out, const std::string& help);
+  void I32(const std::string& name, int* out, const std::string& help);
+  void F64(const std::string& name, double* out, const std::string& help);
+  /// Bools accept bare `--name` as well as `--name=true|false|1|0`.
+  void Bool(const std::string& name, bool* out, const std::string& help);
+
+  /// Parses argv[start, argc). Positional (non `--`) arguments are rejected.
+  Status Parse(int argc, char* const* argv, int start = 1);
+
+  bool help_requested() const { return help_requested_; }
+
+  /// Usage line + one aligned row per flag with its help and default.
+  std::string Help() const;
+
+ private:
+  enum class Kind { kString, kU64, kI32, kF64, kBool };
+  struct Flag {
+    std::string name;
+    std::string help;
+    Kind kind;
+    void* target;
+  };
+
+  Status SetValue(const Flag& flag, const std::string& value);
+  const Flag* Find(const std::string& name) const;
+  std::string Suggest(const std::string& name) const;
+
+  std::string usage_;
+  std::vector<Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_CORE_FLAGS_H_

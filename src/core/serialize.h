@@ -32,6 +32,12 @@ class Serializer {
     if (!v.empty()) std::memcpy(buf_.data() + off, v.data(), v.size() * sizeof(T));
   }
 
+  /// Length-prefixed (uint64) byte string.
+  void PutString(const std::string& s) {
+    Put<uint64_t>(s.size());
+    buf_.append(s);
+  }
+
   const std::string& str() const { return buf_; }
   std::string Release() { return std::move(buf_); }
 
@@ -64,7 +70,21 @@ class Deserializer {
     return v;
   }
 
+  /// Inverse of Serializer::PutString.
+  std::string GetString() {
+    uint64_t n = Get<uint64_t>();
+    WAVEMR_CHECK_LE(pos_ + n, buf_.size());
+    std::string s = buf_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
   bool Done() const { return pos_ == buf_.size(); }
+
+  /// Bytes left to consume. Get/GetVector CHECK-abort past the end, so
+  /// callers parsing untrusted bytes (snapshot files, wire frames) validate
+  /// against remaining() first and return Status instead of crashing.
+  size_t remaining() const { return buf_.size() - pos_; }
 
  private:
   const std::string& buf_;

@@ -14,6 +14,8 @@
 
 namespace wavemr {
 
+class HistogramSnapshot;  // serve/snapshot.h; definition lives in the serve layer
+
 /// Knobs shared by every histogram-construction algorithm. Defaults mirror
 /// the paper's defaults (k=30, epsilon scaled to the dataset, the 16-machine
 /// cluster, 50% available bandwidth).
@@ -64,6 +66,11 @@ struct BuildOptions {
   /// Exact mappers: use the dense O(u) local transform instead of the
   /// O(|v| log u) sparse one (cost-accounting ablation; same results).
   bool use_dense_local_transform = false;
+
+  /// Checks every knob and returns an actionable InvalidArgument for the
+  /// first bad one. BuildWaveletHistogram calls this once up front; callers
+  /// assembling options by hand (CLIs, benches) need no checks of their own.
+  Status Validate() const;
 };
 
 /// What every algorithm returns: the k-term synopsis plus the measured
@@ -71,6 +78,13 @@ struct BuildOptions {
 struct BuildResult {
   WaveletHistogram histogram;
   JobStats stats;
+  /// Display name of the algorithm that built this ("TwoLevel-S", ...);
+  /// filled in by BuildWaveletHistogram.
+  std::string algorithm;
+
+  /// Freezes the result into an immutable, versionable HistogramSnapshot for
+  /// the serve layer (defined in serve/snapshot.cc; link wavemr_serve).
+  HistogramSnapshot ToSnapshot() const;
 };
 
 /// Interface of the seven algorithms evaluated in the paper.

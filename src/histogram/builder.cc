@@ -1,5 +1,7 @@
 #include "histogram/builder.h"
 
+#include <cmath>
+
 #include "approx/samplers.h"
 #include "approx/send_sketch.h"
 #include "core/logging.h"
@@ -8,6 +10,32 @@
 #include "exact/send_v.h"
 
 namespace wavemr {
+
+Status BuildOptions::Validate() const {
+  // k == 0 is deliberately legal: it builds an empty synopsis (see the
+  // edge-case tests); k is unsigned so there is no negative case to reject.
+  if (!std::isfinite(epsilon) || epsilon <= 0.0) {
+    return Status::InvalidArgument(
+        "BuildOptions.epsilon must be a finite value > 0 (sampling rate is "
+        "1/(epsilon^2 n)); got " + std::to_string(epsilon));
+  }
+  if (threads < 0) {
+    return Status::InvalidArgument(
+        "BuildOptions.threads must be >= 0 (0 = one per hardware thread); "
+        "got " + std::to_string(threads));
+  }
+  if (reduce_tasks < 0) {
+    return Status::InvalidArgument(
+        "BuildOptions.reduce_tasks must be >= 0 (0 = match the map thread "
+        "count); got " + std::to_string(reduce_tasks));
+  }
+  if (cost_model.shuffle_buffer_bytes == 0) {
+    return Status::InvalidArgument(
+        "BuildOptions.cost_model.shuffle_buffer_bytes must be > 0 (the "
+        "shuffle needs at least one buffered run before spilling)");
+  }
+  return Status::OK();
+}
 
 const char* AlgorithmName(AlgorithmKind kind) {
   switch (kind) {
@@ -50,10 +78,26 @@ std::unique_ptr<HistogramAlgorithm> MakeAlgorithm(AlgorithmKind kind) {
   return nullptr;
 }
 
+StatusOr<AlgorithmKind> ParseAlgorithmKind(const std::string& name) {
+  if (name == "send-v") return AlgorithmKind::kSendV;
+  if (name == "send-coef") return AlgorithmKind::kSendCoef;
+  if (name == "h-wtopk") return AlgorithmKind::kHWTopk;
+  if (name == "basic-s") return AlgorithmKind::kBasicS;
+  if (name == "improved-s") return AlgorithmKind::kImprovedS;
+  if (name == "twolevel-s") return AlgorithmKind::kTwoLevelS;
+  if (name == "send-sketch") return AlgorithmKind::kSendSketch;
+  return Status::InvalidArgument(
+      "unknown algorithm (expected send-v|send-coef|h-wtopk|basic-s|"
+      "improved-s|twolevel-s|send-sketch): " + name);
+}
+
 StatusOr<BuildResult> BuildWaveletHistogram(const Dataset& dataset,
                                             AlgorithmKind kind,
                                             const BuildOptions& options) {
-  return MakeAlgorithm(kind)->Build(dataset, options);
+  WAVEMR_RETURN_IF_ERROR(options.Validate());
+  auto result = MakeAlgorithm(kind)->Build(dataset, options);
+  if (result.ok()) result->algorithm = AlgorithmName(kind);
+  return result;
 }
 
 std::vector<AlgorithmKind> AllAlgorithms() {

@@ -22,6 +22,10 @@ enum class AlgorithmKind {
 /// Display name matching the paper's figures ("Send-V", "TwoLevel-S", ...).
 const char* AlgorithmName(AlgorithmKind kind);
 
+/// Parses the CLI spelling ("send-v", "twolevel-s", ...); the inverse of the
+/// tools' --algo flag. InvalidArgument lists the accepted names.
+StatusOr<AlgorithmKind> ParseAlgorithmKind(const std::string& name);
+
 /// Factory for a fresh algorithm instance.
 std::unique_ptr<HistogramAlgorithm> MakeAlgorithm(AlgorithmKind kind);
 

@@ -1,0 +1,164 @@
+#include "serve/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace wavemr {
+
+namespace {
+
+Status SendAll(int fd, const char* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError("send(): " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status RecvAll(int fd, char* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::recv(fd, data + off, size - off, 0);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) return Status::IOError("connection closed by server");
+    if (errno == EINTR) continue;
+    return Status::IOError("recv(): " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ServeClient::~ServeClient() { Close(); }
+
+ServeClient::ServeClient(ServeClient&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status ServeClient::Connect(const std::string& host, int port) {
+  Close();
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::IOError("cannot resolve " + host + ": " +
+                           ::gai_strerror(rc));
+  }
+  Status last = Status::IOError("no addresses for " + host);
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      fd_ = fd;
+      break;
+    }
+    last = Status::IOError("connect " + host + ":" + std::to_string(port) +
+                           ": " + std::strerror(errno));
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  if (fd_ < 0) return last;
+  return Status::OK();
+}
+
+StatusOr<std::string> ServeClient::RoundTrip(const QueryRequest& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  const std::string frame = WrapFrame(EncodeRequest(request));
+  WAVEMR_RETURN_IF_ERROR(SendAll(fd_, frame.data(), frame.size()));
+
+  char len_bytes[sizeof(uint32_t)];
+  WAVEMR_RETURN_IF_ERROR(RecvAll(fd_, len_bytes, sizeof(len_bytes)));
+  uint32_t len;
+  std::memcpy(&len, len_bytes, sizeof(len));
+  if (len > kMaxFramePayloadBytes) {
+    Close();  // stream integrity lost; don't try to resync
+    return Status::IOError("oversized response frame (" + std::to_string(len) +
+                           " bytes)");
+  }
+  std::string payload(len, '\0');
+  WAVEMR_RETURN_IF_ERROR(RecvAll(fd_, payload.data(), len));
+  return payload;
+}
+
+StatusOr<EstimateResult> ServeClient::Point(uint64_t x) {
+  QueryRequest req;
+  req.op = QueryOp::kPoint;
+  req.point_x = x;
+  auto payload = RoundTrip(req);
+  if (!payload.ok()) return payload.status();
+  return DecodeEstimateResponse(*payload);
+}
+
+StatusOr<EstimateResult> ServeClient::Range(uint64_t lo, uint64_t hi) {
+  QueryRequest req;
+  req.op = QueryOp::kRange;
+  req.range_lo = lo;
+  req.range_hi = hi;
+  auto payload = RoundTrip(req);
+  if (!payload.ok()) return payload.status();
+  return DecodeEstimateResponse(*payload);
+}
+
+StatusOr<TopKResult> ServeClient::TopK(uint32_t count) {
+  QueryRequest req;
+  req.op = QueryOp::kTopK;
+  req.topk_count = count;
+  auto payload = RoundTrip(req);
+  if (!payload.ok()) return payload.status();
+  return DecodeTopKResponse(*payload);
+}
+
+StatusOr<ServeStats> ServeClient::Stats() {
+  QueryRequest req;
+  req.op = QueryOp::kStats;
+  auto payload = RoundTrip(req);
+  if (!payload.ok()) return payload.status();
+  return DecodeStatsResponse(*payload);
+}
+
+StatusOr<uint64_t> ServeClient::Rebuild() {
+  QueryRequest req;
+  req.op = QueryOp::kRebuild;
+  auto payload = RoundTrip(req);
+  if (!payload.ok()) return payload.status();
+  return DecodeRebuildResponse(*payload);
+}
+
+}  // namespace wavemr

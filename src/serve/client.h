@@ -1,0 +1,56 @@
+#ifndef WAVEMR_SERVE_CLIENT_H_
+#define WAVEMR_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+#include "serve/protocol.h"
+
+namespace wavemr {
+
+/// Blocking client for the wavemr_serve wire protocol. One TCP connection;
+/// each call sends a request frame and waits for its response frame, so a
+/// single client issues queries strictly in order (open several clients for
+/// concurrency). Not thread-safe.
+///
+/// Estimates come back bit-identical to the server-side computation: the
+/// protocol ships raw IEEE double bits.
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+
+  /// Connects to host:port. `host` is a numeric address or name
+  /// (getaddrinfo). Replaces any previous connection.
+  Status Connect(const std::string& host, int port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Estimated frequency of key x.
+  StatusOr<EstimateResult> Point(uint64_t x);
+  /// Estimated sum of frequencies over [lo, hi).
+  StatusOr<EstimateResult> Range(uint64_t lo, uint64_t hi);
+  /// The `count` largest-magnitude retained coefficients.
+  StatusOr<TopKResult> TopK(uint32_t count);
+  /// Server + snapshot statistics.
+  StatusOr<ServeStats> Stats();
+  /// Asks the server to rebuild and publish a new snapshot version.
+  StatusOr<uint64_t> Rebuild();
+
+ private:
+  /// Sends one framed request, receives one framed response payload.
+  StatusOr<std::string> RoundTrip(const QueryRequest& request);
+
+  int fd_ = -1;
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_SERVE_CLIENT_H_

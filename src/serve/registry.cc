@@ -1,0 +1,59 @@
+#include "serve/registry.h"
+
+#include <thread>
+
+#include "core/bitops.h"
+#include "core/logging.h"
+
+namespace wavemr {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+SnapshotRegistry::SnapshotRegistry(size_t num_slots)
+    : slots_(RoundUpPow2(num_slots < 2 ? 2 : num_slots)),
+      mask_(slots_.size() - 1) {}
+
+uint64_t SnapshotRegistry::Publish(
+    std::shared_ptr<const HistogramSnapshot> snapshot) {
+  WAVEMR_CHECK(snapshot != nullptr) << "cannot publish a null snapshot";
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  const uint64_t next = version_.load(std::memory_order_seq_cst) + 1;
+  Slot& slot = slots_[next & mask_];
+  // Drain stragglers still pinning the version this slot last held (next -
+  // num_slots). Readers that pin transiently and fail validation unpin
+  // immediately, so this loop only waits on genuinely held guards.
+  while (slot.pins.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+  slot.snapshot = std::move(snapshot);
+  version_.store(next, std::memory_order_seq_cst);
+  return next;
+}
+
+SnapshotRegistry::ReadGuard SnapshotRegistry::Acquire() const {
+  for (;;) {
+    const uint64_t v = version_.load(std::memory_order_seq_cst);
+    if (v == 0) return ReadGuard();
+    Slot& slot = slots_[v & mask_];
+    slot.pins.fetch_add(1, std::memory_order_seq_cst);
+    // Revalidate: our slot is untouched since version v as long as no
+    // publisher has advanced to within one lap (see header). The seq_cst
+    // fence pair with Publish makes "pin not yet visible to the publisher's
+    // drain poll" imply "publisher's version store visible here".
+    const uint64_t w = version_.load(std::memory_order_seq_cst);
+    if (w - v <= slots_.size() - 2) {
+      return ReadGuard(&slot, slot.snapshot.get(), v);
+    }
+    slot.pins.fetch_sub(1, std::memory_order_seq_cst);
+  }
+}
+
+}  // namespace wavemr

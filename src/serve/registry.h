@@ -1,0 +1,129 @@
+#ifndef WAVEMR_SERVE_REGISTRY_H_
+#define WAVEMR_SERVE_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/snapshot.h"
+
+namespace wavemr {
+
+/// Epoch-swapped snapshot publication: one writer at a time publishes a new
+/// immutable HistogramSnapshot version while any number of reader threads
+/// keep answering queries from whatever version they pinned -- the RCU idiom,
+/// specialized to a bounded ring of versions.
+///
+/// Readers are lock-free: Acquire() is one epoch load, one pin increment and
+/// one validating reload (it retries only when a publish races in, which is
+/// bounded by the publish rate, not by other readers). Writers serialize on
+/// a mutex and wait -- off the read path -- for stragglers still pinning the
+/// slot being recycled.
+///
+/// How the ring stays safe: version v lives in slot v mod S. A publisher of
+/// version t overwrites slot t mod S while the current version is t-1, so a
+/// reader's pin of version v is valid only if the version it revalidates, w,
+/// satisfies w - v <= S-2 (any later and the slot may be mid-overwrite).
+/// The pin increment, the validating load, the publisher's version store and
+/// its pin poll are all seq_cst, which closes the classic store/load race
+/// between "reader pins then validates" and "writer checks pins then
+/// writes". A failed validation unpins and retries.
+///
+/// Guards must stay shorter-lived than S-1 publishes ahead: a publisher
+/// blocks (spin-yield) until the slot it recycles drains to zero pins. Hold
+/// a guard per query, not per connection.
+class SnapshotRegistry {
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> pins{0};
+    /// Written only by the publisher, only while pins == 0 and no reader can
+    /// validate a pin on this slot (see class comment).
+    std::shared_ptr<const HistogramSnapshot> snapshot;
+  };
+
+ public:
+  /// `num_slots` is rounded up to a power of two, minimum 2. S slots allow
+  /// S-1 versions to be concurrently pinned.
+  explicit SnapshotRegistry(size_t num_slots = 8);
+
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// Pins one published version for reading; keeps the snapshot alive and
+  /// its slot unrecyclable until released/destroyed. Movable, not copyable.
+  class ReadGuard {
+   public:
+    ReadGuard() = default;
+    ~ReadGuard() { Release(); }
+    ReadGuard(ReadGuard&& other) noexcept { *this = std::move(other); }
+    ReadGuard& operator=(ReadGuard&& other) noexcept {
+      if (this != &other) {
+        Release();
+        slot_ = other.slot_;
+        snapshot_ = other.snapshot_;
+        version_ = other.version_;
+        other.slot_ = nullptr;
+        other.snapshot_ = nullptr;
+        other.version_ = 0;
+      }
+      return *this;
+    }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+    explicit operator bool() const { return snapshot_ != nullptr; }
+    const HistogramSnapshot* get() const { return snapshot_; }
+    const HistogramSnapshot& operator*() const { return *snapshot_; }
+    const HistogramSnapshot* operator->() const { return snapshot_; }
+    /// Version this guard pinned (>= 1 when non-empty).
+    uint64_t version() const { return version_; }
+
+    /// Unpins early; the guard becomes empty.
+    void Release() {
+      if (slot_ != nullptr) {
+        slot_->pins.fetch_sub(1, std::memory_order_seq_cst);
+        slot_ = nullptr;
+      }
+      snapshot_ = nullptr;
+      version_ = 0;
+    }
+
+   private:
+    friend class SnapshotRegistry;
+    ReadGuard(Slot* slot, const HistogramSnapshot* snapshot, uint64_t version)
+        : slot_(slot), snapshot_(snapshot), version_(version) {}
+
+    Slot* slot_ = nullptr;
+    const HistogramSnapshot* snapshot_ = nullptr;
+    uint64_t version_ = 0;
+  };
+
+  /// Publishes `snapshot` as the next version and returns its version number
+  /// (1-based; monotonically increasing). Blocks while the recycled slot is
+  /// still pinned by readers S-1 versions behind.
+  uint64_t Publish(std::shared_ptr<const HistogramSnapshot> snapshot);
+
+  /// Pins the current version for reading. Before the first Publish the
+  /// guard is empty (operator bool is false).
+  ReadGuard Acquire() const;
+
+  /// Version of the most recent Publish; 0 before any. Also the count of
+  /// snapshots ever published.
+  uint64_t current_version() const {
+    return version_.load(std::memory_order_seq_cst);
+  }
+
+  size_t num_slots() const { return slots_.size(); }
+
+ private:
+  mutable std::vector<Slot> slots_;
+  size_t mask_;
+  std::atomic<uint64_t> version_{0};
+  std::mutex publish_mu_;
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_SERVE_REGISTRY_H_

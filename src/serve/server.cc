@@ -1,0 +1,442 @@
+#include "serve/server.h"
+
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/logging.h"
+#include "core/thread_pool.h"
+#include "serve/estimator.h"
+#include "serve/protocol.h"
+
+#ifdef __linux__
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace wavemr {
+
+#ifdef __linux__
+
+namespace {
+
+uint32_t LoadLe32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+struct QueryServer::Impl {
+  /// One client connection. The reactor thread owns fd lifecycle and the
+  /// input buffer; `mu` guards the output buffer and the per-connection
+  /// dispatch queue that keeps responses in request order. The fd is closed
+  /// only by the destructor, after the last worker reference drops, so a
+  /// worker never writes to a recycled descriptor.
+  struct Conn {
+    explicit Conn(int fd_in) : fd(fd_in) {}
+    ~Conn() {
+      if (fd >= 0) ::close(fd);
+    }
+
+    const int fd;
+    std::string in;  // reactor-only
+    size_t in_off = 0;
+
+    std::mutex mu;
+    std::string out;  // guarded by mu
+    size_t out_off = 0;
+    std::deque<std::string> pending;  // guarded by mu
+    bool task_active = false;         // guarded by mu
+    bool want_write = false;          // guarded by mu
+    std::atomic<bool> dead{false};
+  };
+
+  Impl(SnapshotRegistry* registry_in, ServerOptions options_in,
+       RebuildFn rebuild_in)
+      : registry(registry_in),
+        options(options_in),
+        rebuild(std::move(rebuild_in)) {}
+
+  SnapshotRegistry* registry;
+  ServerOptions options;
+  RebuildFn rebuild;
+
+  int listen_fd = -1;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  int port = 0;
+  std::unique_ptr<ThreadPool> pool;
+  std::thread reactor;
+  std::atomic<bool> running{false};
+  std::atomic<bool> stopping{false};
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> rebuilds{0};
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;  // reactor-only
+
+  Status Start();
+  void Stop();
+  void ReactorLoop();
+  void Accept();
+  void ReadConn(const std::shared_ptr<Conn>& conn);
+  void CloseConn(const std::shared_ptr<Conn>& conn);
+  void Dispatch(const std::shared_ptr<Conn>& conn, std::string payload);
+  void DrainTask(std::shared_ptr<Conn> conn);
+  void Send(const std::shared_ptr<Conn>& conn, const std::string& frame);
+  void FlushLocked(Conn* conn);  // mu held
+  std::string Handle(const std::string& payload);
+};
+
+Status QueryServer::Impl::Start() {
+  listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd < 0) return Status::IOError("socket(): " + std::string(std::strerror(errno)));
+  int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Status::IOError("bind(port " + std::to_string(options.port) +
+                           "): " + std::strerror(errno));
+  }
+  if (::listen(listen_fd, options.backlog) < 0) {
+    return Status::IOError("listen(): " + std::string(std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return Status::IOError("getsockname(): " + std::string(std::strerror(errno)));
+  }
+  port = ntohs(addr.sin_port);
+
+  epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) return Status::IOError("epoll_create1(): " + std::string(std::strerror(errno)));
+  wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd < 0) return Status::IOError("eventfd(): " + std::string(std::strerror(errno)));
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd;
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, listen_fd, &ev) < 0) {
+    return Status::IOError("epoll_ctl(listen): " + std::string(std::strerror(errno)));
+  }
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd;
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, wake_fd, &ev) < 0) {
+    return Status::IOError("epoll_ctl(wake): " + std::string(std::strerror(errno)));
+  }
+
+  pool = std::make_unique<ThreadPool>(options.workers);
+  running.store(true);
+  reactor = std::thread([this] { ReactorLoop(); });
+  return Status::OK();
+}
+
+void QueryServer::Impl::ReactorLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stopping.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd) {
+        uint64_t drain;
+        while (::read(wake_fd, &drain, sizeof(drain)) > 0) {
+        }
+        continue;  // stop flag re-checked by the while condition
+      }
+      if (fd == listen_fd) {
+        Accept();
+        continue;
+      }
+      auto it = conns.find(fd);
+      if (it == conns.end()) continue;
+      std::shared_ptr<Conn> conn = it->second;
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+        CloseConn(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        FlushLocked(conn.get());
+      }
+      if ((events[i].events & EPOLLIN) != 0) ReadConn(conn);
+    }
+  }
+  // Teardown on the reactor: mark every connection dead so workers stop
+  // writing, then drop the reactor references (fds close when the last
+  // worker reference drops).
+  for (auto& [fd, conn] : conns) {
+    conn->dead.store(true);
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+    ::shutdown(fd, SHUT_RDWR);
+  }
+  conns.clear();
+  ::close(listen_fd);
+  listen_fd = -1;
+}
+
+void QueryServer::Impl::Accept() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error; epoll will re-arm
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>(fd);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) continue;
+    conns.emplace(fd, std::move(conn));
+  }
+}
+
+void QueryServer::Impl::CloseConn(const std::shared_ptr<Conn>& conn) {
+  conn->dead.store(true);
+  ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  conns.erase(conn->fd);
+}
+
+void QueryServer::Impl::ReadConn(const std::shared_ptr<Conn>& conn) {
+  char buf[16384];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->in.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConn(conn);  // EOF or hard error
+    return;
+  }
+  // Reassemble complete frames and hand them to the worker pool.
+  std::string& in = conn->in;
+  while (in.size() - conn->in_off >= sizeof(uint32_t)) {
+    const uint32_t len = LoadLe32(in.data() + conn->in_off);
+    if (len > kMaxFramePayloadBytes) {
+      CloseConn(conn);  // protocol violation
+      return;
+    }
+    if (in.size() - conn->in_off < sizeof(uint32_t) + len) break;
+    Dispatch(conn, in.substr(conn->in_off + sizeof(uint32_t), len));
+    conn->in_off += sizeof(uint32_t) + len;
+  }
+  if (conn->in_off == in.size()) {
+    in.clear();
+    conn->in_off = 0;
+  } else if (conn->in_off > size_t{64} * 1024) {
+    in.erase(0, conn->in_off);
+    conn->in_off = 0;
+  }
+}
+
+void QueryServer::Impl::Dispatch(const std::shared_ptr<Conn>& conn,
+                                 std::string payload) {
+  bool submit = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->pending.push_back(std::move(payload));
+    if (!conn->task_active) {
+      conn->task_active = true;
+      submit = true;
+    }
+  }
+  // One drainer task per connection at a time: responses stay in request
+  // order while independent connections fan out across the pool.
+  if (submit) pool->Submit([this, conn] { DrainTask(conn); });
+}
+
+void QueryServer::Impl::DrainTask(std::shared_ptr<Conn> conn) {
+  for (;;) {
+    std::string payload;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->pending.empty() || conn->dead.load()) {
+        conn->task_active = false;
+        return;
+      }
+      payload = std::move(conn->pending.front());
+      conn->pending.pop_front();
+    }
+    Send(conn, WrapFrame(Handle(payload)));
+  }
+}
+
+std::string QueryServer::Impl::Handle(const std::string& payload) {
+  queries.fetch_add(1, std::memory_order_relaxed);
+  auto request = DecodeRequest(payload);
+  if (!request.ok()) return EncodeErrorResponse(request.status());
+
+  if (request->op == QueryOp::kRebuild) {
+    if (!rebuild) {
+      return EncodeErrorResponse(Status::Unimplemented(
+          "this server was given no rebuild hook (serving a fixed snapshot)"));
+    }
+    const uint64_t count = rebuilds.fetch_add(1, std::memory_order_relaxed) + 1;
+    auto snapshot = rebuild(count);
+    if (!snapshot.ok()) return EncodeErrorResponse(snapshot.status());
+    return EncodeRebuildResponse(registry->Publish(std::move(*snapshot)));
+  }
+
+  SnapshotRegistry::ReadGuard guard = registry->Acquire();
+  if (!guard) {
+    return EncodeErrorResponse(
+        Status::FailedPrecondition("no snapshot published yet"));
+  }
+  const HistogramSnapshot& snap = *guard;
+  switch (request->op) {
+    case QueryOp::kPoint:
+      if (request->point_x >= snap.domain_size()) {
+        return EncodeErrorResponse(Status::OutOfRange(
+            "point " + std::to_string(request->point_x) +
+            " outside domain [0, " + std::to_string(snap.domain_size()) + ")"));
+      }
+      return EncodeEstimateResponse(PointEstimate(snap, request->point_x),
+                                    guard.version());
+    case QueryOp::kRange:
+      if (request->range_lo > request->range_hi ||
+          request->range_hi > snap.domain_size()) {
+        return EncodeErrorResponse(Status::OutOfRange(
+            "range [" + std::to_string(request->range_lo) + ", " +
+            std::to_string(request->range_hi) + ") not within [0, " +
+            std::to_string(snap.domain_size()) + ")"));
+      }
+      return EncodeEstimateResponse(
+          RangeSum(snap, request->range_lo, request->range_hi),
+          guard.version());
+    case QueryOp::kTopK:
+      return EncodeTopKResponse(snap.TopCoefficients(request->topk_count),
+                                guard.version());
+    case QueryOp::kStats: {
+      ServeStats st;
+      st.version = guard.version();
+      st.snapshots_published = registry->current_version();
+      st.domain_size = snap.domain_size();
+      st.num_terms = snap.num_terms();
+      st.queries_served = queries.load(std::memory_order_relaxed);
+      st.algorithm = snap.metadata().algorithm;
+      st.build_comm_bytes = snap.metadata().build_comm_bytes;
+      st.build_sim_seconds = snap.metadata().build_sim_seconds;
+      return EncodeStatsResponse(st);
+    }
+    case QueryOp::kRebuild:
+      break;  // handled above
+  }
+  return EncodeErrorResponse(Status::Internal("unreachable op"));
+}
+
+void QueryServer::Impl::Send(const std::shared_ptr<Conn>& conn,
+                             const std::string& frame) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->dead.load()) return;
+  conn->out.append(frame);
+  FlushLocked(conn.get());
+}
+
+void QueryServer::Impl::FlushLocked(Conn* conn) {
+  if (conn->dead.load()) return;
+  while (conn->out_off < conn->out.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data() + conn->out_off,
+               conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn->want_write) {
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLOUT;
+        ev.data.fd = conn->fd;
+        ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+        conn->want_write = true;
+      }
+      return;
+    }
+    // Hard error: mark dead; shutdown() nudges the reactor to clean up.
+    conn->dead.store(true);
+    ::shutdown(conn->fd, SHUT_RDWR);
+    return;
+  }
+  conn->out.clear();
+  conn->out_off = 0;
+  if (conn->want_write) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = conn->fd;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+    conn->want_write = false;
+  }
+}
+
+void QueryServer::Impl::Stop() {
+  if (!running.load()) return;
+  stopping.store(true, std::memory_order_release);
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd, &one, sizeof(one));
+  if (reactor.joinable()) reactor.join();
+  pool.reset();  // drains in-flight drainer tasks
+  if (epoll_fd >= 0) ::close(epoll_fd);
+  if (wake_fd >= 0) ::close(wake_fd);
+  epoll_fd = -1;
+  wake_fd = -1;
+  running.store(false);
+}
+
+#else  // !__linux__
+
+struct QueryServer::Impl {
+  Impl(SnapshotRegistry* registry_in, ServerOptions options_in,
+       RebuildFn rebuild_in)
+      : registry(registry_in),
+        options(options_in),
+        rebuild(std::move(rebuild_in)) {}
+  SnapshotRegistry* registry;
+  ServerOptions options;
+  RebuildFn rebuild;
+  int port = 0;
+  std::atomic<uint64_t> queries{0};
+
+  Status Start() {
+    return Status::Unimplemented("wavemr_serve requires Linux epoll");
+  }
+  void Stop() {}
+};
+
+#endif  // __linux__
+
+QueryServer::QueryServer(SnapshotRegistry* registry, ServerOptions options,
+                         RebuildFn rebuild)
+    : impl_(std::make_unique<Impl>(registry, options, std::move(rebuild))) {
+  WAVEMR_CHECK(registry != nullptr);
+}
+
+QueryServer::~QueryServer() { impl_->Stop(); }
+
+Status QueryServer::Start() { return impl_->Start(); }
+
+int QueryServer::port() const { return impl_->port; }
+
+uint64_t QueryServer::queries_served() const {
+  return impl_->queries.load(std::memory_order_relaxed);
+}
+
+void QueryServer::Stop() { impl_->Stop(); }
+
+}  // namespace wavemr

@@ -1,0 +1,75 @@
+#ifndef WAVEMR_SERVE_SERVER_H_
+#define WAVEMR_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "core/status.h"
+#include "serve/registry.h"
+
+namespace wavemr {
+
+struct ServerOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (see QueryServer::port).
+  int port = 0;
+  /// Worker threads answering queries; 0 = one per hardware thread.
+  int workers = 0;
+  /// listen(2) backlog.
+  int backlog = 128;
+};
+
+/// The wavemr_serve engine: an epoll reactor thread owns every socket
+/// (accept, frame reassembly, writes the workers could not finish), a fixed
+/// ThreadPool of workers answers decoded queries against whatever snapshot
+/// version they pin from the SnapshotRegistry. Publishing a new version
+/// never blocks the readers: a rebuild (the kRebuild op, or any external
+/// publisher) swaps the epoch pointer while in-flight queries finish on the
+/// version they pinned.
+///
+/// Request frames on one connection are answered in order (per-connection
+/// dispatch queue); different connections proceed fully in parallel.
+///
+/// Linux-only (epoll); Start returns Unimplemented elsewhere.
+class QueryServer {
+ public:
+  /// Rebuild hook for QueryOp::kRebuild: invoked on a worker thread with a
+  /// 1-based rebuild counter; the returned snapshot is published. Leave
+  /// empty to reject rebuild requests.
+  using RebuildFn =
+      std::function<StatusOr<std::shared_ptr<const HistogramSnapshot>>(
+          uint64_t rebuild_count)>;
+
+  /// The registry must outlive the server. Publish at least one snapshot
+  /// before (or after) Start; queries before the first publish get
+  /// FailedPrecondition responses.
+  QueryServer(SnapshotRegistry* registry, ServerOptions options,
+              RebuildFn rebuild = nullptr);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Binds, listens and starts the reactor + workers. Non-blocking.
+  Status Start();
+
+  /// The bound port (resolves option port 0 after Start).
+  int port() const;
+
+  /// Total requests answered (including error responses).
+  uint64_t queries_served() const;
+
+  /// Stops accepting, closes connections, joins reactor and workers.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_SERVE_SERVER_H_

@@ -1,0 +1,221 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "core/bitops.h"
+#include "core/logging.h"
+#include "histogram/algorithm.h"
+
+namespace wavemr {
+
+namespace {
+
+/// "WMSNAP" + 2-digit format version, little-endian packed.
+constexpr uint64_t kSnapshotMagic = 0x3130'50414E534D57ull;  // "WMSNAP01"
+
+}  // namespace
+
+HistogramSnapshot HistogramSnapshot::FromCoefficients(uint64_t u,
+                                                      std::vector<WCoeff> coeffs,
+                                                      Metadata metadata) {
+  WAVEMR_CHECK(IsPowerOfTwo(u)) << "domain size must be a power of two, got " << u;
+  std::sort(coeffs.begin(), coeffs.end(),
+            [](const WCoeff& a, const WCoeff& b) { return a.index < b.index; });
+  HistogramSnapshot s;
+  s.u_ = u;
+  s.meta_ = std::move(metadata);
+  s.indices_.reserve(coeffs.size());
+  s.values_.reserve(coeffs.size());
+  for (const WCoeff& c : coeffs) {
+    WAVEMR_CHECK_LT(c.index, u);
+    s.indices_.push_back(c.index);
+    s.values_.push_back(c.value);
+  }
+  s.BuildIndexes();
+  return s;
+}
+
+HistogramSnapshot HistogramSnapshot::FromHistogram(
+    const WaveletHistogram& histogram, Metadata metadata) {
+  return FromCoefficients(histogram.domain_size(), histogram.coefficients(),
+                          std::move(metadata));
+}
+
+uint32_t HistogramSnapshot::num_levels() const { return Log2Floor(u_); }
+
+void HistogramSnapshot::BuildIndexes() {
+  for (size_t i = 1; i < indices_.size(); ++i) {
+    WAVEMR_CHECK_LT(indices_[i - 1], indices_[i])
+        << "coefficient indices must be unique";
+  }
+  const uint32_t levels = num_levels();
+  level_offsets_.assign(levels + 2, 0);
+  size_t pos = 0;
+  for (uint32_t l = 0; l <= levels; ++l) {
+    const uint64_t bound = uint64_t{1} << l;  // first index of detail level l
+    while (pos < indices_.size() && indices_[pos] < bound) ++pos;
+    level_offsets_[l + 1] = pos;
+  }
+  WAVEMR_CHECK_EQ(level_offsets_[levels + 1], indices_.size());
+
+  magnitude_order_.resize(indices_.size());
+  for (size_t i = 0; i < magnitude_order_.size(); ++i) {
+    magnitude_order_[i] = static_cast<uint32_t>(i);
+  }
+  std::sort(magnitude_order_.begin(), magnitude_order_.end(),
+            [this](uint32_t a, uint32_t b) {
+              double ma = std::fabs(values_[a]);
+              double mb = std::fabs(values_[b]);
+              if (ma != mb) return ma > mb;
+              return indices_[a] < indices_[b];
+            });
+}
+
+std::pair<size_t, size_t> HistogramSnapshot::LevelRange(uint32_t level) const {
+  WAVEMR_CHECK_LT(level, num_levels());
+  return {level_offsets_[level + 1], level_offsets_[level + 2]};
+}
+
+size_t HistogramSnapshot::FindIndex(uint64_t index) const {
+  auto it = std::lower_bound(indices_.begin(), indices_.end(), index);
+  if (it == indices_.end() || *it != index) return npos;
+  return static_cast<size_t>(it - indices_.begin());
+}
+
+std::vector<WCoeff> HistogramSnapshot::TopCoefficients(size_t count) const {
+  count = std::min(count, magnitude_order_.size());
+  std::vector<WCoeff> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t pos = magnitude_order_[i];
+    out.push_back(WCoeff{indices_[pos], values_[pos]});
+  }
+  return out;
+}
+
+std::vector<WCoeff> HistogramSnapshot::Coefficients() const {
+  std::vector<WCoeff> out;
+  out.reserve(indices_.size());
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    out.push_back(WCoeff{indices_[i], values_[i]});
+  }
+  return out;
+}
+
+void HistogramSnapshot::SerializeTo(Serializer* out) const {
+  out->Put<uint64_t>(kSnapshotMagic);
+  out->Put<uint64_t>(u_);
+  out->PutVector(indices_);
+  out->PutVector(values_);
+  out->PutString(meta_.algorithm);
+  out->Put<uint64_t>(meta_.build_comm_bytes);
+  out->Put<double>(meta_.build_sim_seconds);
+}
+
+std::string HistogramSnapshot::Serialize() const {
+  Serializer s;
+  SerializeTo(&s);
+  return s.Release();
+}
+
+StatusOr<HistogramSnapshot> HistogramSnapshot::Deserialize(
+    const std::string& bytes) {
+  Deserializer in(bytes);
+  auto truncated = [] {
+    return Status::InvalidArgument("snapshot bytes truncated");
+  };
+  if (in.remaining() < sizeof(uint64_t)) return truncated();
+  if (in.Get<uint64_t>() != kSnapshotMagic) {
+    return Status::InvalidArgument(
+        "not a wavemr snapshot (bad magic; expected WMSNAP01)");
+  }
+  if (in.remaining() < sizeof(uint64_t)) return truncated();
+  const uint64_t u = in.Get<uint64_t>();
+  if (!IsPowerOfTwo(u)) {
+    return Status::InvalidArgument("snapshot domain size " + std::to_string(u) +
+                                   " is not a power of two");
+  }
+
+  // Vectors element by element: GetVector would CHECK-abort on a truncated
+  // count, and these bytes may come from disk or the network.
+  auto read_count = [&](uint64_t* n, size_t elem_size) -> bool {
+    if (in.remaining() < sizeof(uint64_t)) return false;
+    *n = in.Get<uint64_t>();
+    return in.remaining() >= *n * elem_size;
+  };
+  uint64_t n = 0;
+  if (!read_count(&n, sizeof(uint64_t))) return truncated();
+  std::vector<uint64_t> indices(n);
+  for (uint64_t i = 0; i < n; ++i) indices[i] = in.Get<uint64_t>();
+  uint64_t nv = 0;
+  if (!read_count(&nv, sizeof(double))) return truncated();
+  if (nv != n) {
+    return Status::InvalidArgument("snapshot index/value count mismatch");
+  }
+  std::vector<double> values(nv);
+  for (uint64_t i = 0; i < nv; ++i) values[i] = in.Get<double>();
+
+  for (uint64_t i = 0; i < n; ++i) {
+    if (indices[i] >= u || (i > 0 && indices[i] <= indices[i - 1])) {
+      return Status::InvalidArgument(
+          "snapshot coefficient indices must be unique, ascending and < u");
+    }
+    if (!std::isfinite(values[i])) {
+      return Status::InvalidArgument("snapshot coefficient value not finite");
+    }
+  }
+
+  Metadata meta;
+  uint64_t name_len = 0;
+  if (!read_count(&name_len, 1)) return truncated();
+  meta.algorithm.resize(name_len);
+  for (uint64_t i = 0; i < name_len; ++i) meta.algorithm[i] = in.Get<char>();
+  if (in.remaining() < sizeof(uint64_t) + sizeof(double)) return truncated();
+  meta.build_comm_bytes = in.Get<uint64_t>();
+  meta.build_sim_seconds = in.Get<double>();
+
+  HistogramSnapshot s;
+  s.u_ = u;
+  s.indices_ = std::move(indices);
+  s.values_ = std::move(values);
+  s.meta_ = std::move(meta);
+  s.BuildIndexes();
+  return s;
+}
+
+Status HistogramSnapshot::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  const std::string bytes = Serialize();
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+StatusOr<HistogramSnapshot> HistogramSnapshot::ReadFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed: " + path);
+  return Deserialize(buf.str());
+}
+
+// Defined here rather than in histogram/builder.cc: the histogram layer
+// sits below serve in the link DAG and only forward-declares the snapshot
+// type; callers of ToSnapshot() include serve/snapshot.h and link the serve
+// layer (the wavemr umbrella target does).
+HistogramSnapshot BuildResult::ToSnapshot() const {
+  HistogramSnapshot::Metadata meta;
+  meta.algorithm = algorithm;
+  meta.build_comm_bytes = stats.TotalCommBytes();
+  meta.build_sim_seconds = stats.TotalSeconds();
+  return HistogramSnapshot::FromHistogram(histogram, std::move(meta));
+}
+
+}  // namespace wavemr

@@ -1,8 +1,6 @@
 #include "wavelet/histogram.h"
 
 #include <algorithm>
-#include <cmath>
-#include <unordered_map>
 
 #include "core/bitops.h"
 #include "core/logging.h"
@@ -21,25 +19,6 @@ WaveletHistogram::WaveletHistogram(uint64_t u, std::vector<WCoeff> coeffs)
             [](const WCoeff& a, const WCoeff& b) { return a.index < b.index; });
 }
 
-double WaveletHistogram::PointEstimate(uint64_t x) const {
-  WAVEMR_CHECK_LT(x, u_);
-  double est = 0.0;
-  for (const WCoeff& c : coeffs_) {
-    est += c.value * BasisValue(c.index, x, u_);
-  }
-  return est;
-}
-
-double WaveletHistogram::RangeSum(uint64_t lo, uint64_t hi) const {
-  WAVEMR_CHECK_LE(lo, hi);
-  WAVEMR_CHECK_LE(hi, u_);
-  double est = 0.0;
-  for (const WCoeff& c : coeffs_) {
-    est += c.value * BasisRangeSum(c.index, lo, hi, u_);
-  }
-  return est;
-}
-
 std::vector<double> WaveletHistogram::Reconstruct() const {
   std::vector<double> dense(u_, 0.0);
   for (const WCoeff& c : coeffs_) dense[c.index] = c.value;
@@ -56,27 +35,6 @@ double TotalEnergy(const std::vector<WCoeff>& coeffs) {
   double e = 0.0;
   for (const WCoeff& c : coeffs) e += c.value * c.value;
   return e;
-}
-
-double SseAgainstTrueCoefficients(const WaveletHistogram& hist,
-                                  const std::vector<WCoeff>& true_coeffs) {
-  // Start from "drop everything" (SSE = total energy), then for each kept
-  // coefficient swap w^2 for (w - what)^2.
-  std::unordered_map<uint64_t, double> truth;
-  truth.reserve(true_coeffs.size() * 2);
-  double sse = 0.0;
-  for (const WCoeff& c : true_coeffs) {
-    truth.emplace(c.index, c.value);
-    sse += c.value * c.value;
-  }
-  for (const WCoeff& kept : hist.coefficients()) {
-    auto it = truth.find(kept.index);
-    double w = it == truth.end() ? 0.0 : it->second;
-    sse -= w * w;
-    double d = w - kept.value;
-    sse += d * d;
-  }
-  return sse;
 }
 
 double IdealSse(const std::vector<WCoeff>& true_coeffs, size_t k) {

@@ -25,13 +25,10 @@ class WaveletHistogram {
   size_t num_terms() const { return coeffs_.size(); }
   const std::vector<WCoeff>& coefficients() const { return coeffs_; }
 
-  /// Estimated frequency of key x: sum over retained coefficients of
-  /// value * psi_index(x). O(k) worst case, O(log u) if coefficients lie on
-  /// few paths.
-  double PointEstimate(uint64_t x) const;
-
-  /// Estimated sum of frequencies over [lo, hi) -- range selectivity. O(k).
-  double RangeSum(uint64_t lo, uint64_t hi) const;
+  // Estimation (point/range queries, SSE evaluation) lives in the serve
+  // layer: freeze the histogram into a HistogramSnapshot (either directly or
+  // via BuildResult::ToSnapshot) and use serve/estimator.h. This type stays
+  // the algorithms' raw output: coefficients plus the dense reconstruction.
 
   /// Full reconstructed frequency vector (length u). O(u) via the dense
   /// inverse transform; intended for small domains / testing.
@@ -44,13 +41,6 @@ class WaveletHistogram {
   uint64_t u_;
   std::vector<WCoeff> coeffs_;  // sorted by index
 };
-
-/// Sum of squared errors between the signal represented by `hist` and the
-/// true signal whose complete (nonzero) coefficient set is `true_coeffs`.
-/// By Parseval: SSE = sum_{kept i} (w_i - what_i)^2 + sum_{dropped i} w_i^2.
-/// true_coeffs must be the exact transform of the true frequency vector.
-double SseAgainstTrueCoefficients(const WaveletHistogram& hist,
-                                  const std::vector<WCoeff>& true_coeffs);
 
 /// SSE of the *best possible* k-term synopsis (keep the k largest magnitude
 /// true coefficients): total energy minus retained energy. This is the

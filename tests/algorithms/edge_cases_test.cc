@@ -2,6 +2,7 @@
 
 #include "data/frequency.h"
 #include "histogram/builder.h"
+#include "serve/estimator.h"
 
 namespace wavemr {
 namespace {
@@ -36,7 +37,7 @@ TEST(EdgeCasesTest, SingleKeyDataset) {
     auto result = BuildWaveletHistogram(ds, kind, build);
     ASSERT_TRUE(result.ok());
     double ideal = IdealSse(truth, build.k);
-    EXPECT_NEAR(SseAgainstTrueCoefficients(result->histogram, truth), ideal,
+    EXPECT_NEAR(SseAgainstTrueCoefficients(result->ToSnapshot(), truth), ideal,
                 1e-6 * (1 + ideal))
         << AlgorithmName(kind);
   }
@@ -67,7 +68,7 @@ TEST(EdgeCasesTest, KExceedsNonzeroCoefficients) {
     ASSERT_TRUE(result.ok());
     // A single key has log2(u)+1 = 5 nonzero coefficients.
     EXPECT_EQ(result->histogram.num_terms(), 5u) << AlgorithmName(kind);
-    EXPECT_NEAR(result->histogram.PointEstimate(1), 5.0, 1e-9);
+    EXPECT_NEAR(PointEstimate(result->ToSnapshot(), 1), 5.0, 1e-9);
   }
 }
 
@@ -78,8 +79,8 @@ TEST(EdgeCasesTest, MinimalDomain) {
   for (AlgorithmKind kind : ExactAlgorithms()) {
     auto result = BuildWaveletHistogram(ds, kind, build);
     ASSERT_TRUE(result.ok());
-    EXPECT_NEAR(result->histogram.PointEstimate(0), 3.0, 1e-9) << AlgorithmName(kind);
-    EXPECT_NEAR(result->histogram.PointEstimate(3), 1.0, 1e-9) << AlgorithmName(kind);
+    EXPECT_NEAR(PointEstimate(result->ToSnapshot(), 0), 3.0, 1e-9) << AlgorithmName(kind);
+    EXPECT_NEAR(PointEstimate(result->ToSnapshot(), 3), 1.0, 1e-9) << AlgorithmName(kind);
   }
 }
 

@@ -4,6 +4,7 @@
 
 #include "data/frequency.h"
 #include "histogram/builder.h"
+#include "serve/estimator.h"
 #include "wavelet/topk.h"
 
 namespace wavemr {
@@ -45,7 +46,7 @@ void ExpectIdealTopK(const BuildResult& result, const std::vector<WCoeff>& truth
     EXPECT_NEAR(got_mags[i], want_mags[i], 1e-6) << "rank " << i;
   }
   double ideal_sse = IdealSse(truth, k);
-  EXPECT_NEAR(SseAgainstTrueCoefficients(result.histogram, truth), ideal_sse,
+  EXPECT_NEAR(SseAgainstTrueCoefficients(result.ToSnapshot(), truth), ideal_sse,
               1e-6 * (1.0 + ideal_sse));
 }
 
@@ -207,9 +208,9 @@ TEST(ExactMethodsTest, AllThreeAgree) {
   ASSERT_TRUE(b.ok());
   ASSERT_TRUE(c.ok());
   std::vector<WCoeff> truth = TrueCoefficients(ds);
-  double sse_a = SseAgainstTrueCoefficients(a->histogram, truth);
-  double sse_b = SseAgainstTrueCoefficients(b->histogram, truth);
-  double sse_c = SseAgainstTrueCoefficients(c->histogram, truth);
+  double sse_a = SseAgainstTrueCoefficients(a->ToSnapshot(), truth);
+  double sse_b = SseAgainstTrueCoefficients(b->ToSnapshot(), truth);
+  double sse_c = SseAgainstTrueCoefficients(c->ToSnapshot(), truth);
   EXPECT_NEAR(sse_a, sse_b, 1e-6 * (1 + sse_a));
   EXPECT_NEAR(sse_a, sse_c, 1e-6 * (1 + sse_a));
 }

@@ -2,6 +2,7 @@
 
 #include "data/frequency.h"
 #include "histogram/builder.h"
+#include "serve/estimator.h"
 
 namespace wavemr {
 namespace {
@@ -50,7 +51,7 @@ TEST_F(IntegrationTest, AllAlgorithmsRunAndRespectSseInvariants) {
     auto result = BuildWaveletHistogram(*dataset_, kind, Options());
     ASSERT_TRUE(result.ok()) << AlgorithmName(kind);
     EXPECT_LE(result->histogram.num_terms(), Options().k) << AlgorithmName(kind);
-    double sse = SseAgainstTrueCoefficients(result->histogram, *truth_);
+    double sse = SseAgainstTrueCoefficients(result->ToSnapshot(), *truth_);
     EXPECT_GE(sse, ideal * (1.0 - 1e-9)) << AlgorithmName(kind);
     EXPECT_LE(sse, energy * 1.5) << AlgorithmName(kind);
     EXPECT_GT(result->stats.TotalSeconds(), 0.0) << AlgorithmName(kind);
@@ -63,7 +64,7 @@ TEST_F(IntegrationTest, ExactMethodsHitIdealSse) {
   for (AlgorithmKind kind : ExactAlgorithms()) {
     auto result = BuildWaveletHistogram(*dataset_, kind, Options());
     ASSERT_TRUE(result.ok());
-    double sse = SseAgainstTrueCoefficients(result->histogram, *truth_);
+    double sse = SseAgainstTrueCoefficients(result->ToSnapshot(), *truth_);
     EXPECT_NEAR(sse, ideal, 1e-6 * (1.0 + ideal)) << AlgorithmName(kind);
   }
 }
@@ -124,9 +125,9 @@ TEST_F(IntegrationTest, WorldCupDatasetEndToEnd) {
   auto approx = BuildWaveletHistogram(ds, AlgorithmKind::kTwoLevelS, opt);
   ASSERT_TRUE(exact.ok());
   ASSERT_TRUE(approx.ok());
-  EXPECT_NEAR(SseAgainstTrueCoefficients(exact->histogram, truth), ideal,
+  EXPECT_NEAR(SseAgainstTrueCoefficients(exact->ToSnapshot(), truth), ideal,
               1e-6 * (1 + ideal));
-  EXPECT_GE(SseAgainstTrueCoefficients(approx->histogram, truth),
+  EXPECT_GE(SseAgainstTrueCoefficients(approx->ToSnapshot(), truth),
             ideal * (1 - 1e-9));
   EXPECT_LT(approx->stats.TotalCommBytes(), exact->stats.TotalCommBytes());
 }

@@ -5,6 +5,7 @@
 #include "approx/sampling_common.h"
 #include "data/frequency.h"
 #include "histogram/builder.h"
+#include "serve/estimator.h"
 #include "mapreduce/job.h"
 #include "wavelet/topk.h"
 
@@ -109,11 +110,11 @@ TEST(SamplersTest, FullSamplingRateWithHeavyKeysIsExact) {
   opt.k = u;
   auto result = BuildWaveletHistogram(ds, AlgorithmKind::kTwoLevelS, opt);
   ASSERT_TRUE(result.ok());
-  double sse = SseAgainstTrueCoefficients(result->histogram, truth);
+  double sse = SseAgainstTrueCoefficients(result->ToSnapshot(), truth);
   EXPECT_NEAR(sse, 0.0, 1e-6);
   // And the point estimates are the exact frequencies.
   for (uint64_t x = 0; x < u; ++x) {
-    EXPECT_NEAR(result->histogram.PointEstimate(x), 256.0, 1e-6);
+    EXPECT_NEAR(PointEstimate(result->ToSnapshot(), x), 256.0, 1e-6);
   }
 }
 
@@ -147,7 +148,7 @@ TEST(SamplersTest, TwoLevelEstimatorIsUnbiased) {
     opt.seed = 1000 + t;
     auto result = BuildWaveletHistogram(ds, AlgorithmKind::kTwoLevelS, opt);
     ASSERT_TRUE(result.ok());
-    sum += result->histogram.PointEstimate(heavy_key);
+    sum += PointEstimate(result->ToSnapshot(), heavy_key);
   }
   double mean = sum / kTrials;
   double v = static_cast<double>(truth[heavy_key]);
@@ -166,12 +167,12 @@ TEST(SamplersTest, ImprovedIsBiasedDownOnLightKeys) {
   auto improved = BuildWaveletHistogram(ds, AlgorithmKind::kImprovedS, opt);
   ASSERT_TRUE(improved.ok());
   // Total mass of the reconstruction should be visibly below n (mass lost).
-  double total = improved->histogram.RangeSum(0, ds.info().domain_size);
+  double total = RangeSum(improved->ToSnapshot(), 0, ds.info().domain_size);
   EXPECT_LT(total, 0.95 * static_cast<double>(ds.info().num_records));
 
   auto twolevel = BuildWaveletHistogram(ds, AlgorithmKind::kTwoLevelS, opt);
   ASSERT_TRUE(twolevel.ok());
-  double total2 = twolevel->histogram.RangeSum(0, ds.info().domain_size);
+  double total2 = RangeSum(twolevel->ToSnapshot(), 0, ds.info().domain_size);
   EXPECT_NEAR(total2, static_cast<double>(ds.info().num_records),
               0.15 * static_cast<double>(ds.info().num_records));
 }
@@ -185,8 +186,8 @@ TEST(SamplersTest, SseOrderingOnDefaults) {
   ASSERT_TRUE(improved.ok());
   ASSERT_TRUE(twolevel.ok());
   double ideal = IdealSse(truth, opt.k);
-  double sse_improved = SseAgainstTrueCoefficients(improved->histogram, truth);
-  double sse_twolevel = SseAgainstTrueCoefficients(twolevel->histogram, truth);
+  double sse_improved = SseAgainstTrueCoefficients(improved->ToSnapshot(), truth);
+  double sse_twolevel = SseAgainstTrueCoefficients(twolevel->ToSnapshot(), truth);
   EXPECT_GE(sse_improved, ideal * (1 - 1e-9));
   EXPECT_GE(sse_twolevel, ideal * (1 - 1e-9));
   // The paper's Figure 7: TwoLevel-S beats Improved-S on accuracy.

@@ -3,6 +3,7 @@
 #include "approx/send_sketch.h"
 #include "data/frequency.h"
 #include "histogram/builder.h"
+#include "serve/estimator.h"
 #include "wavelet/topk.h"
 
 namespace wavemr {
@@ -27,7 +28,7 @@ TEST(SendSketchTest, SseBetweenIdealAndTotalEnergy) {
   opt.gcs.reps = 5;
   auto result = BuildWaveletHistogram(ds, AlgorithmKind::kSendSketch, opt);
   ASSERT_TRUE(result.ok());
-  double sse = SseAgainstTrueCoefficients(result->histogram, truth);
+  double sse = SseAgainstTrueCoefficients(result->ToSnapshot(), truth);
   double ideal = IdealSse(truth, opt.k);
   double energy = TotalEnergy(truth);
   EXPECT_GE(sse, ideal * (1 - 1e-9));

@@ -1,0 +1,170 @@
+#include "core/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace wavemr {
+namespace {
+
+// Builds a mutable argv from literals; FlagParser only reads it.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (std::string& s : storage_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char* const* argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+struct Flags {
+  std::string name = "default";
+  uint64_t n = 42;
+  int threads = 1;
+  double alpha = 1.5;
+  bool verbose = false;
+
+  FlagParser MakeParser() {
+    FlagParser parser("test_tool [options]");
+    parser.String("name", &name, "a string");
+    parser.U64("n", &n, "a count");
+    parser.I32("threads", &threads, "a signed int");
+    parser.F64("alpha", &alpha, "a double");
+    parser.Bool("verbose", &verbose, "a bool");
+    return parser;
+  }
+};
+
+TEST(FlagParserTest, ParsesEveryType) {
+  Flags f;
+  FlagParser parser = f.MakeParser();
+  Argv args({"tool", "--name=zipf", "--n=1000000", "--threads=-2",
+             "--alpha=0.25", "--verbose=true"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(f.name, "zipf");
+  EXPECT_EQ(f.n, 1000000u);
+  EXPECT_EQ(f.threads, -2);
+  EXPECT_EQ(f.alpha, 0.25);
+  EXPECT_TRUE(f.verbose);
+}
+
+TEST(FlagParserTest, UntouchedFlagsKeepDefaults) {
+  Flags f;
+  FlagParser parser = f.MakeParser();
+  Argv args({"tool", "--n=7"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_EQ(f.n, 7u);
+  EXPECT_EQ(f.name, "default");
+  EXPECT_EQ(f.threads, 1);
+  EXPECT_FALSE(f.verbose);
+}
+
+TEST(FlagParserTest, BareBoolFlagSetsTrue) {
+  Flags f;
+  FlagParser parser = f.MakeParser();
+  Argv args({"tool", "--verbose"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok());
+  EXPECT_TRUE(f.verbose);
+}
+
+TEST(FlagParserTest, BareNonBoolFlagIsAnError) {
+  Flags f;
+  FlagParser parser = f.MakeParser();
+  Argv args({"tool", "--n"});
+  Status s = parser.Parse(args.argc(), args.argv());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("--n"), std::string::npos);
+}
+
+TEST(FlagParserTest, UnknownFlagSuggestsNearestName) {
+  Flags f;
+  FlagParser parser = f.MakeParser();
+  Argv args({"tool", "--thread=4"});
+  Status s = parser.Parse(args.argc(), args.argv());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("unknown flag --thread"), std::string::npos);
+  EXPECT_NE(s.message().find("did you mean --threads"), std::string::npos);
+}
+
+TEST(FlagParserTest, UnknownFlagFarFromEverythingHasNoSuggestion) {
+  Flags f;
+  FlagParser parser = f.MakeParser();
+  Argv args({"tool", "--completely-unrelated=1"});
+  Status s = parser.Parse(args.argc(), args.argv());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.message().find("did you mean"), std::string::npos);
+}
+
+TEST(FlagParserTest, BadTypedValuesAreActionableErrors) {
+  struct Case {
+    const char* arg;
+    const char* must_mention;
+  };
+  const Case cases[] = {
+      {"--n=abc", "--n"},
+      {"--n=-5", "--n"},        // U64 rejects negatives
+      {"--n=12junk", "--n"},    // trailing garbage
+      {"--threads=2.5", "--threads"},
+      {"--alpha=not-a-number", "--alpha"},
+      {"--verbose=maybe", "--verbose"},
+  };
+  for (const Case& c : cases) {
+    Flags f;
+    FlagParser parser = f.MakeParser();
+    Argv args({"tool", c.arg});
+    Status s = parser.Parse(args.argc(), args.argv());
+    ASSERT_FALSE(s.ok()) << c.arg;
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << c.arg;
+    EXPECT_NE(s.message().find(c.must_mention), std::string::npos)
+        << c.arg << " -> " << s.message();
+  }
+}
+
+TEST(FlagParserTest, PositionalArgumentsAreRejected) {
+  Flags f;
+  FlagParser parser = f.MakeParser();
+  Argv args({"tool", "stray"});
+  Status s = parser.Parse(args.argc(), args.argv());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, HelpStopsParsingAndSetsFlag) {
+  for (const char* spelling : {"--help", "-h"}) {
+    Flags f;
+    FlagParser parser = f.MakeParser();
+    Argv args({"tool", spelling, "--garbage-that-would-fail=1"});
+    ASSERT_TRUE(parser.Parse(args.argc(), args.argv()).ok()) << spelling;
+    EXPECT_TRUE(parser.help_requested()) << spelling;
+  }
+}
+
+TEST(FlagParserTest, HelpTextListsFlagsAndDefaults) {
+  Flags f;
+  FlagParser parser = f.MakeParser();
+  std::string help = parser.Help();
+  EXPECT_NE(help.find("test_tool [options]"), std::string::npos);
+  for (const char* name : {"--name", "--n", "--threads", "--alpha", "--verbose"}) {
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(help.find("default"), std::string::npos);   // string default
+  EXPECT_NE(help.find("42"), std::string::npos);        // u64 default
+}
+
+TEST(FlagParserTest, ParseRespectsStartOffset) {
+  Flags f;
+  FlagParser parser = f.MakeParser();
+  Argv args({"tool", "subcommand", "--n=9"});
+  ASSERT_TRUE(parser.Parse(args.argc(), args.argv(), 2).ok());
+  EXPECT_EQ(f.n, 9u);
+}
+
+}  // namespace
+}  // namespace wavemr

@@ -6,11 +6,19 @@
 #include <numeric>
 
 #include "core/rng.h"
+#include "serve/estimator.h"
+#include "serve/snapshot.h"
 #include "wavelet/haar.h"
 #include "wavelet/topk.h"
 
 namespace wavemr {
 namespace {
+
+// Estimation moved to the serve layer; these suites freeze the histogram
+// into a snapshot and query through serve/estimator.h.
+HistogramSnapshot Snap(const WaveletHistogram& hist) {
+  return HistogramSnapshot::FromHistogram(hist);
+}
 
 std::vector<double> SkewedSignal(uint64_t u, uint64_t seed) {
   Rng rng(seed);
@@ -40,7 +48,8 @@ TEST(WaveletHistogramTest, FullCoefficientsReconstructExactly) {
   WaveletHistogram hist(u, AllCoeffs(v));
   std::vector<double> back = hist.Reconstruct();
   for (uint64_t i = 0; i < u; ++i) EXPECT_NEAR(back[i], v[i], 1e-8);
-  for (uint64_t i = 0; i < u; ++i) EXPECT_NEAR(hist.PointEstimate(i), v[i], 1e-8);
+  HistogramSnapshot snap = Snap(hist);
+  for (uint64_t i = 0; i < u; ++i) EXPECT_NEAR(PointEstimate(snap, i), v[i], 1e-8);
 }
 
 TEST(WaveletHistogramTest, RangeSumMatchesReconstruction) {
@@ -48,10 +57,11 @@ TEST(WaveletHistogramTest, RangeSumMatchesReconstruction) {
   std::vector<double> v = SkewedSignal(u, 9);
   WaveletHistogram hist(u, TopKByMagnitude(AllCoeffs(v), 10));
   std::vector<double> recon = hist.Reconstruct();
+  HistogramSnapshot snap = Snap(hist);
   for (uint64_t lo = 0; lo < u; lo += 17) {
     for (uint64_t hi = lo; hi <= u; hi += 23) {
       double direct = std::accumulate(recon.begin() + lo, recon.begin() + hi, 0.0);
-      EXPECT_NEAR(hist.RangeSum(lo, hi), direct, 1e-6);
+      EXPECT_NEAR(RangeSum(snap, lo, hi), direct, 1e-6);
     }
   }
 }
@@ -67,7 +77,8 @@ TEST(WaveletHistogramTest, SseMatchesBruteForce) {
     double d = recon[i] - v[i];
     brute += d * d;
   }
-  EXPECT_NEAR(SseAgainstTrueCoefficients(hist, truth), brute, 1e-6 * (1 + brute));
+  EXPECT_NEAR(SseAgainstTrueCoefficients(Snap(hist), truth), brute,
+              1e-6 * (1 + brute));
 }
 
 TEST(WaveletHistogramTest, IdealSseIsLowerBoundOverPerturbedSynopses) {
@@ -79,13 +90,14 @@ TEST(WaveletHistogramTest, IdealSseIsLowerBoundOverPerturbedSynopses) {
 
   // Exact top-k achieves the ideal SSE.
   WaveletHistogram best(u, TopKByMagnitude(truth, k));
-  EXPECT_NEAR(SseAgainstTrueCoefficients(best, truth), ideal, 1e-6 * (1 + ideal));
+  EXPECT_NEAR(SseAgainstTrueCoefficients(Snap(best), truth), ideal,
+              1e-6 * (1 + ideal));
 
   // Any perturbation of the kept values can only do worse.
   std::vector<WCoeff> noisy = TopKByMagnitude(truth, k);
   for (WCoeff& c : noisy) c.value += 1.5;
   WaveletHistogram worse(u, noisy);
-  EXPECT_GE(SseAgainstTrueCoefficients(worse, truth), ideal);
+  EXPECT_GE(SseAgainstTrueCoefficients(Snap(worse), truth), ideal);
 }
 
 TEST(WaveletHistogramTest, MoreTermsNeverIncreaseIdealSse) {
@@ -105,7 +117,8 @@ TEST(WaveletHistogramTest, EmptyHistogramSseIsTotalEnergy) {
   std::vector<double> v = SkewedSignal(u, 55);
   std::vector<WCoeff> truth = AllCoeffs(v);
   WaveletHistogram empty(u, {});
-  EXPECT_NEAR(SseAgainstTrueCoefficients(empty, truth), TotalEnergy(truth), 1e-6);
+  EXPECT_NEAR(SseAgainstTrueCoefficients(Snap(empty), truth),
+              TotalEnergy(truth), 1e-6);
 }
 
 TEST(WaveletHistogramTest, EnergyOfSynopsis) {

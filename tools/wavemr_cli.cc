@@ -1,210 +1,98 @@
-// wavemr command-line tool: build a wavelet histogram of a binary
-// fixed-length-record key file (or a generated dataset) with any of the
-// paper's algorithms, and optionally evaluate it.
+// wavemr command-line tool, three subcommands:
 //
-//   wavemr_cli --input=keys.bin --record-bytes=4 --u=65536 --splits=64 \
-//              --algo=twolevel-s --k=30 --eps=0.01 [--evaluate] [--dump]
-//   wavemr_cli --generate=zipf --n=1000000 --alpha=1.1 --u=65536 ...
+//   wavemr_cli build (--input=FILE | --generate=zipf|worldcup) [options]
+//       build a wavelet histogram with any of the paper's algorithms,
+//       optionally evaluate it (--evaluate) or save it (--out=FILE)
+//   wavemr_cli serve ...
+//       serve a snapshot over TCP (same engine as the wavemr_serve binary)
+//   wavemr_cli query --port=N (--point=X | --range=LO,HI | --topk=N |
+//                              --stats | --rebuild)
+//       query a running server
 //
-// Exit code 0 on success; errors go to stderr.
+// A legacy flat invocation (first argument is a --flag) forwards to `build`
+// with a deprecation warning. Exit code 0 on success; errors go to stderr.
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
 
+#include "core/flags.h"
 #include "core/thread_pool.h"
-#include "data/file_dataset.h"
 #include "data/frequency.h"
 #include "histogram/builder.h"
+#include "serve/client.h"
+#include "serve/estimator.h"
+#include "serve/serve_main.h"
+#include "serve/snapshot.h"
 
 namespace wavemr {
 namespace {
 
-struct CliOptions {
-  std::string input;          // binary file of fixed-length records
-  std::string generate;      // "zipf" | "worldcup" (instead of --input)
-  uint64_t n = 1 << 20;      // generated records
-  double alpha = 1.1;
-  uint64_t u = 1 << 16;
-  uint64_t splits = 64;
-  uint32_t record_bytes = 4;
-  std::string algo = "twolevel-s";
-  size_t k = 30;
-  double eps = 0.01;
-  uint64_t seed = 42;
-  int threads = 0;            // 0 = hardware concurrency
-  int reduce_tasks = 0;       // 0 = match the map thread count
-  uint64_t shuffle_buffer_bytes = 0;  // 0 = keep the CostModel default
-  bool force_sorted_shuffle = false;  // sorted delivery on every round
-  bool evaluate = false;  // compute SSE vs ground truth (scans the data)
-  bool dump = false;      // print the retained coefficients
-};
-
-bool ParseFlag(const char* arg, const char* name, std::string* out) {
-  std::string prefix = std::string("--") + name + "=";
-  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
-  *out = arg + prefix.size();
-  return true;
-}
-
-StatusOr<AlgorithmKind> ParseAlgo(const std::string& s) {
-  if (s == "send-v") return AlgorithmKind::kSendV;
-  if (s == "send-coef") return AlgorithmKind::kSendCoef;
-  if (s == "h-wtopk") return AlgorithmKind::kHWTopk;
-  if (s == "basic-s") return AlgorithmKind::kBasicS;
-  if (s == "improved-s") return AlgorithmKind::kImprovedS;
-  if (s == "twolevel-s") return AlgorithmKind::kTwoLevelS;
-  if (s == "send-sketch") return AlgorithmKind::kSendSketch;
-  return Status::InvalidArgument(
-      "unknown --algo (expected send-v|send-coef|h-wtopk|basic-s|improved-s|"
-      "twolevel-s|send-sketch): " + s);
-}
-
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: wavemr_cli (--input=FILE | --generate=zipf|worldcup) [options]\n"
-      "  --record-bytes=N  record size of the input file (>= 4; key first)\n"
-      "  --u=N             key domain size (power of two)\n"
-      "  --splits=N        number of input splits (mappers)\n"
-      "  --n=N --alpha=A   generated dataset size / skew\n"
-      "  --algo=NAME       send-v|send-coef|h-wtopk|basic-s|improved-s|\n"
-      "                    twolevel-s|send-sketch (default twolevel-s)\n"
-      "  --k=N             synopsis size (default 30)\n"
-      "  --eps=E           sampling error parameter (default 0.01)\n"
-      "  --seed=S          RNG seed (default 42)\n"
-      "  --threads=N       map-task worker threads (default: all hardware\n"
-      "                    threads; results are identical for any N)\n"
-      "  --reduce-tasks=N  key-range reduce partitions for sorted rounds\n"
-      "                    (default: match --threads; identical results)\n"
-      "  --shuffle-buffer-bytes=N\n"
-      "                    retained-run budget before the shuffle spills to\n"
-      "                    disk (default 256 MiB; identical results)\n"
-      "  --force-sorted-shuffle\n"
-      "                    sorted reducer delivery on every round (routes all\n"
-      "                    algorithms through the retained-run/spill path)\n"
-      "  --evaluate        also compute SSE vs the exact coefficients\n"
-      "  --dump            print the retained coefficients\n");
+      "usage: wavemr_cli <build|serve|query> [options]\n"
+      "  build   build a wavelet histogram (see wavemr_cli build --help)\n"
+      "  serve   serve a snapshot over TCP  (see wavemr_cli serve --help)\n"
+      "  query   query a running server     (see wavemr_cli query --help)\n");
   return 2;
 }
 
-int Main(int argc, char** argv) {
-  CliOptions opt;
-  for (int i = 1; i < argc; ++i) {
-    std::string v;
-    if (ParseFlag(argv[i], "input", &v)) {
-      opt.input = v;
-    } else if (ParseFlag(argv[i], "generate", &v)) {
-      opt.generate = v;
-    } else if (ParseFlag(argv[i], "n", &v)) {
-      opt.n = std::strtoull(v.c_str(), nullptr, 10);
-    } else if (ParseFlag(argv[i], "alpha", &v)) {
-      opt.alpha = std::strtod(v.c_str(), nullptr);
-    } else if (ParseFlag(argv[i], "u", &v)) {
-      opt.u = std::strtoull(v.c_str(), nullptr, 10);
-    } else if (ParseFlag(argv[i], "splits", &v)) {
-      opt.splits = std::strtoull(v.c_str(), nullptr, 10);
-    } else if (ParseFlag(argv[i], "record-bytes", &v)) {
-      opt.record_bytes = static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
-    } else if (ParseFlag(argv[i], "algo", &v)) {
-      opt.algo = v;
-    } else if (ParseFlag(argv[i], "k", &v)) {
-      opt.k = std::strtoull(v.c_str(), nullptr, 10);
-    } else if (ParseFlag(argv[i], "eps", &v)) {
-      opt.eps = std::strtod(v.c_str(), nullptr);
-    } else if (ParseFlag(argv[i], "seed", &v)) {
-      opt.seed = std::strtoull(v.c_str(), nullptr, 10);
-    } else if (ParseFlag(argv[i], "threads", &v)) {
-      opt.threads = static_cast<int>(std::strtol(v.c_str(), nullptr, 10));
-      if (opt.threads < 0) {
-        std::fprintf(stderr, "--threads must be >= 0\n");
-        return Usage();
-      }
-    } else if (ParseFlag(argv[i], "reduce-tasks", &v)) {
-      opt.reduce_tasks = static_cast<int>(std::strtol(v.c_str(), nullptr, 10));
-      if (opt.reduce_tasks < 0) {
-        std::fprintf(stderr, "--reduce-tasks must be >= 0\n");
-        return Usage();
-      }
-    } else if (ParseFlag(argv[i], "shuffle-buffer-bytes", &v)) {
-      opt.shuffle_buffer_bytes = std::strtoull(v.c_str(), nullptr, 10);
-    } else if (std::strcmp(argv[i], "--force-sorted-shuffle") == 0) {
-      opt.force_sorted_shuffle = true;
-    } else if (std::strcmp(argv[i], "--evaluate") == 0) {
-      opt.evaluate = true;
-    } else if (std::strcmp(argv[i], "--dump") == 0) {
-      opt.dump = true;
-    } else {
-      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
-      return Usage();
-    }
-  }
-  if (opt.input.empty() == opt.generate.empty()) {
-    std::fprintf(stderr, "exactly one of --input / --generate is required\n");
-    return Usage();
+int FlagError(const Status& status, const FlagParser& parser) {
+  std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+               parser.Help().c_str());
+  return 2;
+}
+
+// ---------------------------------------------------------------------------
+// wavemr_cli build
+// ---------------------------------------------------------------------------
+
+int BuildMain(int argc, char** argv, int start) {
+  DataArgs data;
+  BuildArgs build;
+  std::string out_file;
+  bool evaluate = false;
+  bool dump = false;
+  FlagParser parser(
+      "wavemr_cli build (--input=FILE | --generate=zipf|worldcup) [options]");
+  RegisterDataFlags(&parser, &data);
+  RegisterBuildFlags(&parser, &build);
+  parser.String("out", &out_file, "save the snapshot to this file (servable "
+                                  "with wavemr_cli serve --snapshot)");
+  parser.Bool("evaluate", &evaluate,
+              "also compute SSE vs the exact coefficients (scans the data)");
+  parser.Bool("dump", &dump, "print the retained coefficients");
+
+  Status st = parser.Parse(argc, argv, start);
+  if (!st.ok()) return FlagError(st, parser);
+  if (parser.help_requested()) {
+    std::printf("%s", parser.Help().c_str());
+    return 0;
   }
 
-  // Assemble the dataset.
-  std::unique_ptr<Dataset> dataset;
-  if (!opt.input.empty()) {
-    auto file = FileDataset::Open(opt.input, opt.record_bytes, opt.u, opt.splits);
-    if (!file.ok()) {
-      std::fprintf(stderr, "cannot open dataset: %s\n",
-                   file.status().ToString().c_str());
-      return 1;
-    }
-    dataset = std::make_unique<FileDataset>(std::move(*file));
-  } else if (opt.generate == "zipf") {
-    ZipfDatasetOptions z;
-    z.num_records = opt.n;
-    z.domain_size = opt.u;
-    z.alpha = opt.alpha;
-    z.num_splits = opt.splits;
-    z.record_bytes = opt.record_bytes;
-    z.seed = opt.seed;
-    dataset = std::make_unique<ZipfDataset>(z);
-  } else if (opt.generate == "worldcup") {
-    WorldCupDatasetOptions w;
-    w.num_records = opt.n;
-    w.num_clients = std::max<uint64_t>(opt.u >> 6, 2);
-    w.num_objects = std::min<uint64_t>(opt.u, 64);
-    w.num_splits = opt.splits;
-    w.seed = opt.seed;
-    dataset = std::make_unique<WorldCupDataset>(w);
-  } else {
-    std::fprintf(stderr, "unknown --generate: %s\n", opt.generate.c_str());
-    return Usage();
-  }
+  auto dataset = MakeDataset(data);
+  if (!dataset.ok()) return FlagError(dataset.status(), parser);
 
-  auto kind = ParseAlgo(opt.algo);
-  if (!kind.ok()) {
-    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
-    return Usage();
-  }
+  auto kind = ParseAlgorithmKind(build.algo);
+  if (!kind.ok()) return FlagError(kind.status(), parser);
 
-  BuildOptions build;
-  build.k = opt.k;
-  build.epsilon = opt.eps;
-  build.seed = opt.seed;
-  build.threads = opt.threads;
-  build.reduce_tasks = opt.reduce_tasks;
-  build.force_sorted_shuffle = opt.force_sorted_shuffle;
-  if (opt.shuffle_buffer_bytes > 0) {
-    build.cost_model.shuffle_buffer_bytes = opt.shuffle_buffer_bytes;
-  }
-  auto result = BuildWaveletHistogram(*dataset, *kind, build);
+  auto result =
+      BuildWaveletHistogram(**dataset, *kind, build.ToBuildOptions(data.seed));
   if (!result.ok()) {
-    std::fprintf(stderr, "build failed: %s\n", result.status().ToString().c_str());
+    std::fprintf(stderr, "build failed: %s\n",
+                 result.status().ToString().c_str());
     return 1;
   }
 
-  std::printf("algorithm   : %s\n", AlgorithmName(*kind));
+  std::printf("algorithm   : %s\n", result->algorithm.c_str());
   std::printf("dataset     : n=%llu u=%llu m=%llu\n",
-              static_cast<unsigned long long>(dataset->info().num_records),
-              static_cast<unsigned long long>(dataset->info().domain_size),
-              static_cast<unsigned long long>(dataset->info().num_splits));
+              static_cast<unsigned long long>((*dataset)->info().num_records),
+              static_cast<unsigned long long>((*dataset)->info().domain_size),
+              static_cast<unsigned long long>((*dataset)->info().num_splits));
   std::printf("threads     : %d\n",
-              opt.threads == 0 ? ThreadPool::DefaultThreadCount() : opt.threads);
+              build.threads == 0 ? ThreadPool::DefaultThreadCount()
+                                 : build.threads);
   std::printf("synopsis    : %zu terms\n", result->histogram.num_terms());
   std::printf("rounds      : %zu\n", result->stats.NumRounds());
   std::printf("map wall ms : %.1f\n", result->stats.TotalMapWallMs());
@@ -217,13 +105,27 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long long>(result->stats.TotalSpillBytes()));
   std::printf("spill sim s : %.2f\n", result->stats.TotalSpillSeconds());
 
-  if (opt.evaluate) {
-    std::vector<WCoeff> truth = TrueCoefficients(*dataset);
-    std::printf("SSE         : %.6e\n",
-                SseAgainstTrueCoefficients(result->histogram, truth));
-    std::printf("ideal SSE   : %.6e\n", IdealSse(truth, opt.k));
+  if (evaluate || !out_file.empty()) {
+    HistogramSnapshot snapshot = result->ToSnapshot();
+    if (evaluate) {
+      std::vector<WCoeff> truth = TrueCoefficients(**dataset);
+      std::printf("SSE         : %.6e\n",
+                  SseAgainstTrueCoefficients(snapshot, truth));
+      std::printf("ideal SSE   : %.6e\n",
+                  IdealSse(truth, static_cast<size_t>(build.k)));
+    }
+    if (!out_file.empty()) {
+      st = snapshot.WriteFile(out_file);
+      if (!st.ok()) {
+        std::fprintf(stderr, "cannot write snapshot: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
+      std::printf("snapshot    : %s (%zu terms)\n", out_file.c_str(),
+                  snapshot.num_terms());
+    }
   }
-  if (opt.dump) {
+  if (dump) {
     std::printf("coefficients (index value):\n");
     for (const WCoeff& c : result->histogram.coefficients()) {
       std::printf("  %llu %.10g\n", static_cast<unsigned long long>(c.index),
@@ -231,6 +133,156 @@ int Main(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// wavemr_cli query
+// ---------------------------------------------------------------------------
+
+int QueryMain(int argc, char** argv, int start) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string point;
+  std::string range;
+  std::string topk;
+  bool stats = false;
+  bool rebuild = false;
+  FlagParser parser(
+      "wavemr_cli query --port=N (--point=X | --range=LO,HI | --topk=N | "
+      "--stats | --rebuild)");
+  parser.String("host", &host, "server host");
+  parser.I32("port", &port, "server port (required)");
+  parser.String("point", &point, "estimate the frequency of key X");
+  parser.String("range", &range, "estimate the frequency sum over [LO,HI)");
+  parser.String("topk", &topk, "fetch the N largest-magnitude coefficients");
+  parser.Bool("stats", &stats, "fetch server + snapshot statistics");
+  parser.Bool("rebuild", &rebuild,
+              "ask the server to rebuild and publish a new version");
+
+  Status st = parser.Parse(argc, argv, start);
+  if (!st.ok()) return FlagError(st, parser);
+  if (parser.help_requested()) {
+    std::printf("%s", parser.Help().c_str());
+    return 0;
+  }
+  if (port <= 0) return FlagError(Status::InvalidArgument("--port is required"), parser);
+  const int ops = (!point.empty()) + (!range.empty()) + (!topk.empty()) +
+                  stats + rebuild;
+  if (ops != 1) {
+    return FlagError(Status::InvalidArgument(
+                         "exactly one of --point/--range/--topk/--stats/"
+                         "--rebuild is required"),
+                     parser);
+  }
+
+  ServeClient client;
+  st = client.Connect(host, port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Estimates print with %.17g: enough digits that the printed value
+  // round-trips to the exact double the server computed.
+  if (!point.empty()) {
+    const uint64_t x = std::strtoull(point.c_str(), nullptr, 10);
+    auto r = client.Point(x);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("point %llu : %.17g (version %llu)\n",
+                static_cast<unsigned long long>(x), r->estimate,
+                static_cast<unsigned long long>(r->version));
+    return 0;
+  }
+  if (!range.empty()) {
+    const size_t comma = range.find(',');
+    if (comma == std::string::npos) {
+      return FlagError(Status::InvalidArgument("--range expects LO,HI"),
+                       parser);
+    }
+    const uint64_t lo = std::strtoull(range.substr(0, comma).c_str(), nullptr, 10);
+    const uint64_t hi = std::strtoull(range.substr(comma + 1).c_str(), nullptr, 10);
+    auto r = client.Range(lo, hi);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("range [%llu, %llu) : %.17g (version %llu)\n",
+                static_cast<unsigned long long>(lo),
+                static_cast<unsigned long long>(hi), r->estimate,
+                static_cast<unsigned long long>(r->version));
+    return 0;
+  }
+  if (!topk.empty()) {
+    const uint32_t n =
+        static_cast<uint32_t>(std::strtoul(topk.c_str(), nullptr, 10));
+    auto r = client.TopK(n);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("top %zu coefficients (version %llu):\n",
+                r->coefficients.size(),
+                static_cast<unsigned long long>(r->version));
+    for (const WCoeff& c : r->coefficients) {
+      std::printf("  %llu %.17g\n", static_cast<unsigned long long>(c.index),
+                  c.value);
+    }
+    return 0;
+  }
+  if (rebuild) {
+    auto r = client.Rebuild();
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("rebuilt: version %llu\n",
+                static_cast<unsigned long long>(*r));
+    return 0;
+  }
+  auto r = client.Stats();
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("version        : %llu\n",
+              static_cast<unsigned long long>(r->version));
+  std::printf("published      : %llu\n",
+              static_cast<unsigned long long>(r->snapshots_published));
+  std::printf("algorithm      : %s\n", r->algorithm.c_str());
+  std::printf("domain size    : %llu\n",
+              static_cast<unsigned long long>(r->domain_size));
+  std::printf("terms          : %llu\n",
+              static_cast<unsigned long long>(r->num_terms));
+  std::printf("queries served : %llu\n",
+              static_cast<unsigned long long>(r->queries_served));
+  std::printf("build comm     : %llu bytes\n",
+              static_cast<unsigned long long>(r->build_comm_bytes));
+  std::printf("build sim time : %.2f s\n", r->build_sim_seconds);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "build") return BuildMain(argc, argv, 2);
+  if (cmd == "serve") return ServeMain(argc, argv, 2);
+  if (cmd == "query") return QueryMain(argc, argv, 2);
+  if (cmd == "--help" || cmd == "-h") {
+    Usage();
+    return 0;
+  }
+  if (cmd.rfind("--", 0) == 0) {
+    // Legacy flat invocation (pre-subcommand scripts): forward to build.
+    std::fprintf(stderr,
+                 "wavemr_cli: flat flags are deprecated; use "
+                 "`wavemr_cli build ...`\n");
+    return BuildMain(argc, argv, 1);
+  }
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return Usage();
 }
 
 }  // namespace
