@@ -70,7 +70,12 @@ Measurement Run(const Dataset& ds, AlgorithmKind kind, const BuildOptions& opt,
   m.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
   m.map_wall_ms = result->stats.TotalMapWallMs();
   uint64_t shuffle = 0;
-  for (const RoundStats& r : result->stats.rounds) shuffle += r.shuffle_bytes;
+  for (const RoundStats& r : result->stats.rounds) {
+    shuffle += r.shuffle_bytes;
+    m.reduce_wall_ms += r.reduce_wall_ms;
+    m.reduce_range_spread = std::max(m.reduce_range_spread, r.ReduceRangeSpread());
+    m.spill_files += r.spill_files;
+  }
   m.shuffle_bytes = shuffle;
   m.map_records = result->stats.counters.Get("map_records_read");
   if (truth != nullptr) {
@@ -311,6 +316,12 @@ bool BenchJsonReporter::WriteFileTo(const std::string& path) const {
         << ", \"shuffle_bytes\": " << r.shuffle_bytes;
     // Kernel-only fields stay out of algorithm records so the schema of
     // existing baselines and artifacts is unchanged.
+    if (r.reduce_tasks > 0) out << ", \"reduce_tasks\": " << r.reduce_tasks;
+    if (r.reduce_wall_ms > 0.0)
+      out << ", \"reduce_wall_ms\": " << r.reduce_wall_ms;
+    if (r.reduce_range_spread > 0.0)
+      out << ", \"reduce_range_spread\": " << r.reduce_range_spread;
+    if (r.max_spread > 0.0) out << ", \"max_spread\": " << r.max_spread;
     if (r.pairs_per_sec > 0.0) out << ", \"pairs_per_sec\": " << r.pairs_per_sec;
     if (r.min_speedup > 0.0) out << ", \"min_speedup\": " << r.min_speedup;
     if (r.queries_per_sec > 0.0)
@@ -343,8 +354,12 @@ void ApplyField(BenchRecord* r, const std::string& key, const std::string& value
   else if (key == "m") r->m = static_cast<uint64_t>(num);
   else if (key == "k") r->k = static_cast<size_t>(num);
   else if (key == "threads") r->threads = static_cast<int>(num);
+  else if (key == "reduce_tasks") r->reduce_tasks = static_cast<int>(num);
   else if (key == "wall_ms") r->wall_ms = num;
   else if (key == "map_wall_ms") r->map_wall_ms = num;
+  else if (key == "reduce_wall_ms") r->reduce_wall_ms = num;
+  else if (key == "reduce_range_spread") r->reduce_range_spread = num;
+  else if (key == "max_spread") r->max_spread = num;
   else if (key == "map_records_per_sec") r->map_records_per_sec = num;
   else if (key == "simulated_s") r->simulated_s = num;
   else if (key == "shuffle_bytes") r->shuffle_bytes = static_cast<uint64_t>(num);

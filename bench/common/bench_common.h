@@ -57,7 +57,14 @@ struct Measurement {
   double sse = 0.0;
   double wall_ms = 0.0;      // real wall-clock of the whole build
   double map_wall_ms = 0.0;  // real wall-clock of the map phases only
+  /// Real wall-clock of the sorted-merge reduce deliveries (all rounds).
+  double reduce_wall_ms = 0.0;
+  /// Worst per-round max/min planned pairs across the equi-depth reduce
+  /// ranges (0 when no partitioned sorted round ran); the load-balance
+  /// figure the skew-reduce CI record gates.
+  double reduce_range_spread = 0.0;
   uint64_t shuffle_bytes = 0;
+  uint64_t spill_files = 0;  // external shuffle spill files written
   uint64_t map_records = 0;  // records read by all map phases
 
   /// Map-side throughput in records/sec (0 when nothing was timed).
@@ -80,9 +87,17 @@ struct BenchRecord {
   uint64_t m = 0;
   size_t k = 0;
   int threads = 1;
+  /// Equi-depth reduce partitions the row ran with (skew-reduce rows).
+  int reduce_tasks = 0;
   double wall_ms = 0.0;
   double map_wall_ms = 0.0;
   double map_records_per_sec = 0.0;  // map-side throughput at `threads`
+  /// Skew rows: reduce delivery wall-clock and worst per-round max/min
+  /// planned pairs per range. In the checked-in baseline, max_spread is the
+  /// ceiling the spread is gated against.
+  double reduce_wall_ms = 0.0;
+  double reduce_range_spread = 0.0;
+  double max_spread = 0.0;
   double simulated_s = 0.0;
   uint64_t shuffle_bytes = 0;
   /// Kernel rows only (algorithm == "shuffle-merge-kernel"): measured

@@ -24,7 +24,14 @@
 //   * external merge: when the baseline has an "external-merge-kernel"
 //     record, merging file-backed (spilled) runs must deliver at least
 //     pairs_per_sec (minus --rps-tolerance) and reproduce the resident
-//     merge's checksum exactly.
+//     merge's checksum exactly;
+//   * skew reduce: when the baseline has a "skew-reduce" record, Send-V
+//     without a combiner over Zipf s=1.2 keys (per-record pairs, forced
+//     sorted shuffle, a buffer small enough to force spills) must keep the
+//     equi-depth per-range pair spread (max/min) at or below the record's
+//     max_spread at --reduce-tasks 8, stay bit-deterministic between
+//     reduce-tasks 1 and 8, and -- on multi-core hosts -- cut the reduce
+//     wall by at least the record's min_speedup going from 1 to 8 tasks.
 //
 // The dataset's key cache is warmed before timing, so map phases measure
 // the steady-state read path (memory-speed scans), not first-touch
@@ -33,6 +40,7 @@
 // Exit code 0 = all gates passed, 1 = a gate failed, 2 = bad usage.
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -283,6 +291,84 @@ int Main(int argc, char** argv) {
     reporter.Add(std::move(kr));
   }
 
+  // Skew reduce: the equi-depth partitioning proof. Zipf s=1.2 keys,
+  // Send-V with the combiner off (one pair per record -- the rawest key
+  // skew the engine can see), forced sorted shuffle, and a buffer small
+  // enough that the merge runs over spill files. Equal-width key ranges
+  // piled nearly every pair into the low range here; rank boundaries hold
+  // every range within one pair of n/R, so reduce wall scales with
+  // --reduce-tasks on exactly the datasets that used to defeat it.
+  BenchDefaults skew_d = d;
+  skew_d.alpha = 1.2;
+  Measurement skew_r1;
+  Measurement skew_r8;
+  {
+    ZipfDataset skew_ds(skew_d.ZipfOptions());
+    {
+      uint64_t checksum = 0;
+      for (uint64_t j = 0; j < skew_ds.info().num_splits; ++j) {
+        skew_ds.ScanSplit(j, [&checksum](uint64_t key) { checksum += key; });
+      }
+      std::printf("skew-reduce: warmed Zipf s=%.1f keys (checksum %llx)\n",
+                  skew_d.alpha, static_cast<unsigned long long>(checksum));
+    }
+    auto run_skew = [&](int reduce_tasks) {
+      BuildOptions o = skew_d.Build();
+      o.threads = n_threads;
+      o.reduce_tasks = reduce_tasks;
+      o.force_sorted_shuffle = true;
+      o.send_v_emit_per_record = true;
+      o.send_v_disable_combiner = true;
+      // ~1/8 of the per-record pair payload: plenty of real spill files.
+      o.cost_model.shuffle_buffer_bytes = uint64_t{8} << 20;
+      return Run(skew_ds, AlgorithmKind::kSendV, o, nullptr);
+    };
+    skew_r1 = run_skew(1);
+    skew_r8 = run_skew(8);
+    auto add_skew_record = [&](int rt, const Measurement& m) {
+      BenchRecord sr;
+      sr.algorithm = "skew-reduce";
+      sr.n = skew_d.n;
+      sr.u = skew_d.u;
+      sr.m = skew_d.m;
+      sr.threads = n_threads;
+      sr.reduce_tasks = rt;
+      sr.wall_ms = m.wall_ms;
+      sr.reduce_wall_ms = m.reduce_wall_ms;
+      sr.reduce_range_spread = m.reduce_range_spread;
+      sr.shuffle_bytes = m.shuffle_bytes;
+      reporter.Add(std::move(sr));
+    };
+    add_skew_record(1, skew_r1);
+    add_skew_record(8, skew_r8);
+    const double skew_speedup = skew_r8.reduce_wall_ms > 0.0
+                                    ? skew_r1.reduce_wall_ms / skew_r8.reduce_wall_ms
+                                    : 0.0;
+    std::printf(
+        "skew-reduce: reduce wall %.1f ms @rt=1 vs %.1f ms @rt=8 (%.2fx), "
+        "spread %.3f, spill files %llu\n",
+        skew_r1.reduce_wall_ms, skew_r8.reduce_wall_ms, skew_speedup,
+        skew_r8.reduce_range_spread,
+        static_cast<unsigned long long>(skew_r8.spill_files));
+    // Hard gates, baseline or not: the skew run must actually spill, and
+    // reduce-task count must not change a single result bit.
+    if (skew_r8.spill_files == 0) {
+      std::fprintf(stderr,
+                   "FAIL skew-reduce: expected forced spill, got 0 files\n");
+      failed = true;
+    }
+    if (skew_r1.shuffle_bytes != skew_r8.shuffle_bytes ||
+        skew_r1.seconds != skew_r8.seconds) {
+      std::fprintf(stderr,
+                   "FAIL skew-reduce: rt=1 vs rt=8 runs diverge (shuffle %llu "
+                   "vs %llu bytes, simulated %.6f vs %.6f s)\n",
+                   static_cast<unsigned long long>(skew_r1.shuffle_bytes),
+                   static_cast<unsigned long long>(skew_r8.shuffle_bytes),
+                   skew_r1.seconds, skew_r8.seconds);
+      failed = true;
+    }
+  }
+
   if (!opt.baseline.empty()) {
     std::vector<BenchRecord> baseline;
     if (!ReadBenchJson(opt.baseline, &baseline) || baseline.empty()) {
@@ -322,6 +408,46 @@ int Main(int argc, char** argv) {
                         "baseline %.3e pairs/s (-%.0f%%)\n",
                         ext.external_pairs_per_sec, b.pairs_per_sec,
                         opt.rps_tolerance * 100.0);
+          }
+        }
+        continue;
+      }
+      if (b.algorithm == "skew-reduce") {
+        if (b.max_spread > 0.0) {
+          if (skew_r8.reduce_range_spread <= 0.0 ||
+              skew_r8.reduce_range_spread > b.max_spread) {
+            std::fprintf(stderr,
+                         "FAIL skew-reduce: per-range spread %.3f at rt=8 "
+                         "outside (0, %.2f]\n",
+                         skew_r8.reduce_range_spread, b.max_spread);
+            failed = true;
+          } else {
+            std::printf("ok   skew-reduce: per-range spread %.3f at rt=8 "
+                        "(max %.2f)\n",
+                        skew_r8.reduce_range_spread, b.max_spread);
+          }
+        }
+        if (b.min_speedup > 0.0) {
+          const double got = skew_r8.reduce_wall_ms > 0.0
+                                 ? skew_r1.reduce_wall_ms / skew_r8.reduce_wall_ms
+                                 : 0.0;
+          // Reduce parallelism needs cores: a single-CPU host (or a
+          // --threads=1 run) executes the partitions sequentially and can
+          // only report, not gate.
+          if (n_threads < 2 || std::thread::hardware_concurrency() < 2) {
+            std::printf("ok   skew-reduce: %.2fx reduce speedup not gated at "
+                        "%d thread(s), %u core(s)\n",
+                        got, n_threads, std::thread::hardware_concurrency());
+          } else if (got < b.min_speedup) {
+            std::fprintf(stderr,
+                         "FAIL skew-reduce: reduce wall speedup %.2fx (rt=1 "
+                         "-> rt=8) below required %.2fx\n",
+                         got, b.min_speedup);
+            failed = true;
+          } else {
+            std::printf("ok   skew-reduce: reduce wall speedup %.2fx (rt=1 "
+                        "-> rt=8, need %.2fx)\n",
+                        got, b.min_speedup);
           }
         }
         continue;

@@ -3,9 +3,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <exception>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -24,6 +28,7 @@
 #include "mapreduce/split_access.h"
 #include "mapreduce/state_store.h"
 #include "mapreduce/stats.h"
+#include "mapreduce/steal.h"
 
 namespace wavemr {
 
@@ -46,10 +51,11 @@ struct MrEnv {
   /// value produces bit-identical results; only wall-clock changes.
   int threads = 1;
 
-  /// Key-range reduce partitions for sorted rounds: 0 = match the round's
+  /// Equi-depth reduce partitions for sorted rounds: 0 = match the round's
   /// map thread count, N >= 1 = exactly N partitions. Any value produces
-  /// bit-identical results (partitions are disjoint key ranges delivered in
-  /// range order, exactly the full merge's stream); only wall-clock changes.
+  /// bit-identical results (partitions are disjoint global-rank ranges
+  /// delivered in rank order, exactly the full merge's stream); only
+  /// wall-clock changes.
   int reduce_tasks = 0;
 
   /// Temp directory for external shuffle spill files, lazily created on the
@@ -123,104 +129,211 @@ struct MapTaskOutput {
   bool combined = false;
 };
 
+/// Outcome of one sorted-round delivery: the partition count actually used
+/// plus the planned per-range load and the steal count for RoundStats.
+struct SortedMergeResult {
+  int reduce_tasks_used = 1;
+  uint64_t range_max_pairs = 0;  // planned pairs in the largest range
+  uint64_t range_min_pairs = 0;  // planned pairs in the smallest range
+  uint64_t steals = 0;           // schedule-dependent; wall-clock only
+};
+
 /// Sorted-round delivery: merges the plane's retained + spilled runs into
-/// `absorb`, split into `reduce_tasks` disjoint key-range partitions. Each
-/// partition is one reduce task: it k-way merges its own slice of every run
-/// (resident slices by binary search, spilled slices by on-disk binary
-/// search) on a pool worker into a staged columnar buffer, and the driver
-/// concatenates the staged partitions in range order -- which is exactly the
-/// stream a single full merge delivers, so results are bit-identical for
-/// every (reduce_tasks, threads, buffer size) combination. Returns the
-/// partition count actually used (1 when partitioning does not apply).
+/// `absorb`, split into `reduce_tasks` equi-depth partitions at exact
+/// global ranks r*n/R (ShufflePlane::CutForRank binary-searches every
+/// resident run in memory and every spilled run on disk), so each range
+/// holds n/R pairs within one regardless of key skew -- equal-width key
+/// spans left Zipf workloads with nearly all pairs in the low ranges, and
+/// degenerated to a single range when every key was equal. Parallel
+/// delivery claims ranges in rank slices through a RankStealScheduler:
+/// finished workers steal the upper half of a straggler's unclaimed tail
+/// and merge it through the same loser tree. Workers stage each slice's
+/// pairs in columnar buffers and the driver absorbs staged slices in
+/// ascending rank order -- exactly the stream a single full merge
+/// delivers, so results are bit-identical for every (reduce_tasks,
+/// threads, buffer size, steal schedule) combination.
+///
+/// `steal_slice_pairs` overrides the claim granularity (0 = auto); tests
+/// use tiny slices to force many-slice, steal-heavy schedules.
 template <typename K, typename V, typename Absorb>
-int DeliverSortedMerge(ShufflePlane<K, V>& plane, MrEnv* env, int reduce_tasks,
-                       int pool_threads, Absorb&& absorb) {
+SortedMergeResult DeliverSortedMerge(ShufflePlane<K, V>& plane, MrEnv* env,
+                                     int reduce_tasks, int pool_threads,
+                                     Absorb&& absorb,
+                                     uint64_t steal_slice_pairs = 0) {
+  SortedMergeResult result;
   if constexpr (std::is_integral_v<K> && std::is_unsigned_v<K>) {
-    K min_key = 0;
-    K max_key = 0;
-    if (reduce_tasks > 1 && plane.KeyBounds(&min_key, &max_key)) {
-      // Equal-width ranges over the observed [min, max] key span. Duplicate
-      // boundaries (span < R) just yield empty partitions; skew-aware
-      // (rank-based) boundaries are a future lever, not a correctness one.
+    const uint64_t n = plane.pairs();
+    if (reduce_tasks > 1 && n > 0) {
       const int R = reduce_tasks;
-      std::vector<K> lo(static_cast<size_t>(R));
-      const unsigned __int128 span =
-          static_cast<unsigned __int128>(max_key - min_key) + 1;
+      // Equi-depth boundaries at exact global ranks. When n < R the excess
+      // ranges are planned empty (duplicate bounds) and skipped below.
+      std::vector<uint64_t> bounds(static_cast<size_t>(R) + 1);
+      for (int r = 0; r <= R; ++r) {
+        bounds[static_cast<size_t>(r)] = static_cast<uint64_t>(
+            (static_cast<unsigned __int128>(n) * static_cast<unsigned>(r)) /
+            static_cast<unsigned>(R));
+      }
+      result.reduce_tasks_used = R;
+      result.range_max_pairs = 0;
+      result.range_min_pairs = n;
       for (int r = 0; r < R; ++r) {
-        lo[r] = static_cast<K>(
-            min_key + static_cast<K>((span * static_cast<unsigned>(r)) / R));
+        const uint64_t c = bounds[r + 1] - bounds[r];
+        result.range_max_pairs = std::max(result.range_max_pairs, c);
+        result.range_min_pairs = std::min(result.range_min_pairs, c);
       }
       if (pool_threads > 1) {
         struct Staged {
           std::vector<K> keys;
           std::vector<V> values;
         };
+        // Claim granularity: coarse enough that the per-slice cut searches
+        // are noise, fine enough that a straggler's tail is worth stealing.
+        const uint64_t slice =
+            steal_slice_pairs > 0
+                ? steal_slice_pairs
+                : std::max<uint64_t>(
+                      4096, n / (static_cast<uint64_t>(R) * 8));
+        RankStealScheduler sched(bounds, slice, 2 * slice);
         ThreadPool* pool = env->EnsurePool(pool_threads);
-        // Sliding submission window: at most pool_threads partitions are
-        // staged in flight while the driver drains in range order, so peak
-        // staging memory is ~min(R, threads + 1)/R of the merged payload
-        // rather than all of it at once. For a shuffle that had to spill
-        // past RAM, pick reduce_tasks well above threads and the staged
-        // fraction shrinks accordingly.
-        const int window = pool_threads;
-        std::vector<std::future<Staged>> parts(static_cast<size_t>(R));
-        int submitted = 0;
-        auto submit_until = [&](int limit) {
-          for (; submitted < limit && submitted < R; ++submitted) {
-            const K range_lo = lo[submitted];
-            const bool has_hi = submitted + 1 < R;
-            const K range_hi = has_hi ? lo[submitted + 1] : K{};
-            parts[submitted] =
-                pool->Submit([&plane, range_lo, has_hi, range_hi] {
-                  Staged s;
-                  plane.MergeRange(range_lo, has_hi, range_hi,
-                                   [&s](const K& k, const V& v) {
-                                     s.keys.push_back(k);
-                                     s.values.push_back(v);
-                                   });
-                  return s;
-                });
+        std::mutex mu;
+        std::condition_variable cv;
+        std::map<uint64_t, Staged> staged;  // begin rank -> merged slice
+        uint64_t staged_pairs = 0;          // payload pairs parked in `staged`
+        uint64_t frontier = 0;              // next rank the driver absorbs
+        bool stop = false;
+        std::exception_ptr worker_error;
+        // Bounded staging, like the old sliding window: workers park at
+        // most ~2 slices per thread ahead of the driver, so peak staging
+        // memory stays a small slice-sized fraction of the merged payload
+        // even when one worker races far ahead of the absorb frontier.
+        const uint64_t staged_cap =
+            slice * (2 * static_cast<uint64_t>(pool_threads) + 2);
+        auto worker = [&] {
+          try {
+            size_t chunk = 0;
+            while (sched.NextChunk(&chunk)) {
+              MergeCut<K> lo_cut;
+              uint64_t lo_rank = 0;
+              bool have_lo = false;
+              RankStealScheduler::Slice sl;
+              while (sched.ClaimSlice(chunk, &sl)) {
+                // Consecutive slices of one chunk share a boundary: reuse
+                // the previous upper cut instead of re-searching.
+                if (!have_lo || lo_rank != sl.begin) {
+                  lo_cut = plane.CutForRank(sl.begin);
+                }
+                const bool has_hi = sl.end < n;
+                MergeCut<K> hi_cut;
+                if (has_hi) hi_cut = plane.CutForRank(sl.end);
+                Staged s;
+                s.keys.reserve(sl.end - sl.begin);
+                s.values.reserve(sl.end - sl.begin);
+                plane.MergeCutRange(lo_cut, has_hi, hi_cut,
+                                    [&s](const K& k, const V& v) {
+                                      s.keys.push_back(k);
+                                      s.values.push_back(v);
+                                    });
+                {
+                  std::unique_lock<std::mutex> lock(mu);
+                  // The slice the driver is waiting for must never block
+                  // on the cap, or the pipeline deadlocks.
+                  cv.wait(lock, [&] {
+                    return stop || sl.begin == frontier ||
+                           staged_pairs < staged_cap;
+                  });
+                  if (stop) return;
+                  staged_pairs += s.keys.size();
+                  staged.emplace(sl.begin, std::move(s));
+                }
+                cv.notify_all();
+                lo_cut = hi_cut;
+                lo_rank = sl.end;
+                have_lo = has_hi;
+              }
+            }
+          } catch (...) {
+            sched.Abort();
+            {
+              std::lock_guard<std::mutex> lock(mu);
+              if (!worker_error) worker_error = std::current_exception();
+              stop = true;
+            }
+            cv.notify_all();
           }
         };
-        int r = 0;
+        const int workers = pool_threads < R ? pool_threads : R;
+        std::vector<std::future<void>> futs;
+        futs.reserve(static_cast<size_t>(workers));
+        for (int w = 0; w < workers; ++w) futs.push_back(pool->Submit(worker));
         try {
-          submit_until(window);
-          for (; r < R; ++r) {
-            submit_until(r + 1 + window);
-            Staged s = parts[r].get();
+          std::unique_lock<std::mutex> lock(mu);
+          while (frontier < n) {
+            cv.wait(lock,
+                    [&] { return stop || staged.count(frontier) > 0; });
+            if (stop) break;
+            auto it = staged.find(frontier);
+            Staged s = std::move(it->second);
+            staged.erase(it);
+            staged_pairs -= s.keys.size();
+            const uint64_t next = frontier + s.keys.size();
+            lock.unlock();
+            cv.notify_all();  // a cap-blocked worker can park a slice now
             for (size_t i = 0; i < s.keys.size(); ++i) {
               absorb(s.keys[i], s.values[i]);
             }
+            lock.lock();
+            frontier = next;
+            cv.notify_all();  // the worker holding rank `next` may be waiting
           }
         } catch (...) {
-          // Queued/running partitions reference this frame's plane; they
-          // must all finish before the frame unwinds. Start at r: when the
-          // throw came from submit_until, parts[r] was submitted but never
-          // retrieved (get() leaves a future invalid, so a consumed parts[r]
-          // is skipped). Futures past `submitted` were never created.
-          for (int rest = r; rest < submitted; ++rest) {
-            if (parts[rest].valid()) parts[rest].wait();
+          // The reducer threw on the driver. Running workers reference this
+          // frame's plane and locals; stop them and wait them out before
+          // the frame unwinds.
+          sched.Abort();
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            stop = true;
+          }
+          cv.notify_all();
+          for (auto& f : futs) {
+            if (f.valid()) f.wait();
           }
           throw;
         }
+        for (auto& f : futs) f.get();
+        if (worker_error) std::rethrow_exception(worker_error);
+        result.steals = sched.steals();
       } else {
         // Serial: deliver each range straight into the reducer -- no
-        // staging memory, same stream.
+        // staging memory, no scheduler, same stream. Adjacent ranges share
+        // a boundary cut, so each boundary is searched once.
+        MergeCut<K> lo_cut;
+        uint64_t lo_rank = 0;
+        bool have_lo = false;
         for (int r = 0; r < R; ++r) {
-          if (r + 1 < R) {
-            plane.MergeRange(lo[r], /*has_hi=*/true, lo[r + 1], absorb);
-          } else {
-            plane.MergeRange(lo[r], /*has_hi=*/false, K{}, absorb);
-          }
+          const uint64_t b = bounds[r];
+          const uint64_t e = bounds[r + 1];
+          if (b == e) continue;  // planned-empty range (n < R)
+          if (!have_lo || lo_rank != b) lo_cut = plane.CutForRank(b);
+          const bool has_hi = e < n;
+          MergeCut<K> hi_cut;
+          if (has_hi) hi_cut = plane.CutForRank(e);
+          plane.MergeCutRange(lo_cut, has_hi, hi_cut, absorb);
+          lo_cut = hi_cut;
+          lo_rank = e;
+          have_lo = has_hi;
         }
       }
-      return R;
+      return result;
     }
   }
   (void)env;
   (void)pool_threads;
+  (void)steal_slice_pairs;
   plane.Merge(absorb);
-  return 1;
+  result.range_max_pairs = plane.pairs();
+  result.range_min_pairs = plane.pairs();
+  return result;
 }
 
 }  // namespace internal
@@ -418,8 +531,8 @@ struct JobPlan {
 /// the driver hands runs to the ShufflePlane in split-index order, so
 /// shuffle accounting, counters, and reducer results are bit-identical for
 /// every thread count. Sorted rounds additionally partition the merge into
-/// env->reduce_tasks disjoint key ranges (0 = one per map thread) executed
-/// on the same pool, and spill retained runs past
+/// env->reduce_tasks equi-depth global-rank ranges (0 = one per map thread)
+/// executed on the same pool with work stealing, and spill retained runs past
 /// CostModel::shuffle_buffer_bytes to env->spill_dir -- neither changes any
 /// result bit (see internal::DeliverSortedMerge and ShufflePlane).
 template <typename K2, typename V2>
@@ -570,8 +683,12 @@ RoundStats RunRound(const JobPlan<K2, V2>& plan, const Dataset& dataset, MrEnv* 
     const int reduce_tasks =
         env->reduce_tasks > 0 ? env->reduce_tasks : round.threads_used;
     const auto reduce_start = std::chrono::steady_clock::now();
-    round.reduce_tasks_used = internal::DeliverSortedMerge(
+    const internal::SortedMergeResult merged = internal::DeliverSortedMerge(
         plane, env, reduce_tasks, pool_threads, absorb);
+    round.reduce_tasks_used = merged.reduce_tasks_used;
+    round.reduce_range_max_pairs = merged.range_max_pairs;
+    round.reduce_range_min_pairs = merged.range_min_pairs;
+    round.reduce_steals = merged.steals;
     round.reduce_wall_ms = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - reduce_start)
                                .count();

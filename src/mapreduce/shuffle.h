@@ -437,6 +437,30 @@ struct SpillPolicy {
 };
 
 // ---------------------------------------------------------------------------
+// MergeCut: a position in the merged stream addressed by content.
+// ---------------------------------------------------------------------------
+
+/// A cut point in a sorted plane's merged output, addressed by content
+/// rather than by index: every pair before the cut either has key < `key`,
+/// or has key == `key` and comes from a run with ordinal < `ordinal`, or is
+/// one of the first `offset` key-equal pairs of run `ordinal`. Because the
+/// loser-tree merge delivers equal keys as whole runs in ordinal order
+/// (with within-run order preserved), each global rank r in [0, n] maps to
+/// exactly one cut -- so cuts can slice the merged stream at arbitrary pair
+/// counts. That is what lets equi-depth reduce partitions split a hot key's
+/// duplicates across ranges, where a key-range boundary cannot.
+template <typename K>
+struct MergeCut {
+  K key{};
+  uint32_t ordinal = 0;  // run owning the pair at the cut
+  uint64_t offset = 0;   // pairs of that run's key-equal group before the cut
+
+  friend bool operator==(const MergeCut& a, const MergeCut& b) {
+    return a.key == b.key && a.ordinal == b.ordinal && a.offset == b.offset;
+  }
+};
+
+// ---------------------------------------------------------------------------
 // ShufflePlane: run collection, wire accounting, spill, delivery.
 // ---------------------------------------------------------------------------
 
@@ -504,6 +528,116 @@ class ShufflePlane {
   template <typename Absorb>
   void MergeRange(const K& lo, bool has_hi, const K& hi, Absorb&& absorb) const {
     MergeImpl(/*bounded=*/true, lo, has_hi, hi, std::forward<Absorb>(absorb));
+  }
+
+  /// Pairs whose key is < `key` (inclusive=false) or <= `key` (true),
+  /// summed across every retained and spilled run. One in-memory
+  /// binary search per resident run, one on-disk probe sequence per
+  /// spilled run. Unsigned integral keys only.
+  uint64_t RankOfKey(const K& key, bool inclusive) const {
+    static_assert(std::is_integral_v<K> && std::is_unsigned_v<K>,
+                  "rank partitioning is defined over unsigned integral keys");
+    std::vector<SpillKeyProbe<K>> probes = MakeSpillProbes();
+    return RankOfKeyWith(probes, key, inclusive);
+  }
+
+  /// The cut exactly `rank` pairs into the merged stream, 0 <= rank <
+  /// pairs(). Binary-searches the key domain for the key owning that rank
+  /// (O(log key-span) RankOfKey probes), then walks that key's per-run
+  /// group sizes in ordinal order to place the cut inside the key's
+  /// duplicates. The end-of-stream position has no cut; callers express it
+  /// as an unbounded upper end (has_hi == false). Sorted planes with
+  /// unsigned integral keys only.
+  MergeCut<K> CutForRank(uint64_t rank) const {
+    static_assert(std::is_integral_v<K> && std::is_unsigned_v<K>,
+                  "rank partitioning is defined over unsigned integral keys");
+    WAVEMR_CHECK(rank < pairs_) << "cut rank past the merged stream";
+    K lo{};
+    K hi{};
+    WAVEMR_CHECK(KeyBounds(&lo, &hi)) << "cut requested on an empty plane";
+    // One probe set for the whole search: each spilled run's handle stays
+    // open and its last-read key block stays cached across every step.
+    std::vector<SpillKeyProbe<K>> probes = MakeSpillProbes();
+    // Smallest key with more than `rank` pairs at or below it: the key of
+    // the pair at global position `rank`.
+    while (lo < hi) {
+      const K mid = lo + (hi - lo) / 2;
+      if (RankExceeds(probes, mid, rank)) {
+        hi = mid;
+      } else {
+        lo = static_cast<K>(mid + 1);
+      }
+    }
+    MergeCut<K> cut;
+    cut.key = lo;
+    // Distribute the remaining offset across the key's duplicates, walking
+    // runs in ordinal order -- the order the merge drains equal keys in.
+    uint64_t remaining = rank - RankOfKeyWith(probes, lo, /*inclusive=*/false);
+    std::vector<std::pair<uint32_t, uint64_t>> groups;  // (ordinal, group size)
+    for (const Retained& r : resident_) {
+      const K* begin = r.run.keys.data();
+      const K* end = begin + r.run.size();
+      const uint64_t g = static_cast<uint64_t>(
+          std::upper_bound(begin, end, lo) - std::lower_bound(begin, end, lo));
+      if (g > 0) groups.emplace_back(r.ordinal, g);
+    }
+    for (size_t i = 0; i < spilled_.size(); ++i) {
+      const uint64_t g = probes[i].UpperBound(lo) - probes[i].LowerBound(lo);
+      if (g > 0) groups.emplace_back(spilled_[i].ordinal, g);
+    }
+    std::sort(groups.begin(), groups.end());
+    for (const auto& [ordinal, g] : groups) {
+      if (remaining < g) {
+        cut.ordinal = ordinal;
+        cut.offset = remaining;
+        return cut;
+      }
+      remaining -= g;
+    }
+    WAVEMR_CHECK(false) << "rank walk overran its key group";
+    return cut;
+  }
+
+  /// Merges only the pairs between cut `lo` and cut `hi` -- or from `lo` to
+  /// the end when has_hi is false -- preserving the exact order the full
+  /// Merge delivers them in. Disjoint adjacent cut ranges concatenate to
+  /// the single-merge stream, including through the middle of a run of
+  /// duplicate keys (where MergeRange cannot place a boundary). Thread-safe
+  /// like MergeRange: each call opens its own file cursors.
+  template <typename Absorb>
+  void MergeCutRange(const MergeCut<K>& lo, bool has_hi, const MergeCut<K>& hi,
+                     Absorb&& absorb) const {
+    static_assert(std::is_integral_v<K> && std::is_unsigned_v<K>,
+                  "rank partitioning is defined over unsigned integral keys");
+    std::vector<MergeInput<K, V>> inputs;
+    std::vector<std::unique_ptr<FileRunCursor<K, V>>> cursors;
+    inputs.reserve(resident_.size() + spilled_.size());
+    for (const Retained& r : resident_) {
+      const K* begin = r.run.keys.data();
+      const uint64_t s = ResidentCutIndex(r, lo);
+      const uint64_t e = has_hi ? ResidentCutIndex(r, hi) : r.run.size();
+      inputs.push_back(MergeInput<K, V>{begin + s, r.run.values.data() + s,
+                                        static_cast<size_t>(e - s), nullptr,
+                                        r.ordinal});
+    }
+    for (const Spilled& s : spilled_) {
+      // One probe per run resolves both endpoints: shared handle, and the
+      // hi lookup usually hits the key block the lo lookup cached.
+      SpillKeyProbe<K> probe(s.info);
+      const uint64_t begin = SpilledCutIndex(s, lo, probe);
+      const uint64_t end =
+          has_hi ? SpilledCutIndex(s, hi, probe) : s.info.num_pairs;
+      cursors.push_back(
+          std::make_unique<FileRunCursor<K, V>>(s.info, begin, end));
+      inputs.push_back(
+          MergeInput<K, V>{nullptr, nullptr, 0, cursors.back().get(), s.ordinal});
+    }
+    std::sort(inputs.begin(), inputs.end(),
+              [](const MergeInput<K, V>& a, const MergeInput<K, V>& b) {
+                return a.ordinal < b.ordinal;
+              });
+    RunMerger<K, V> merger(inputs);
+    merger.Drain(absorb);
   }
 
   /// Smallest and largest key across all retained + spilled pairs; false
@@ -582,6 +716,15 @@ class ShufflePlane {
     if constexpr (std::is_integral_v<K> && std::is_unsigned_v<K>) {
       info.min_key = static_cast<uint64_t>(r.run.keys.front());
       info.max_key = static_cast<uint64_t>(r.run.keys.back());
+      // Sparse key index for rank/partition probes: the run is sorted and
+      // in memory right now, so sampling block-leading keys is free.
+      info.block_keys.reserve(
+          static_cast<size_t>((info.num_pairs + kSpillIndexBlockPairs - 1) /
+                              kSpillIndexBlockPairs));
+      for (uint64_t b = 0; b * kSpillIndexBlockPairs < info.num_pairs; ++b) {
+        info.block_keys.push_back(
+            static_cast<uint64_t>(r.run.keys[b * kSpillIndexBlockPairs]));
+      }
     }
     info.file_bytes = WriteSpillFile<K, V>(info.path, r.run.keys.data(),
                                            r.run.values.data(), r.run.size());
@@ -591,6 +734,88 @@ class ShufflePlane {
     resident_bytes_ -= r.run.PayloadBytes();
     spilled_.push_back(Spilled{r.ordinal, std::move(info)});
     resident_.erase(resident_.begin() + static_cast<ptrdiff_t>(idx));
+  }
+
+  /// Index of cut `c` inside resident run `r`: runs with ordinal below the
+  /// cut's contribute their whole key-equal group, the owning run
+  /// contributes its first `offset` duplicates, later runs contribute none.
+  uint64_t ResidentCutIndex(const Retained& r, const MergeCut<K>& c) const {
+    const K* begin = r.run.keys.data();
+    const K* end = begin + r.run.size();
+    if (r.ordinal < c.ordinal) {
+      return static_cast<uint64_t>(std::upper_bound(begin, end, c.key) - begin);
+    }
+    const uint64_t lower =
+        static_cast<uint64_t>(std::lower_bound(begin, end, c.key) - begin);
+    return r.ordinal == c.ordinal ? lower + c.offset : lower;
+  }
+
+  /// Same placement rule over a spilled run's on-disk key block.
+  uint64_t SpilledCutIndex(const Spilled& s, const MergeCut<K>& c,
+                           SpillKeyProbe<K>& probe) const {
+    if (s.ordinal < c.ordinal) return probe.UpperBound(c.key);
+    const uint64_t lower = probe.LowerBound(c.key);
+    return s.ordinal == c.ordinal ? lower + c.offset : lower;
+  }
+
+  /// One probe per spilled run, aligned with spilled_'s order.
+  std::vector<SpillKeyProbe<K>> MakeSpillProbes() const {
+    std::vector<SpillKeyProbe<K>> probes;
+    probes.reserve(spilled_.size());
+    for (const Spilled& s : spilled_) probes.emplace_back(s.info);
+    return probes;
+  }
+
+  /// RankOfKey through a caller-owned probe set (handles and block caches
+  /// persist across calls).
+  uint64_t RankOfKeyWith(std::vector<SpillKeyProbe<K>>& probes, const K& key,
+                         bool inclusive) const {
+    uint64_t rank = ResidentRankOfKey(key, inclusive);
+    for (SpillKeyProbe<K>& p : probes) {
+      rank += inclusive ? p.UpperBound(key) : p.LowerBound(key);
+    }
+    return rank;
+  }
+
+  uint64_t ResidentRankOfKey(const K& key, bool inclusive) const {
+    uint64_t rank = 0;
+    for (const Retained& r : resident_) {
+      const K* begin = r.run.keys.data();
+      const K* end = begin + r.run.size();
+      rank += static_cast<uint64_t>(
+          (inclusive ? std::upper_bound(begin, end, key)
+                     : std::lower_bound(begin, end, key)) -
+          begin);
+    }
+    return rank;
+  }
+
+  /// Decides RankOfKey(key, inclusive=true) > rank with as little IO as
+  /// possible: resident ranks plus each spilled run's sparse-index bracket
+  /// first (zero IO), exact per-run reads only while `rank` still falls
+  /// inside the uncertainty interval. In the rank binary search almost
+  /// every step is decided by the brackets alone.
+  bool RankExceeds(std::vector<SpillKeyProbe<K>>& probes, const K& key,
+                   uint64_t rank) const {
+    uint64_t min_sum = ResidentRankOfKey(key, /*inclusive=*/true);
+    uint64_t max_sum = min_sum;
+    for (const SpillKeyProbe<K>& p : probes) {
+      const auto b = p.UpperBoundBounds(key);
+      min_sum += b.min;
+      max_sum += b.max;
+    }
+    if (min_sum > rank) return true;
+    if (max_sum <= rank) return false;
+    for (SpillKeyProbe<K>& p : probes) {
+      const auto b = p.UpperBoundBounds(key);
+      if (b.min == b.max) continue;
+      const uint64_t exact = p.UpperBound(key);
+      min_sum += exact - b.min;
+      max_sum -= b.max - exact;
+      if (min_sum > rank) return true;
+      if (max_sum <= rank) return false;
+    }
+    return min_sum > rank;
   }
 
   template <typename Absorb>

@@ -3,11 +3,13 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <string>
 #include <system_error>
 #include <type_traits>
@@ -42,6 +44,12 @@ namespace wavemr {
 inline constexpr uint64_t kSpillMagic = 0x57564d5250494c31ull;  // "WVMRPIL1"
 inline constexpr uint64_t kSpillHeaderBytes = 24;
 
+/// Sparse key-index granularity: one sampled key per this many pairs. Kept
+/// equal to FileRunCursor's refill block so an index hit brackets exactly
+/// one cursor block. 4096 * 8 bytes of samples per 4096 * 16-byte block =
+/// 0.05% memory overhead on the spilled payload.
+inline constexpr uint64_t kSpillIndexBlockPairs = 4096;
+
 /// Metadata the plane keeps per spilled run: enough to merge and partition
 /// it without re-reading the header.
 struct SpillFileInfo {
@@ -50,7 +58,15 @@ struct SpillFileInfo {
   uint64_t min_key = 0;  // keys.front() at spill time (0 when empty)
   uint64_t max_key = 0;  // keys.back() at spill time
   uint64_t file_bytes = 0;
+  /// keys[b * kSpillIndexBlockPairs] for each block b, recorded at spill
+  /// time (unsigned integral keys only, like min/max). Lets rank and
+  /// partition probes bracket any lower bound inside one block without
+  /// touching the file.
+  std::vector<uint64_t> block_keys;
 };
+
+template <typename K>
+class SpillKeyProbe;
 
 namespace internal {
 
@@ -161,30 +177,46 @@ class FileRunCursor {
   static uint64_t LowerBoundIndex(const SpillFileInfo& info, const K& key) {
     static_assert(std::is_trivially_copyable_v<K>);
     if constexpr (std::is_integral_v<K> && std::is_unsigned_v<K>) {
-      // min_key/max_key are only recorded for unsigned integral keys.
-      if (static_cast<uint64_t>(key) <= info.min_key) return 0;
-      if (static_cast<uint64_t>(key) > info.max_key) return info.num_pairs;
-    }
-    std::FILE* f = std::fopen(info.path.string().c_str(), "rb");
-    WAVEMR_CHECK(f != nullptr) << "cannot open spill file " << info.path.string();
-    uint64_t lo = 0;
-    uint64_t hi = info.num_pairs;
-    while (lo < hi) {
-      const uint64_t mid = lo + (hi - lo) / 2;
-      K probe;
-      WAVEMR_CHECK(fseeko(f, static_cast<off_t>(internal::SpillKeyOffset() +
-                                                mid * sizeof(K)),
-                          SEEK_SET) == 0 &&
-                   std::fread(&probe, sizeof(K), 1, f) == 1)
-          << "short read in spill lower-bound " << info.path.string();
-      if (probe < key) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
+      // One-shot probe: block-index bracketing + a single block read. Repeat
+      // callers should hold their own SpillKeyProbe to reuse the handle.
+      SpillKeyProbe<K> probe(info);
+      return probe.LowerBound(key);
+    } else {
+      std::FILE* f = std::fopen(info.path.string().c_str(), "rb");
+      WAVEMR_CHECK(f != nullptr) << "cannot open spill file "
+                                 << info.path.string();
+      uint64_t lo = 0;
+      uint64_t hi = info.num_pairs;
+      while (lo < hi) {
+        const uint64_t mid = lo + (hi - lo) / 2;
+        K probe;
+        WAVEMR_CHECK(fseeko(f, static_cast<off_t>(internal::SpillKeyOffset() +
+                                                  mid * sizeof(K)),
+                            SEEK_SET) == 0 &&
+                     std::fread(&probe, sizeof(K), 1, f) == 1)
+            << "short read in spill lower-bound " << info.path.string();
+        if (probe < key) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
       }
+      std::fclose(f);
+      return lo;
     }
-    std::fclose(f);
-    return lo;
+  }
+
+  /// First index in [0, num_pairs) whose key is > `key` -- std::upper_bound
+  /// over the sorted on-disk key block. For the unsigned integral keys the
+  /// shuffle uses this is LowerBoundIndex of key+1 (the all-ones key maps to
+  /// the end), so it inherits the same zero-IO min/max short-circuits. The
+  /// equi-depth partitioner needs both bounds to size a spilled run's
+  /// key-equal group without streaming it.
+  static uint64_t UpperBoundIndex(const SpillFileInfo& info, const K& key) {
+    static_assert(std::is_integral_v<K> && std::is_unsigned_v<K>,
+                  "rank partitioning is defined over unsigned integral keys");
+    if (key == std::numeric_limits<K>::max()) return info.num_pairs;
+    return LowerBoundIndex(info, static_cast<K>(key + 1));
   }
 
  private:
@@ -204,6 +236,150 @@ class FileRunCursor {
   uint64_t block_pairs_;
   std::vector<K> keys_;
   std::vector<V> values_;
+};
+
+/// Random-access lower/upper-bound probes over one spill file's sorted key
+/// block, sharing one open handle across calls. The `*Bounds` variants
+/// answer from SpillFileInfo's in-memory sparse block index alone -- zero
+/// IO, the true index bracketed inside one kSpillIndexBlockPairs block --
+/// which is what the equi-depth rank search wants: most binary-search steps
+/// are decided by the bracket, and only the final refinements pay a read.
+/// The exact variants read at most one key block per call and cache it, so
+/// probing the same region repeatedly (rank search convergence, the
+/// lower/upper pair sizing a key group) costs a single fread.
+///
+/// One probe is single-threaded; concurrent reduce tasks each build their
+/// own (same ownership rule as FileRunCursor). Unsigned integral keys only
+/// -- the partitioning key contract.
+template <typename K>
+class SpillKeyProbe {
+ public:
+  struct IndexBounds {
+    uint64_t min;  // true index is >= min
+    uint64_t max;  // ... and <= max; min == max means exact already
+  };
+
+  explicit SpillKeyProbe(const SpillFileInfo& info) : info_(&info) {
+    static_assert(std::is_integral_v<K> && std::is_unsigned_v<K>,
+                  "rank partitioning is defined over unsigned integral keys");
+  }
+
+  ~SpillKeyProbe() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  SpillKeyProbe(SpillKeyProbe&& other) noexcept
+      : info_(other.info_),
+        file_(other.file_),
+        cache_begin_(other.cache_begin_),
+        cache_end_(other.cache_end_),
+        cache_(std::move(other.cache_)) {
+    other.file_ = nullptr;
+  }
+  SpillKeyProbe(const SpillKeyProbe&) = delete;
+  SpillKeyProbe& operator=(const SpillKeyProbe&) = delete;
+  SpillKeyProbe& operator=(SpillKeyProbe&&) = delete;
+
+  /// Brackets LowerBound(key) using only min/max and the sparse block index
+  /// -- no IO.
+  IndexBounds LowerBoundBounds(const K& key) const {
+    const SpillFileInfo& in = *info_;
+    if (in.num_pairs == 0 || static_cast<uint64_t>(key) <= in.min_key) {
+      return IndexBounds{0, 0};
+    }
+    if (static_cast<uint64_t>(key) > in.max_key) {
+      return IndexBounds{in.num_pairs, in.num_pairs};
+    }
+    if (in.block_keys.empty()) return IndexBounds{0, in.num_pairs};
+    // First block whose leading key is >= key; j >= 1 because block 0 leads
+    // with min_key < key. The answer sits after block j-1's leading key and
+    // no later than block j's start.
+    const uint64_t j = static_cast<uint64_t>(
+        std::lower_bound(in.block_keys.begin(), in.block_keys.end(),
+                         static_cast<uint64_t>(key)) -
+        in.block_keys.begin());
+    const uint64_t lo = (j - 1) * kSpillIndexBlockPairs + 1;
+    const uint64_t hi = j < in.block_keys.size() ? j * kSpillIndexBlockPairs
+                                                 : in.num_pairs;
+    return IndexBounds{lo, hi};
+  }
+
+  /// Brackets UpperBound(key) (first index with key strictly greater).
+  IndexBounds UpperBoundBounds(const K& key) const {
+    if (key == std::numeric_limits<K>::max()) {
+      return IndexBounds{info_->num_pairs, info_->num_pairs};
+    }
+    return LowerBoundBounds(static_cast<K>(key + 1));
+  }
+
+  /// Exact std::lower_bound index over the on-disk key block: at most one
+  /// block read (cached) when the sparse index is present.
+  uint64_t LowerBound(const K& key) {
+    const IndexBounds b = LowerBoundBounds(key);
+    if (b.min == b.max) return b.min;
+    if (info_->block_keys.empty()) return ProbeLowerBound(key, b.min, b.max);
+    LoadKeys(b.min, b.max);
+    const auto it = std::lower_bound(cache_.begin(), cache_.end(), key);
+    return b.min + static_cast<uint64_t>(it - cache_.begin());
+  }
+
+  /// Exact std::upper_bound index; for the unsigned keys this is
+  /// LowerBound(key + 1), sharing the cached block when both land together.
+  uint64_t UpperBound(const K& key) {
+    if (key == std::numeric_limits<K>::max()) return info_->num_pairs;
+    return LowerBound(static_cast<K>(key + 1));
+  }
+
+ private:
+  /// No sparse index (legacy info): seek-probe binary search on the shared
+  /// handle over index range [lo, hi).
+  uint64_t ProbeLowerBound(const K& key, uint64_t lo, uint64_t hi) {
+    EnsureOpen();
+    while (lo < hi) {
+      const uint64_t mid = lo + (hi - lo) / 2;
+      K probe;
+      WAVEMR_CHECK(fseeko(file_,
+                          static_cast<off_t>(internal::SpillKeyOffset() +
+                                             mid * sizeof(K)),
+                          SEEK_SET) == 0 &&
+                   std::fread(&probe, sizeof(K), 1, file_) == 1)
+          << "short read in spill probe " << info_->path.string();
+      if (probe < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  void LoadKeys(uint64_t begin, uint64_t end) {
+    if (begin == cache_begin_ && end == cache_end_) return;
+    EnsureOpen();
+    cache_.resize(static_cast<size_t>(end - begin));
+    WAVEMR_CHECK(fseeko(file_,
+                        static_cast<off_t>(internal::SpillKeyOffset() +
+                                           begin * sizeof(K)),
+                        SEEK_SET) == 0 &&
+                 std::fread(cache_.data(), sizeof(K), cache_.size(), file_) ==
+                     cache_.size())
+        << "short key-block read from " << info_->path.string();
+    cache_begin_ = begin;
+    cache_end_ = end;
+  }
+
+  void EnsureOpen() {
+    if (file_ != nullptr) return;
+    file_ = std::fopen(info_->path.string().c_str(), "rb");
+    WAVEMR_CHECK(file_ != nullptr)
+        << "cannot open spill file " << info_->path.string();
+  }
+
+  const SpillFileInfo* info_;
+  std::FILE* file_ = nullptr;
+  uint64_t cache_begin_ = 1;  // impossible range: nothing cached yet
+  uint64_t cache_end_ = 0;
+  std::vector<K> cache_;
 };
 
 /// Lazily created process-unique temp directory for one MrEnv's spill files

@@ -40,9 +40,20 @@ struct RoundStats {
   double reduce_wall_ms = 0.0;
   /// Threads the engine actually used for this round's map tasks.
   int threads_used = 1;
-  /// Key-range reduce partitions the sorted merge ran with (1 = the classic
+  /// Equi-depth reduce partitions the sorted merge ran with (1 = the classic
   /// single driver-thread merge; streaming rounds always report 1).
   int reduce_tasks_used = 1;
+  /// Planned pair counts of the largest and smallest equi-depth reduce
+  /// range. Boundaries sit at exact global ranks r*n/R, so max - min <= 1
+  /// whenever n >= R; the max/min ratio (ReduceRangeSpread) is the
+  /// load-balance figure the skew bench gates. Deterministic for a given
+  /// (dataset, reduce_tasks) -- planned counts, not scheduling outcomes.
+  uint64_t reduce_range_max_pairs = 0;
+  uint64_t reduce_range_min_pairs = 0;
+  /// Sub-ranges finished reduce workers stole from stragglers' unclaimed
+  /// tails. Schedule-dependent like reduce_wall_ms -- stealing moves
+  /// wall-clock, never bytes -- so determinism checks must skip it.
+  uint64_t reduce_steals = 0;
   /// External shuffle spill: files written this round, bytes written to them
   /// (framing included), and payload bytes the merge read back from disk.
   uint64_t spill_files = 0;
@@ -58,6 +69,13 @@ struct RoundStats {
     return overhead_s + map_makespan_s + shuffle_s + reduce_s;
   }
   uint64_t CommBytes() const { return shuffle_bytes + broadcast_bytes; }
+  /// max/min planned pairs per reduce range; 0 when undefined (some range
+  /// planned empty, or a streaming/single-range round).
+  double ReduceRangeSpread() const {
+    if (reduce_range_min_pairs == 0) return 0.0;
+    return static_cast<double>(reduce_range_max_pairs) /
+           static_cast<double>(reduce_range_min_pairs);
+  }
 };
 
 /// Aggregate over all rounds of one algorithm execution.

@@ -1,0 +1,146 @@
+#ifndef WAVEMR_MAPREDUCE_STEAL_H_
+#define WAVEMR_MAPREDUCE_STEAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/logging.h"
+
+namespace wavemr {
+
+/// Rank-space scheduler for the equi-depth partitioned reduce.
+///
+/// The driver slices a sorted round's merged stream into R chunks at exact
+/// global ranks (ShufflePlane::CutForRank) and runs W workers against this
+/// scheduler. A worker first takes an unstarted chunk and claims it in
+/// contiguous rank slices; when no unstarted chunk remains, NextChunk
+/// steals: it splits the chunk with the most unclaimed work at the rank
+/// midpoint of its remaining tail and hands the upper half to the thief as
+/// a new chunk. Victims notice the theft because their chunk's `end`
+/// shrank -- each ClaimSlice re-reads it under the lock.
+///
+/// Every claimed slice is a disjoint contiguous rank interval, and the
+/// union of all slices handed out tiles the initial chunks exactly, no
+/// matter how claims and steals interleave. Stage each slice's merged
+/// pairs, deliver staged slices in ascending begin-rank order, and the
+/// result is the single merge's stream bit for bit -- work stealing moves
+/// wall-clock, never bytes.
+class RankStealScheduler {
+ public:
+  struct Slice {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+  };
+
+  /// `bounds`: R+1 ascending chunk boundaries (bounds[r], bounds[r+1]] --
+  /// typically the equi-depth ranks r*n/R. `slice_pairs` is the claim
+  /// granularity; a victim can lose at most its unclaimed tail, so smaller
+  /// slices mean finer-grained stealing at the cost of more cut searches.
+  /// Chunks with fewer than `min_steal_pairs` unclaimed pairs are not worth
+  /// splitting and are never chosen as victims.
+  RankStealScheduler(const std::vector<uint64_t>& bounds, uint64_t slice_pairs,
+                     uint64_t min_steal_pairs)
+      : slice_pairs_(slice_pairs == 0 ? 1 : slice_pairs),
+        min_steal_pairs_(min_steal_pairs < 2 ? 2 : min_steal_pairs) {
+    WAVEMR_CHECK(bounds.size() >= 2) << "scheduler needs at least one chunk";
+    chunks_.reserve(bounds.size() - 1);
+    for (size_t r = 0; r + 1 < bounds.size(); ++r) {
+      WAVEMR_CHECK(bounds[r] <= bounds[r + 1]) << "descending chunk bounds";
+      chunks_.push_back(Chunk{bounds[r], bounds[r + 1], /*started=*/false});
+    }
+  }
+
+  /// Hands out the lowest unstarted non-empty chunk, or -- when none
+  /// remain -- steals the upper half of the chunk with the largest
+  /// unclaimed tail (ties to the lowest index). Returns false when no
+  /// chunk has work left anywhere.
+  bool NextChunk(size_t* chunk) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (aborted_) return false;
+    while (next_unstarted_ < chunks_.size()) {
+      Chunk& c = chunks_[next_unstarted_];
+      const size_t idx = next_unstarted_++;
+      // Skip planned-empty ranges, and stolen chunks (appended past the
+      // original scan position already started by their thief).
+      if (c.started || c.cursor >= c.end) continue;
+      c.started = true;
+      *chunk = idx;
+      return true;
+    }
+    // Steal: split the biggest straggler's unclaimed tail at its midpoint.
+    size_t victim = chunks_.size();
+    uint64_t victim_tail = 0;
+    for (size_t i = 0; i < chunks_.size(); ++i) {
+      const uint64_t tail = chunks_[i].end - chunks_[i].cursor;
+      if (tail >= min_steal_pairs_ && tail > victim_tail) {
+        victim = i;
+        victim_tail = tail;
+      }
+    }
+    if (victim == chunks_.size()) return false;
+    Chunk& v = chunks_[victim];
+    const uint64_t mid = v.cursor + (v.end - v.cursor) / 2;
+    const uint64_t stolen_end = v.end;
+    v.end = mid;
+    chunks_.push_back(Chunk{mid, stolen_end, /*started=*/true});
+    ++steals_;
+    *chunk = chunks_.size() - 1;
+    return true;
+  }
+
+  /// Claims the next contiguous rank slice of `chunk`: at most slice_pairs
+  /// pairs, never past a concurrent thief's split point. False once the
+  /// chunk has no unclaimed ranks left (go back to NextChunk).
+  bool ClaimSlice(size_t chunk, Slice* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (aborted_) return false;
+    Chunk& c = chunks_[chunk];
+    if (c.cursor >= c.end) return false;
+    const uint64_t take =
+        c.end - c.cursor < slice_pairs_ ? c.end - c.cursor : slice_pairs_;
+    out->begin = c.cursor;
+    out->end = c.cursor + take;
+    c.cursor += take;
+    return true;
+  }
+
+  /// Error path: abandon all unclaimed work. NextChunk and ClaimSlice
+  /// return false from now on, so workers drain out without touching the
+  /// plane again.
+  void Abort() {
+    std::lock_guard<std::mutex> lock(mu_);
+    aborted_ = true;
+  }
+
+  uint64_t steals() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return steals_;
+  }
+
+  size_t num_chunks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return chunks_.size();
+  }
+
+ private:
+  struct Chunk {
+    uint64_t cursor;  // next unclaimed rank
+    uint64_t end;     // shrinks when a thief splits this chunk
+    bool started;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Chunk> chunks_;
+  size_t next_unstarted_ = 0;
+  const uint64_t slice_pairs_;
+  const uint64_t min_steal_pairs_;
+  uint64_t steals_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_MAPREDUCE_STEAL_H_

@@ -71,7 +71,7 @@ void RegisterBuildFlags(FlagParser* parser, BuildArgs* args) {
               "map-task worker threads (0 = all hardware threads; results "
               "identical for any value)");
   parser->I32("reduce-tasks", &args->reduce_tasks,
-              "key-range reduce partitions for sorted rounds (0 = match "
+              "equi-depth reduce partitions for sorted rounds (0 = match "
               "--threads; identical results)");
   parser->U64("shuffle-buffer-bytes", &args->shuffle_buffer_bytes,
               "retained-run budget before the shuffle spills to disk (0 = "

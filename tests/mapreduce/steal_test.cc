@@ -1,0 +1,163 @@
+// RankStealScheduler invariants: every slice handed out is a disjoint
+// contiguous rank interval, the union of all slices tiles the initial
+// chunks exactly (under any interleaving, including concurrent ones), steals
+// split the largest unclaimed tail at its midpoint, and Abort drains
+// everything. These are the properties that make work stealing a pure
+// wall-clock lever -- absorb staged slices in rank order and the stream is
+// the single merge's, bit for bit.
+
+#include "mapreduce/steal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wavemr {
+namespace {
+
+using Slice = RankStealScheduler::Slice;
+
+// Drives one scheduler to exhaustion from a single thread, interleaving
+// chunk ownership round-robin across `drivers` simulated workers so steals
+// and victim shrinkage happen deterministically. Returns every claimed
+// slice in claim order.
+std::vector<Slice> DrainRoundRobin(RankStealScheduler* sched, int drivers) {
+  struct Worker {
+    bool has_chunk = false;
+    size_t chunk = 0;
+  };
+  std::vector<Worker> workers(static_cast<size_t>(drivers));
+  std::vector<Slice> claimed;
+  int idle_streak = 0;
+  size_t w = 0;
+  while (idle_streak < drivers) {
+    Worker& me = workers[w % workers.size()];
+    ++w;
+    if (!me.has_chunk) me.has_chunk = sched->NextChunk(&me.chunk);
+    if (!me.has_chunk) {
+      ++idle_streak;
+      continue;
+    }
+    Slice sl;
+    if (sched->ClaimSlice(me.chunk, &sl)) {
+      claimed.push_back(sl);
+      idle_streak = 0;
+    } else {
+      me.has_chunk = false;
+    }
+  }
+  return claimed;
+}
+
+// Sorting claimed slices by begin rank must tile [lo, hi) with no gaps and
+// no overlaps.
+void ExpectTiles(std::vector<Slice> slices, uint64_t lo, uint64_t hi) {
+  std::sort(slices.begin(), slices.end(),
+            [](const Slice& a, const Slice& b) { return a.begin < b.begin; });
+  uint64_t at = lo;
+  for (const Slice& s : slices) {
+    ASSERT_EQ(s.begin, at) << "gap or overlap at rank " << at;
+    ASSERT_GT(s.end, s.begin) << "empty slice handed out";
+    at = s.end;
+  }
+  EXPECT_EQ(at, hi) << "work left unclaimed";
+}
+
+TEST(RankStealSchedulerTest, SingleWorkerDrainsAllChunksInRankOrder) {
+  RankStealScheduler sched({0, 100, 250, 300}, /*slice_pairs=*/32,
+                           /*min_steal_pairs=*/64);
+  const std::vector<Slice> slices = DrainRoundRobin(&sched, 1);
+  ExpectTiles(slices, 0, 300);
+  // One worker never steals: its own chunks always have work before the
+  // steal path is reached.
+  EXPECT_EQ(sched.steals(), 0u);
+  // A single worker claims in strictly ascending rank order.
+  for (size_t i = 1; i < slices.size(); ++i) {
+    EXPECT_EQ(slices[i].begin, slices[i - 1].end);
+  }
+}
+
+TEST(RankStealSchedulerTest, StealsSplitLargestTailAtMidpointAndStillTile) {
+  // Two chunks, one huge: the second simulated worker exhausts its small
+  // chunk and must steal from the straggler.
+  RankStealScheduler sched({0, 1000, 1016}, /*slice_pairs=*/16,
+                           /*min_steal_pairs=*/32);
+  const std::vector<Slice> slices = DrainRoundRobin(&sched, 2);
+  ExpectTiles(slices, 0, 1016);
+  EXPECT_GT(sched.steals(), 0u);
+  EXPECT_EQ(sched.num_chunks(), 2 + sched.steals());
+}
+
+TEST(RankStealSchedulerTest, EmptyChunksAreSkippedNotStarted) {
+  // Equi-depth bounds with n < R plan duplicate boundaries -> empty chunks.
+  RankStealScheduler sched({0, 1, 1, 1, 2}, /*slice_pairs=*/8,
+                           /*min_steal_pairs=*/2);
+  const std::vector<Slice> slices = DrainRoundRobin(&sched, 3);
+  ExpectTiles(slices, 0, 2);
+  EXPECT_EQ(slices.size(), 2u);
+}
+
+TEST(RankStealSchedulerTest, MinStealFloorStopsSplittingSmallTails) {
+  // One chunk of 10 pairs with a high steal floor: the second worker finds
+  // nothing to steal and goes idle instead of splitting a tiny tail.
+  RankStealScheduler sched({0, 10}, /*slice_pairs=*/1,
+                           /*min_steal_pairs=*/64);
+  size_t chunk = 0;
+  ASSERT_TRUE(sched.NextChunk(&chunk));
+  size_t thief_chunk = 0;
+  EXPECT_FALSE(sched.NextChunk(&thief_chunk)) << "stole below the floor";
+  Slice sl;
+  uint64_t total = 0;
+  while (sched.ClaimSlice(chunk, &sl)) total += sl.end - sl.begin;
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(sched.steals(), 0u);
+}
+
+TEST(RankStealSchedulerTest, AbortDrainsAllWork) {
+  RankStealScheduler sched({0, 100}, 8, 16);
+  size_t chunk = 0;
+  ASSERT_TRUE(sched.NextChunk(&chunk));
+  Slice sl;
+  ASSERT_TRUE(sched.ClaimSlice(chunk, &sl));
+  sched.Abort();
+  EXPECT_FALSE(sched.ClaimSlice(chunk, &sl));
+  EXPECT_FALSE(sched.NextChunk(&chunk));
+}
+
+// Concurrent stress: real threads hammer NextChunk/ClaimSlice; the claimed
+// slices must still tile the rank space exactly. Run under TSan in CI.
+TEST(RankStealSchedulerTest, ConcurrentClaimsTileExactly) {
+  for (int trial = 0; trial < 8; ++trial) {
+    const uint64_t n = 10000 + static_cast<uint64_t>(trial) * 977;
+    std::vector<uint64_t> bounds;
+    for (int r = 0; r <= 8; ++r) {
+      bounds.push_back(n * static_cast<uint64_t>(r) / 8);
+    }
+    RankStealScheduler sched(bounds, /*slice_pairs=*/37,
+                             /*min_steal_pairs=*/74);
+    std::mutex mu;
+    std::vector<Slice> claimed;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        size_t chunk = 0;
+        while (sched.NextChunk(&chunk)) {
+          Slice sl;
+          while (sched.ClaimSlice(chunk, &sl)) {
+            std::lock_guard<std::mutex> lock(mu);
+            claimed.push_back(sl);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    ExpectTiles(claimed, 0, n);
+  }
+}
+
+}  // namespace
+}  // namespace wavemr

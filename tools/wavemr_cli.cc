@@ -104,6 +104,16 @@ int BuildMain(int argc, char** argv, int start) {
   std::printf("spill bytes : %llu\n",
               static_cast<unsigned long long>(result->stats.TotalSpillBytes()));
   std::printf("spill sim s : %.2f\n", result->stats.TotalSpillSeconds());
+  // Worst per-round equi-depth range balance (max/min planned pairs; 0 =
+  // no partitioned sorted round) and total stolen sub-ranges.
+  double spread = 0.0;
+  uint64_t steals = 0;
+  for (const RoundStats& r : result->stats.rounds) {
+    spread = std::max(spread, r.ReduceRangeSpread());
+    steals += r.reduce_steals;
+  }
+  std::printf("reduce skew : %.3f (max/min pairs per range, %llu steals)\n",
+              spread, static_cast<unsigned long long>(steals));
 
   if (evaluate || !out_file.empty()) {
     HistogramSnapshot snapshot = result->ToSnapshot();
