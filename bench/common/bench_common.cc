@@ -75,6 +75,7 @@ Measurement Run(const Dataset& ds, AlgorithmKind kind, const BuildOptions& opt,
     m.reduce_wall_ms += r.reduce_wall_ms;
     m.reduce_range_spread = std::max(m.reduce_range_spread, r.ReduceRangeSpread());
     m.spill_files += r.spill_files;
+    m.spill_fallbacks += r.spill_fallbacks;
   }
   m.shuffle_bytes = shuffle;
   m.map_records = result->stats.counters.Get("map_records_read");
@@ -241,8 +242,10 @@ ExternalMergeKernelResult RunExternalMergeKernel(
         info.min_key = runs[r].keys.front();
         info.max_key = runs[r].keys.back();
       }
-      info.file_bytes = WriteSpillFile<uint64_t, uint64_t>(
+      const SpillWriteResult w = WriteSpillFile<uint64_t, uint64_t>(
           info.path, runs[r].keys.data(), runs[r].values.data(), runs[r].size());
+      WAVEMR_CHECK(w.io.ok()) << w.io.ToString();
+      info.file_bytes = w.file_bytes;
     }
     const auto t0 = Clock::now();
     std::vector<std::unique_ptr<FileRunCursor<uint64_t, uint64_t>>> cursors;
@@ -328,6 +331,8 @@ bool BenchJsonReporter::WriteFileTo(const std::string& path) const {
       out << ", \"queries_per_sec\": " << r.queries_per_sec;
     if (r.p50_ms > 0.0) out << ", \"p50_ms\": " << r.p50_ms;
     if (r.p99_ms > 0.0) out << ", \"p99_ms\": " << r.p99_ms;
+    if (r.spill_fallbacks > 0)
+      out << ", \"spill_fallbacks\": " << r.spill_fallbacks;
     out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
   }
   out << "]\n";
@@ -368,6 +373,7 @@ void ApplyField(BenchRecord* r, const std::string& key, const std::string& value
   else if (key == "queries_per_sec") r->queries_per_sec = num;
   else if (key == "p50_ms") r->p50_ms = num;
   else if (key == "p99_ms") r->p99_ms = num;
+  else if (key == "spill_fallbacks") r->spill_fallbacks = static_cast<uint64_t>(num);
 }
 
 }  // namespace

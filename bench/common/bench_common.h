@@ -65,6 +65,9 @@ struct Measurement {
   double reduce_range_spread = 0.0;
   uint64_t shuffle_bytes = 0;
   uint64_t spill_files = 0;  // external shuffle spill files written
+  /// Spill writes that exhausted retries and kept their run resident
+  /// (recovery telemetry; 0 on a healthy disk, results unaffected).
+  uint64_t spill_fallbacks = 0;
   uint64_t map_records = 0;  // records read by all map phases
 
   /// Map-side throughput in records/sec (0 when nothing was timed).
@@ -111,6 +114,9 @@ struct BenchRecord {
   double queries_per_sec = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  /// Recovery telemetry: spill writes that fell back to resident runs
+  /// during the row (omitted from the JSON when 0, the healthy case).
+  uint64_t spill_fallbacks = 0;
 };
 
 /// Collects BenchRecords and writes them as a JSON array to

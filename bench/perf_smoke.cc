@@ -337,6 +337,7 @@ int Main(int argc, char** argv) {
       sr.reduce_wall_ms = m.reduce_wall_ms;
       sr.reduce_range_spread = m.reduce_range_spread;
       sr.shuffle_bytes = m.shuffle_bytes;
+      sr.spill_fallbacks = m.spill_fallbacks;
       reporter.Add(std::move(sr));
     };
     add_skew_record(1, skew_r1);
@@ -355,6 +356,15 @@ int Main(int argc, char** argv) {
     if (skew_r8.spill_files == 0) {
       std::fprintf(stderr,
                    "FAIL skew-reduce: expected forced spill, got 0 files\n");
+      failed = true;
+    }
+    // A healthy disk must never take the resident-fallback recovery path;
+    // a nonzero count here means spill writes are failing on the CI host.
+    if (skew_r1.spill_fallbacks != 0 || skew_r8.spill_fallbacks != 0) {
+      std::fprintf(stderr,
+                   "FAIL skew-reduce: %llu spill fallbacks on a healthy run\n",
+                   static_cast<unsigned long long>(skew_r1.spill_fallbacks +
+                                                   skew_r8.spill_fallbacks));
       failed = true;
     }
     if (skew_r1.shuffle_bytes != skew_r8.shuffle_bytes ||

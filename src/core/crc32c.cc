@@ -1,0 +1,116 @@
+#include "core/crc32c.h"
+
+#include <cstring>
+
+#if defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#include <arm_acle.h>
+#define WAVEMR_CRC32C_ARM 1
+#endif
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <nmmintrin.h>
+#define WAVEMR_CRC32C_X86 1
+#endif
+
+namespace wavemr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Software fallback: slicing-by-8 over the reflected Castagnoli polynomial.
+// Tables are built once at first use (256 entries x 8 slices, 8 KiB).
+// ---------------------------------------------------------------------------
+
+struct Crc32cTables {
+  uint32_t t[8][256];
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j)
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i)
+      for (int s = 1; s < 8; ++s)
+        t[s][i] = (t[s - 1][i] >> 8) ^ t[0][t[s - 1][i] & 0xFF];
+  }
+};
+
+[[maybe_unused]] uint32_t Crc32cSoftware(uint32_t crc, const uint8_t* p,
+                                         size_t n) {
+  static const Crc32cTables tables;
+  const auto& t = tables.t;
+  crc = ~crc;
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    w ^= crc;
+    crc = t[7][w & 0xFF] ^ t[6][(w >> 8) & 0xFF] ^ t[5][(w >> 16) & 0xFF] ^
+          t[4][(w >> 24) & 0xFF] ^ t[3][(w >> 32) & 0xFF] ^
+          t[2][(w >> 40) & 0xFF] ^ t[1][(w >> 48) & 0xFF] ^ t[0][w >> 56];
+    p += 8;
+    n -= 8;
+  }
+  while (n--) crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFF];
+  return ~crc;
+}
+
+// ---------------------------------------------------------------------------
+// Hardware paths. x86 compiles the SSE4.2 body with a per-function target
+// attribute and selects it at runtime via cpuid, so the default build (plain
+// x86-64 baseline) still benefits on capable machines.
+// ---------------------------------------------------------------------------
+
+#if WAVEMR_CRC32C_X86
+__attribute__((target("sse4.2"))) uint32_t Crc32cSse42(uint32_t crc,
+                                                       const uint8_t* p,
+                                                       size_t n) {
+  uint64_t c = ~crc;
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    c = _mm_crc32_u64(c, w);
+    p += 8;
+    n -= 8;
+  }
+  uint32_t c32 = static_cast<uint32_t>(c);
+  while (n--) c32 = _mm_crc32_u8(c32, *p++);
+  return ~c32;
+}
+
+bool HaveSse42() {
+  static const bool have = __builtin_cpu_supports("sse4.2");
+  return have;
+}
+#endif
+
+#if WAVEMR_CRC32C_ARM
+uint32_t Crc32cArm(uint32_t crc, const uint8_t* p, size_t n) {
+  uint32_t c = ~crc;
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    c = __crc32cd(c, w);
+    p += 8;
+    n -= 8;
+  }
+  while (n--) c = __crc32cb(c, *p++);
+  return ~c;
+}
+#endif
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+#if WAVEMR_CRC32C_ARM
+  return Crc32cArm(crc, p, n);
+#else
+#if WAVEMR_CRC32C_X86
+  if (HaveSse42()) return Crc32cSse42(crc, p, n);
+#endif
+  return Crc32cSoftware(crc, p, n);
+#endif
+}
+
+}  // namespace wavemr

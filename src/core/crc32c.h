@@ -1,0 +1,26 @@
+#ifndef WAVEMR_CORE_CRC32C_H_
+#define WAVEMR_CORE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wavemr {
+
+/// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+/// checksum guarding spill-file blocks and snapshot footers
+/// (docs/file-formats.md). Uses the SSE4.2 / ARMv8 CRC instructions when the
+/// running CPU has them (runtime-dispatched, no special build flags needed)
+/// and a slicing-by-8 table fallback otherwise; both paths produce identical
+/// values, so files written on one machine verify on any other.
+///
+/// Crc32cExtend continues a running checksum: `Crc32cExtend(Crc32c(a), b)`
+/// equals `Crc32c(concat(a, b))`.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_CORE_CRC32C_H_

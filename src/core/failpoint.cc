@@ -1,0 +1,252 @@
+#include "core/failpoint.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace wavemr {
+namespace failpoint_internal {
+
+std::atomic<int> g_armed{-1};
+
+namespace {
+
+enum class Mode { kError, kTimes, kEvery };
+
+struct Site {
+  Mode mode = Mode::kError;
+  uint64_t n = 0;  // kTimes: trips remaining budget; kEvery: period
+  int err = EIO;
+  bool armed = true;
+  uint64_t hits = 0;
+  uint64_t trips = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Site> sites;  // ordered for stable AllStats output
+  bool env_parsed = false;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: failpoints live process-long
+  return *r;
+}
+
+// Recomputes the fast-path arming count. Caller holds registry().mu.
+void PublishArmedCount(Registry& r) {
+  int armed = 0;
+  for (const auto& [name, site] : r.sites)
+    if (site.armed) ++armed;
+  g_armed.store(armed, std::memory_order_relaxed);
+}
+
+bool ParseErrno(const std::string& tok, int* out) {
+  static const std::map<std::string, int> kNames = {
+      {"EIO", EIO},       {"ENOSPC", ENOSPC},
+      {"EINTR", EINTR},   {"EAGAIN", EAGAIN},
+      {"EPIPE", EPIPE},   {"ECONNRESET", ECONNRESET},
+  };
+  auto it = kNames.find(tok);
+  if (it != kNames.end()) {
+    *out = it->second;
+    return true;
+  }
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  long v = std::strtol(tok.c_str(), &end, 10);
+  if (*end != '\0' || v <= 0 || v > 4096) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+// Parses one "site=action" term into the registry. Caller holds mu.
+Status ApplyTerm(Registry& r, const std::string& term) {
+  auto bad = [&term](const std::string& why) {
+    return Status::InvalidArgument("bad failpoint term \"" + term +
+                                   "\": " + why);
+  };
+  const size_t eq = term.find('=');
+  if (eq == std::string::npos || eq == 0)
+    return bad("expected site=action");
+  const std::string site = term.substr(0, eq);
+  std::vector<std::string> parts;
+  for (size_t pos = eq + 1; pos <= term.size();) {
+    const size_t colon = term.find(':', pos);
+    const size_t end = colon == std::string::npos ? term.size() : colon;
+    parts.push_back(term.substr(pos, end - pos));
+    if (colon == std::string::npos) break;
+    pos = colon + 1;
+  }
+  if (parts.empty() || parts[0].empty()) return bad("missing action");
+  const std::string& action = parts[0];
+
+  if (action == "off") {
+    if (parts.size() != 1) return bad("off takes no arguments");
+    auto it = r.sites.find(site);
+    if (it != r.sites.end()) it->second.armed = false;
+    return Status::OK();
+  }
+
+  Site s;
+  size_t err_idx = 1;
+  if (action == "error") {
+    s.mode = Mode::kError;
+  } else if (action == "once") {
+    s.mode = Mode::kTimes;
+    s.n = 1;
+  } else if (action == "times" || action == "every") {
+    s.mode = action == "times" ? Mode::kTimes : Mode::kEvery;
+    if (parts.size() < 2) return bad(action + " needs a count");
+    char* end = nullptr;
+    long n = std::strtol(parts[1].c_str(), &end, 10);
+    if (parts[1].empty() || *end != '\0' || n < 1)
+      return bad("count must be a positive integer");
+    s.n = static_cast<uint64_t>(n);
+    err_idx = 2;
+  } else {
+    return bad("unknown action \"" + action + "\"");
+  }
+  if (parts.size() > err_idx + 1) return bad("too many arguments");
+  if (parts.size() == err_idx + 1 && !ParseErrno(parts[err_idx], &s.err))
+    return bad("bad errno \"" + parts[err_idx] + "\"");
+
+  // Fresh arming resets the site's counters so every:N phases predictably.
+  r.sites[site] = s;
+  return Status::OK();
+}
+
+// Caller holds mu. Parses WAVEMR_FAILPOINTS exactly once; a malformed env
+// spec is ignored (tests can't observe stderr here, and dying in a library
+// constructor over an env typo would be worse than not injecting).
+void EnsureEnvParsed(Registry& r) {
+  if (r.env_parsed) return;
+  r.env_parsed = true;
+  const char* env = std::getenv("WAVEMR_FAILPOINTS");
+  if (env == nullptr || env[0] == '\0') {
+    PublishArmedCount(r);
+    return;
+  }
+  const std::string spec(env);
+  for (size_t pos = 0; pos <= spec.size();) {
+    const size_t comma = spec.find(',', pos);
+    const size_t end = comma == std::string::npos ? spec.size() : comma;
+    if (end > pos) (void)ApplyTerm(r, spec.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  PublishArmedCount(r);
+}
+
+}  // namespace
+
+int HitSlow(const char* site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  EnsureEnvParsed(r);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end() || !it->second.armed) return 0;
+  Site& s = it->second;
+  ++s.hits;
+  switch (s.mode) {
+    case Mode::kError:
+      ++s.trips;
+      return s.err;
+    case Mode::kTimes:
+      if (s.trips < s.n) {
+        ++s.trips;
+        return s.err;
+      }
+      return 0;
+    case Mode::kEvery:
+      if (s.hits % s.n == 0) {
+        ++s.trips;
+        return s.err;
+      }
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace failpoint_internal
+
+Status Failpoints::ArmFromSpec(const std::string& spec) {
+#if defined(WAVEMR_FAILPOINTS_DISABLED)
+  (void)spec;
+  return Status::FailedPrecondition(
+      "failpoints compiled out (-DWAVEMR_FAILPOINTS=OFF)");
+#else
+  auto& r = failpoint_internal::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  failpoint_internal::EnsureEnvParsed(r);
+  const auto backup = r.sites;  // a bad term rolls the whole spec back
+  Status st = Status::OK();
+  for (size_t pos = 0; pos <= spec.size() && st.ok();) {
+    const size_t comma = spec.find(',', pos);
+    const size_t end = comma == std::string::npos ? spec.size() : comma;
+    if (end > pos) {
+      st = failpoint_internal::ApplyTerm(r, spec.substr(pos, end - pos));
+    } else if (!spec.empty()) {
+      // "" is a no-op, but "a=error,," has an empty term: reject the typo.
+      st = Status::InvalidArgument("empty term in failpoint spec \"" + spec +
+                                   "\"");
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (!st.ok()) r.sites = backup;
+  failpoint_internal::PublishArmedCount(r);
+  return st;
+#endif
+}
+
+void Failpoints::Disarm(const std::string& site) {
+  auto& r = failpoint_internal::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  failpoint_internal::EnsureEnvParsed(r);
+  auto it = r.sites.find(site);
+  if (it != r.sites.end()) it->second.armed = false;
+  failpoint_internal::PublishArmedCount(r);
+}
+
+void Failpoints::DisarmAll() {
+  auto& r = failpoint_internal::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  failpoint_internal::EnsureEnvParsed(r);
+  r.sites.clear();
+  failpoint_internal::PublishArmedCount(r);
+}
+
+Failpoints::SiteStats Failpoints::StatsFor(const std::string& site) {
+  auto& r = failpoint_internal::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  SiteStats out;
+  out.site = site;
+  auto it = r.sites.find(site);
+  if (it != r.sites.end()) {
+    out.hits = it->second.hits;
+    out.trips = it->second.trips;
+  }
+  return out;
+}
+
+std::vector<Failpoints::SiteStats> Failpoints::AllStats() {
+  auto& r = failpoint_internal::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<SiteStats> out;
+  out.reserve(r.sites.size());
+  for (const auto& [name, site] : r.sites)
+    out.push_back(SiteStats{name, site.hits, site.trips});
+  return out;
+}
+
+uint64_t Failpoints::TotalTrips() {
+  auto& r = failpoint_internal::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  uint64_t total = 0;
+  for (const auto& [name, site] : r.sites) total += site.trips;
+  return total;
+}
+
+}  // namespace wavemr

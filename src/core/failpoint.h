@@ -1,0 +1,93 @@
+#ifndef WAVEMR_CORE_FAILPOINT_H_
+#define WAVEMR_CORE_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace wavemr {
+
+/// Fault-injection failpoints.
+///
+/// A failpoint is a named site in production code where a test (or an
+/// operator chasing a bug) can inject an errno without touching the code
+/// under test. Sites are plain string literals checked at the point of the
+/// real syscall:
+///
+///   if (int fe = FailpointHit("spill.write.write")) { fail with errno fe; }
+///
+/// Nothing trips unless a site is armed, either programmatically
+/// (Failpoints::ArmFromSpec, used by tests) or externally via the
+/// WAVEMR_FAILPOINTS environment variable / the --failpoints CLI flag.
+/// The spec grammar is a comma-separated list of site=action terms:
+///
+///   spec    := term ("," term)*
+///   term    := site "=" action
+///   action  := "error" [":" err]        trip on every hit
+///            | "once" [":" err]         trip on the first hit only
+///            | "times" ":" N [":" err]  trip on the first N hits
+///            | "every" ":" N [":" err]  trip on every Nth hit (N >= 1)
+///            | "off"                    disarm the site
+///   err     := decimal errno | EIO | ENOSPC | EINTR | EAGAIN | EPIPE
+///              | ECONNRESET               (default EIO)
+///
+/// e.g. WAVEMR_FAILPOINTS='spill.write.write=error:ENOSPC' makes every
+/// spill-file body write fail with ENOSPC, which the shuffle plane must
+/// absorb by retaining runs resident (docs/robustness.md has the full site
+/// catalog and the recovery each site proves).
+///
+/// Cost when disarmed: one relaxed atomic load per hit. Builds configured
+/// with -DWAVEMR_FAILPOINTS=OFF compile every site to a constant 0 and the
+/// arming API to no-ops.
+class Failpoints {
+ public:
+  struct SiteStats {
+    std::string site;
+    uint64_t hits = 0;   // times the armed site was evaluated
+    uint64_t trips = 0;  // times it actually injected a failure
+  };
+
+  /// Arms/disarms sites per the spec grammar above. Invalid specs return
+  /// InvalidArgument and leave the registry unchanged.
+  static Status ArmFromSpec(const std::string& spec);
+
+  /// Disarms one site / every site. Counters for disarmed sites are kept
+  /// until DisarmAll, which clears everything.
+  static void Disarm(const std::string& site);
+  static void DisarmAll();
+
+  /// Stats for one site (zeros if never armed) or every site ever armed.
+  static SiteStats StatsFor(const std::string& site);
+  static std::vector<SiteStats> AllStats();
+
+  /// Total injected failures across all sites since the last DisarmAll.
+  static uint64_t TotalTrips();
+};
+
+namespace failpoint_internal {
+// < 0 until the WAVEMR_FAILPOINTS env var has been consulted; afterwards the
+// number of currently armed sites.
+extern std::atomic<int> g_armed;
+int HitSlow(const char* site);
+}  // namespace failpoint_internal
+
+/// Returns the errno to inject at `site` (0 = proceed normally). The
+/// disarmed fast path is a single relaxed load.
+inline int FailpointHit(const char* site) {
+#if defined(WAVEMR_FAILPOINTS_DISABLED)
+  (void)site;
+  return 0;
+#else
+  const int armed =
+      failpoint_internal::g_armed.load(std::memory_order_relaxed);
+  if (armed == 0) return 0;
+  return failpoint_internal::HitSlow(site);
+#endif
+}
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_CORE_FAILPOINT_H_

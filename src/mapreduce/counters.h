@@ -22,6 +22,12 @@ namespace wavemr {
 ///   shuffle_spill_events  -- Accepts that crossed the buffer budget,
 ///   shuffle_spill_files   -- spill files actually written,
 ///   shuffle_spill_bytes   -- bytes written to them (framing included).
+///
+/// Recovery counters (absent on a healthy disk; environment-dependent, so
+/// determinism checks must skip them -- they never change result bits):
+///   shuffle_spill_fallbacks -- spill writes that exhausted retries and kept
+///                              the run resident (ShufflePlane pinning),
+///   shuffle_spill_retries   -- transient-errno retries of spill writes.
 class Counters {
  public:
   Counters() = default;

@@ -717,6 +717,14 @@ RoundStats RunRound(const JobPlan<K2, V2>& plan, const Dataset& dataset, MrEnv* 
     env->stats.counters.Add("shuffle_spill_files", plane.spill_files());
     env->stats.counters.Add("shuffle_spill_bytes", plane.spill_bytes());
   }
+  round.spill_fallbacks = plane.spill_fallbacks();
+  round.spill_retries = plane.spill_retries();
+  if (plane.spill_fallbacks() > 0) {
+    env->stats.counters.Add("shuffle_spill_fallbacks", plane.spill_fallbacks());
+  }
+  if (plane.spill_retries() > 0) {
+    env->stats.counters.Add("shuffle_spill_retries", plane.spill_retries());
+  }
 
   round.map_makespan_s = ScheduleMakespan(env->cluster, task_seconds);
   round.shuffle_s =

@@ -675,12 +675,22 @@ class ShufflePlane {
   /// Payload bytes living in spill files -- what every full merge reads
   /// back, independent of reduce partitioning or cursor block size.
   uint64_t spill_payload_bytes() const { return spill_payload_bytes_; }
+  /// Spill attempts that exhausted their IO retries and fell back to
+  /// retaining the run resident (results stay bit-identical; see Retained).
+  uint64_t spill_fallbacks() const { return spill_fallbacks_; }
+  /// Transient-errno retries performed by spill writes (successful or not).
+  uint64_t spill_retries() const { return spill_retries_; }
   size_t num_runs() const { return resident_.size() + spilled_.size(); }
 
  private:
   struct Retained {
     uint32_t ordinal;
     ShuffleRun<K, V> run;
+    /// A spill attempt on this run exhausted its IO retries. The run stays
+    /// resident for the rest of the round and is never offered as a spill
+    /// victim again -- its bytes permanently occupy budget, shrinking the
+    /// effective buffer (graceful degradation instead of an aborted job).
+    bool pinned = false;
   };
   struct Spilled {
     uint32_t ordinal;
@@ -695,14 +705,18 @@ class ShufflePlane {
     if constexpr (std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>) {
       if (spill_dir_ == nullptr) return;  // counting-only plane
       while (spill_.ShouldSpill(resident_bytes_) && !resident_.empty()) {
-        size_t victim = 0;
-        for (size_t i = 1; i < resident_.size(); ++i) {
-          if (resident_[i].run.PayloadBytes() >
-              resident_[victim].run.PayloadBytes()) {
+        size_t victim = resident_.size();
+        for (size_t i = 0; i < resident_.size(); ++i) {
+          if (resident_[i].pinned || resident_[i].run.empty()) continue;
+          if (victim == resident_.size() ||
+              resident_[i].run.PayloadBytes() >
+                  resident_[victim].run.PayloadBytes()) {
             victim = i;
           }
         }
-        if (resident_[victim].run.empty()) break;  // nothing left worth evicting
+        // Everything left is empty or pinned by a failed spill: over budget
+        // but nothing evictable. Carry on resident.
+        if (victim == resident_.size()) break;
         SpillRun(victim);
       }
     }
@@ -726,8 +740,23 @@ class ShufflePlane {
             static_cast<uint64_t>(r.run.keys[b * kSpillIndexBlockPairs]));
       }
     }
-    info.file_bytes = WriteSpillFile<K, V>(info.path, r.run.keys.data(),
-                                           r.run.values.data(), r.run.size());
+    const SpillWriteResult w = WriteSpillFile<K, V>(
+        info.path, r.run.keys.data(), r.run.values.data(), r.run.size());
+    spill_retries_ += w.retries;
+    if (!w.io.ok()) {
+      // Degrade instead of dying: WriteSpillFile already deleted the partial
+      // file, the columns are still resident, and resident vs spilled runs
+      // merge bit-identically -- so pin the run in memory and move on. The
+      // fallback is observable only through counters (and a shrunken
+      // effective buffer).
+      r.pinned = true;
+      ++spill_fallbacks_;
+      WAVEMR_LOG(Warning) << w.io.ToString() << "; retaining run "
+                          << r.ordinal << " resident ("
+                          << r.run.PayloadBytes() << " bytes pinned)";
+      return;
+    }
+    info.file_bytes = w.file_bytes;
     ++spill_files_;
     spill_bytes_ += info.file_bytes;
     spill_payload_bytes_ += r.run.PayloadBytes();
@@ -876,6 +905,8 @@ class ShufflePlane {
   uint64_t spill_files_ = 0;
   uint64_t spill_bytes_ = 0;
   uint64_t spill_payload_bytes_ = 0;
+  uint64_t spill_fallbacks_ = 0;
+  uint64_t spill_retries_ = 0;
 };
 
 }  // namespace wavemr

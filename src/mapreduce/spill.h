@@ -5,17 +5,24 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <limits>
+#include <stdexcept>
 #include <string>
 #include <system_error>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "core/crc32c.h"
+#include "core/failpoint.h"
 #include "core/logging.h"
+#include "core/status.h"
 
 namespace wavemr {
 
@@ -35,20 +42,143 @@ namespace wavemr {
 ///   [u64 magic][u64 n][u32 sizeof(K)][u32 sizeof(V)]   24-byte header
 ///   [K keys:   n * sizeof(K)]                          key block
 ///   [V values: n * sizeof(V)]                          value block
+///   [u32 key_crc   * nblocks]                          CRC32C per 4096-pair
+///   [u32 value_crc * nblocks]                          column block
+///   [u32 footer_crc]                                   CRC32C of the two
+///                                                      CRC arrays
 ///
-/// The key and value blocks stay columnar -- a cursor's refill reads a block
-/// of keys and a block of values with two contiguous freads, and the
-/// on-disk lower-bound search for reduce partitioning touches only the key
-/// block.
+/// with nblocks = ceil(n / kSpillIndexBlockPairs). The key and value blocks
+/// stay columnar -- a cursor's refill reads a block of keys and a block of
+/// values with two contiguous freads, and the on-disk lower-bound search for
+/// reduce partitioning touches only the key block. Every read path verifies
+/// the block checksums, so a torn or bit-flipped spill file is detected
+/// (SpillIoError) instead of silently corrupting the merge.
+///
+/// IO failure contract: writes return typed IoResults (the shuffle plane
+/// degrades to keeping the run resident -- see ShufflePlane); reads throw
+/// SpillIoError, which the job engine's existing exception path turns into a
+/// clean abort with spill files removed. Transient errno (EINTR/EAGAIN, and
+/// ENOSPC on writes) is retried with exponential backoff per SpillIoPolicy
+/// before either outcome. Fault injection hooks: failpoint sites
+/// `spill.write.{open,write,close}` and `spill.read.{open,read}`
+/// (core/failpoint.h, catalog in docs/robustness.md).
 
-inline constexpr uint64_t kSpillMagic = 0x57564d5250494c31ull;  // "WVMRPIL1"
+inline constexpr uint64_t kSpillMagic = 0x57564d5250494c32ull;  // "WVMRPIL2"
 inline constexpr uint64_t kSpillHeaderBytes = 24;
 
-/// Sparse key-index granularity: one sampled key per this many pairs. Kept
-/// equal to FileRunCursor's refill block so an index hit brackets exactly
-/// one cursor block. 4096 * 8 bytes of samples per 4096 * 16-byte block =
-/// 0.05% memory overhead on the spilled payload.
+/// Sparse key-index and checksum granularity: one sampled key and one CRC32C
+/// per column per this many pairs. Kept equal to FileRunCursor's refill
+/// block so an index hit brackets exactly one cursor block and a refill
+/// verifies exactly one checksum. 4096 * 8 bytes of samples per 4096 *
+/// 16-byte block = 0.05% memory overhead on the spilled payload.
 inline constexpr uint64_t kSpillIndexBlockPairs = 4096;
+
+/// Checksummed blocks in a file of `num_pairs` pairs.
+inline uint64_t SpillNumBlocks(uint64_t num_pairs) {
+  return (num_pairs + kSpillIndexBlockPairs - 1) / kSpillIndexBlockPairs;
+}
+
+/// Total on-disk size of a spill file holding `num_pairs` K/V pairs.
+template <typename K, typename V>
+uint64_t SpillFileBytes(uint64_t num_pairs) {
+  return kSpillHeaderBytes + num_pairs * (sizeof(K) + sizeof(V)) +
+         (2 * SpillNumBlocks(num_pairs) + 1) * sizeof(uint32_t);
+}
+
+/// Typed outcome of one spill IO operation. `op` says which syscall family
+/// failed (kNone = success); `err` carries errno when the OS produced one
+/// (0 for pure format/checksum violations).
+struct IoResult {
+  enum class Op {
+    kNone = 0,  // success
+    kOpen,
+    kSeek,
+    kRead,
+    kWrite,
+    kClose,
+    kChecksum,  // stored CRC32C does not match the bytes read
+    kFormat,    // truncated file / bad magic / header mismatch
+  };
+
+  Op op = Op::kNone;
+  int err = 0;
+  std::string detail;
+
+  bool ok() const { return op == Op::kNone; }
+
+  static const char* OpName(Op op) {
+    switch (op) {
+      case Op::kNone: return "ok";
+      case Op::kOpen: return "open";
+      case Op::kSeek: return "seek";
+      case Op::kRead: return "read";
+      case Op::kWrite: return "write";
+      case Op::kClose: return "close";
+      case Op::kChecksum: return "checksum";
+      case Op::kFormat: return "format";
+    }
+    return "unknown";
+  }
+
+  std::string ToString() const {
+    if (ok()) return "ok";
+    std::string out = "spill ";
+    out += OpName(op);
+    out += " error";
+    if (err != 0) {
+      out += " (";
+      out += std::strerror(err);
+      out += ")";
+    }
+    if (!detail.empty()) {
+      out += ": ";
+      out += detail;
+    }
+    return out;
+  }
+
+  Status ToStatus() const {
+    return ok() ? Status::OK() : Status::IOError(ToString());
+  }
+};
+
+/// Thrown by the spill read paths (cursors, probes) on IO failure or
+/// detected corruption. The job engine already unwinds exceptions cleanly
+/// (spill files are deleted by ShufflePlane/SpillDir RAII), so a bad disk
+/// aborts the build with a typed, actionable error instead of wrong results.
+class SpillIoError : public std::runtime_error {
+ public:
+  explicit SpillIoError(IoResult io)
+      : std::runtime_error(io.ToString()), io_(std::move(io)) {}
+  const IoResult& io() const { return io_; }
+
+ private:
+  IoResult io_;
+};
+
+/// Retry budget for transient spill IO errno. An attempt that fails with a
+/// transient code is retried after an exponentially growing backoff, up to
+/// max_attempts total tries; everything else (and exhaustion) surfaces the
+/// typed error to the caller.
+struct SpillIoPolicy {
+  int max_attempts = 4;
+  int backoff_initial_us = 100;  // doubles per retry: 100, 200, 400, ...
+
+  /// ENOSPC counts as transient on the write path: spills race with other
+  /// tenants of the temp volume and space can free up between attempts.
+  /// (If it does not, exhaustion lands in the resident-run fallback.)
+  static bool IsTransient(int err) {
+    return err == EINTR || err == EAGAIN || err == ENOSPC || err == ENOBUFS;
+  }
+
+  void BackoffSleep(int attempt) const {
+    const int64_t us = static_cast<int64_t>(backoff_initial_us) << attempt;
+    if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+};
+
+template <typename K>
+class SpillKeyProbe;
 
 /// Metadata the plane keeps per spilled run: enough to merge and partition
 /// it without re-reading the header.
@@ -65,9 +195,6 @@ struct SpillFileInfo {
   std::vector<uint64_t> block_keys;
 };
 
-template <typename K>
-class SpillKeyProbe;
-
 namespace internal {
 
 inline uint64_t SpillKeyOffset() { return kSpillHeaderBytes; }
@@ -77,75 +204,321 @@ uint64_t SpillValueOffset(uint64_t num_pairs) {
   return kSpillHeaderBytes + num_pairs * sizeof(K);
 }
 
+inline IoResult SpillFail(IoResult::Op op, int err, std::string detail) {
+  IoResult r;
+  r.op = op;
+  r.err = err;
+  r.detail = std::move(detail);
+  return r;
+}
+
+/// Shared read-side handle: opens a spill file (with retry on transient
+/// errno), validates the header against the caller's SpillFileInfo, loads
+/// and verifies the checksum footer, and serves positioned reads. All
+/// failures throw SpillIoError. `expect_vsize` = 0 skips the value-size
+/// check (SpillKeyProbe does not know V; it takes the on-disk size as
+/// authoritative for computing the footer offset).
+class SpillReadHandle {
+ public:
+  SpillReadHandle() = default;
+  ~SpillReadHandle() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  SpillReadHandle(SpillReadHandle&& other) noexcept { *this = std::move(other); }
+  SpillReadHandle& operator=(SpillReadHandle&& other) noexcept {
+    if (this != &other) {
+      if (file_ != nullptr) std::fclose(file_);
+      file_ = other.file_;
+      other.file_ = nullptr;
+      path_ = std::move(other.path_);
+      num_pairs_ = other.num_pairs_;
+      ksize_ = other.ksize_;
+      vsize_ = other.vsize_;
+      key_crcs_ = std::move(other.key_crcs_);
+      value_crcs_ = std::move(other.value_crcs_);
+    }
+    return *this;
+  }
+  SpillReadHandle(const SpillReadHandle&) = delete;
+  SpillReadHandle& operator=(const SpillReadHandle&) = delete;
+
+  bool open() const { return file_ != nullptr; }
+  uint64_t num_pairs() const { return num_pairs_; }
+  uint32_t ksize() const { return ksize_; }
+  uint32_t vsize() const { return vsize_; }
+  const std::vector<uint32_t>& key_crcs() const { return key_crcs_; }
+  const std::vector<uint32_t>& value_crcs() const { return value_crcs_; }
+
+  void Open(const SpillFileInfo& info, uint32_t expect_ksize,
+            uint32_t expect_vsize, const SpillIoPolicy& policy) {
+    path_ = info.path.string();
+    policy_ = policy;
+    for (int attempt = 0;; ++attempt) {
+      const int fe = FailpointHit("spill.read.open");
+      file_ = fe != 0 ? nullptr : std::fopen(path_.c_str(), "rb");
+      if (file_ != nullptr) break;
+      const int err = fe != 0 ? fe : errno;
+      if (SpillIoPolicy::IsTransient(err) && attempt + 1 < policy_.max_attempts) {
+        policy_.BackoffSleep(attempt);
+        continue;
+      }
+      throw SpillIoError(
+          SpillFail(IoResult::Op::kOpen, err, "cannot open spill file " + path_));
+    }
+    uint64_t header[2] = {0, 0};
+    uint32_t sizes[2] = {0, 0};
+    ReadAt(0, header, sizeof(header), "spill header");
+    ReadAt(sizeof(header), sizes, sizeof(sizes), "spill header");
+    if (header[0] != kSpillMagic) {
+      throw SpillIoError(SpillFail(
+          IoResult::Op::kFormat, 0,
+          "bad spill magic in " + path_ + " (not a WVMRPIL2 spill file)"));
+    }
+    if (header[1] != info.num_pairs) {
+      throw SpillIoError(SpillFail(
+          IoResult::Op::kFormat, 0,
+          "spill pair-count mismatch in " + path_ + ": header says " +
+              std::to_string(header[1]) + ", expected " +
+              std::to_string(info.num_pairs)));
+    }
+    if (sizes[0] != expect_ksize ||
+        (expect_vsize != 0 && sizes[1] != expect_vsize) || sizes[1] == 0) {
+      throw SpillIoError(SpillFail(IoResult::Op::kFormat, 0,
+                                   "spill record-size mismatch in " + path_));
+    }
+    num_pairs_ = header[1];
+    ksize_ = sizes[0];
+    vsize_ = sizes[1];
+    LoadFooter();
+  }
+
+  /// Positioned read of exactly `bytes`; retries transient errno per policy,
+  /// throws SpillIoError(kFormat) on EOF (truncation) and kRead/kSeek on
+  /// hard errors.
+  void ReadAt(uint64_t offset, void* out, size_t bytes, const char* what) {
+    for (int attempt = 0;; ++attempt) {
+      const int fe = FailpointHit("spill.read.read");
+      int err = 0;
+      if (fe != 0) {
+        err = fe;
+      } else if (fseeko(file_, static_cast<off_t>(offset), SEEK_SET) != 0) {
+        err = errno;
+        throw SpillIoError(SpillFail(IoResult::Op::kSeek, err,
+                                     std::string(what) + " in " + path_));
+      } else {
+        std::clearerr(file_);
+        if (std::fread(out, 1, bytes, file_) == bytes) return;
+        if (std::feof(file_)) {
+          throw SpillIoError(
+              SpillFail(IoResult::Op::kFormat, 0,
+                        "truncated spill file " + path_ + " (short read of " +
+                            what + ")"));
+        }
+        err = errno;
+      }
+      if (SpillIoPolicy::IsTransient(err) && attempt + 1 < policy_.max_attempts) {
+        std::clearerr(file_);
+        policy_.BackoffSleep(attempt);
+        continue;
+      }
+      throw SpillIoError(SpillFail(IoResult::Op::kRead, err,
+                                   std::string(what) + " in " + path_));
+    }
+  }
+
+  /// Verifies one column block against its stored checksum.
+  void VerifyBlock(const std::vector<uint32_t>& crcs, uint64_t block,
+                   const void* data, size_t bytes, const char* column) const {
+    const uint32_t computed = Crc32c(data, bytes);
+    if (block < crcs.size() && crcs[block] == computed) return;
+    char msg[160];
+    std::snprintf(msg, sizeof(msg),
+                  "%s block %llu checksum mismatch (stored 0x%08x, computed "
+                  "0x%08x)",
+                  column, static_cast<unsigned long long>(block),
+                  block < crcs.size() ? crcs[block] : 0u, computed);
+    throw SpillIoError(
+        SpillFail(IoResult::Op::kChecksum, 0, std::string(msg) + " in " + path_));
+  }
+
+ private:
+  void LoadFooter() {
+    const uint64_t nblocks = SpillNumBlocks(num_pairs_);
+    const uint64_t footer_off =
+        kSpillHeaderBytes + num_pairs_ * (uint64_t{ksize_} + vsize_);
+    std::vector<uint32_t> footer(2 * nblocks + 1);
+    ReadAt(footer_off, footer.data(), footer.size() * sizeof(uint32_t),
+           "spill checksum footer");
+    const uint32_t computed =
+        Crc32c(footer.data(), 2 * nblocks * sizeof(uint32_t));
+    if (footer[2 * nblocks] != computed) {
+      char msg[128];
+      std::snprintf(msg, sizeof(msg),
+                    "spill footer checksum mismatch (stored 0x%08x, computed "
+                    "0x%08x)",
+                    footer[2 * nblocks], computed);
+      throw SpillIoError(SpillFail(IoResult::Op::kChecksum, 0,
+                                   std::string(msg) + " in " + path_));
+    }
+    key_crcs_.assign(footer.begin(), footer.begin() + nblocks);
+    value_crcs_.assign(footer.begin() + nblocks, footer.begin() + 2 * nblocks);
+  }
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  SpillIoPolicy policy_;
+  uint64_t num_pairs_ = 0;
+  uint32_t ksize_ = 0;
+  uint32_t vsize_ = 0;
+  std::vector<uint32_t> key_crcs_;
+  std::vector<uint32_t> value_crcs_;
+};
+
 }  // namespace internal
 
-/// Writes one sorted run's columns to `path`. Returns the file size in
-/// bytes. Keys and values must be trivially copyable (every shuffle value in
-/// this codebase is a packed POD message).
+/// Outcome of WriteSpillFile: `io.ok()` on success with the final file size;
+/// on failure the partial file has already been deleted. `retries` counts
+/// re-attempts actually performed (0 = first try succeeded / failed hard).
+struct SpillWriteResult {
+  IoResult io;
+  uint64_t file_bytes = 0;
+  uint32_t retries = 0;
+};
+
+namespace internal {
+
+/// One write attempt. On failure the stream is closed but the partial file
+/// is left for the caller (the retry loop) to delete.
 template <typename K, typename V>
-uint64_t WriteSpillFile(const std::filesystem::path& path, const K* keys,
-                        const V* values, uint64_t n) {
-  static_assert(std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>,
-                "spill framing memcpys raw columns");
-  std::FILE* f = std::fopen(path.string().c_str(), "wb");
-  WAVEMR_CHECK(f != nullptr) << "cannot create spill file " << path.string();
+IoResult WriteSpillFileOnce(const std::filesystem::path& path, const K* keys,
+                            const V* values, uint64_t n,
+                            const std::vector<uint32_t>& footer) {
+  const std::string name = path.string();
+  int fe = FailpointHit("spill.write.open");
+  std::FILE* f = fe != 0 ? nullptr : std::fopen(name.c_str(), "wb");
+  if (f == nullptr) {
+    return SpillFail(IoResult::Op::kOpen, fe != 0 ? fe : errno,
+                     "cannot create spill file " + name);
+  }
   const uint64_t magic = kSpillMagic;
   const uint32_t ksize = sizeof(K);
   const uint32_t vsize = sizeof(V);
-  bool ok = std::fwrite(&magic, sizeof(magic), 1, f) == 1 &&
-            std::fwrite(&n, sizeof(n), 1, f) == 1 &&
-            std::fwrite(&ksize, sizeof(ksize), 1, f) == 1 &&
-            std::fwrite(&vsize, sizeof(vsize), 1, f) == 1;
-  if (n > 0) {
-    ok = ok && std::fwrite(keys, sizeof(K), n, f) == n &&
+  errno = 0;
+  fe = FailpointHit("spill.write.write");
+  bool ok = fe == 0;
+  ok = ok && std::fwrite(&magic, sizeof(magic), 1, f) == 1 &&
+       std::fwrite(&n, sizeof(n), 1, f) == 1 &&
+       std::fwrite(&ksize, sizeof(ksize), 1, f) == 1 &&
+       std::fwrite(&vsize, sizeof(vsize), 1, f) == 1;
+  if (ok && n > 0) {
+    ok = std::fwrite(keys, sizeof(K), n, f) == n &&
          std::fwrite(values, sizeof(V), n, f) == n;
   }
-  ok = std::fclose(f) == 0 && ok;
-  WAVEMR_CHECK(ok) << "short write to spill file " << path.string();
-  return kSpillHeaderBytes + n * (sizeof(K) + sizeof(V));
+  ok = ok && std::fwrite(footer.data(), sizeof(uint32_t), footer.size(), f) ==
+                 footer.size();
+  if (!ok) {
+    const int err = fe != 0 ? fe : (errno != 0 ? errno : EIO);
+    std::fclose(f);
+    return SpillFail(IoResult::Op::kWrite, err,
+                     "short write to spill file " + name);
+  }
+  fe = FailpointHit("spill.write.close");
+  if (fe != 0) {
+    std::fclose(f);
+    return SpillFail(IoResult::Op::kClose, fe, "cannot close spill file " + name);
+  }
+  errno = 0;
+  if (std::fclose(f) != 0) {
+    return SpillFail(IoResult::Op::kClose, errno != 0 ? errno : EIO,
+                     "cannot close spill file " + name);
+  }
+  return IoResult{};
+}
+
+}  // namespace internal
+
+/// Writes one sorted run's columns to `path` in the checksummed WVMRPIL2
+/// framing. Keys and values must be trivially copyable (every shuffle value
+/// in this codebase is a packed POD message).
+///
+/// Never aborts on IO failure: transient errno is retried per `policy`
+/// (each retry rewrites from scratch), any partial file is deleted before
+/// returning, and the typed IoResult lets the caller degrade -- the shuffle
+/// plane's response is to keep the run resident (ShufflePlane fallback)
+/// rather than lose data or kill the job.
+template <typename K, typename V>
+SpillWriteResult WriteSpillFile(const std::filesystem::path& path,
+                                const K* keys, const V* values, uint64_t n,
+                                const SpillIoPolicy& policy = SpillIoPolicy()) {
+  static_assert(std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>,
+                "spill framing memcpys raw columns");
+  // Checksums are over the in-memory columns, computed once across retries:
+  // what lands on disk must match what the writer held, not what a previous
+  // torn attempt wrote.
+  const uint64_t nblocks = SpillNumBlocks(n);
+  std::vector<uint32_t> footer(2 * nblocks + 1);
+  for (uint64_t b = 0; b < nblocks; ++b) {
+    const uint64_t lo = b * kSpillIndexBlockPairs;
+    const uint64_t cnt = std::min(kSpillIndexBlockPairs, n - lo);
+    footer[b] = Crc32c(keys + lo, cnt * sizeof(K));
+    footer[nblocks + b] = Crc32c(values + lo, cnt * sizeof(V));
+  }
+  footer[2 * nblocks] = Crc32c(footer.data(), 2 * nblocks * sizeof(uint32_t));
+
+  SpillWriteResult result;
+  for (int attempt = 0;; ++attempt) {
+    result.io = internal::WriteSpillFileOnce<K, V>(path, keys, values, n, footer);
+    if (result.io.ok()) {
+      result.file_bytes = SpillFileBytes<K, V>(n);
+      result.retries = static_cast<uint32_t>(attempt);
+      return result;
+    }
+    // Never leave a torn file behind: a later open would read garbage or a
+    // directory sweep would double-count it.
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    if (!SpillIoPolicy::IsTransient(result.io.err) ||
+        attempt + 1 >= policy.max_attempts) {
+      result.retries = static_cast<uint32_t>(attempt);
+      return result;
+    }
+    policy.BackoffSleep(attempt);
+  }
 }
 
 /// Streaming block cursor over an index range [begin, end) of one spill
 /// file's pairs. Each cursor owns its FILE*, so cursors over the same file
 /// (one per reduce partition) are safe to advance from different threads.
-/// NextBlock loads up to block_pairs (keys, values) pairs into owned
-/// buffers and hands out raw column pointers -- the same shape RunMerger's
-/// resident cursors have, so file-backed and in-memory runs merge through
-/// one loser tree.
+/// NextBlock loads (keys, values) pairs into owned buffers and hands out raw
+/// column pointers -- the same shape RunMerger's resident cursors have, so
+/// file-backed and in-memory runs merge through one loser tree.
+///
+/// Reads are always whole checksum blocks (kSpillIndexBlockPairs pairs,
+/// cached), verified against the stored CRC32C before any byte is served; a
+/// refill request is clamped to the current block's end, so callers see at
+/// most block_pairs pairs per call but possibly fewer. IO failures and
+/// corruption throw SpillIoError.
 template <typename K, typename V>
 class FileRunCursor {
  public:
-  /// Pairs per refill: 4096 * (8 + 8) bytes = 64 KiB per column pair for the
-  /// common u64/u64 shuffle -- big enough to amortize fread, small enough
-  /// that R cursors * 2 columns stay cache-friendly.
+  /// Upper bound on pairs per refill: 4096 * (8 + 8) bytes = 64 KiB per
+  /// column pair for the common u64/u64 shuffle -- big enough to amortize
+  /// fread, small enough that R cursors * 2 columns stay cache-friendly.
   static constexpr uint64_t kDefaultBlockPairs = 4096;
 
   FileRunCursor(const SpillFileInfo& info, uint64_t begin, uint64_t end,
-                uint64_t block_pairs = kDefaultBlockPairs)
+                uint64_t block_pairs = kDefaultBlockPairs,
+                const SpillIoPolicy& policy = SpillIoPolicy())
       : num_pairs_(info.num_pairs),
         pos_(begin),
         end_(end < info.num_pairs ? end : info.num_pairs),
         block_pairs_(block_pairs == 0 ? 1 : block_pairs) {
     static_assert(std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>);
     WAVEMR_CHECK(begin <= end_) << "inverted spill cursor range";
-    file_ = std::fopen(info.path.string().c_str(), "rb");
-    WAVEMR_CHECK(file_ != nullptr) << "cannot open spill file "
-                                   << info.path.string();
-    uint64_t header[2] = {0, 0};
-    uint32_t sizes[2] = {0, 0};
-    WAVEMR_CHECK(std::fread(header, sizeof(uint64_t), 2, file_) == 2 &&
-                 std::fread(sizes, sizeof(uint32_t), 2, file_) == 2)
-        << "truncated spill header " << info.path.string();
-    WAVEMR_CHECK(header[0] == kSpillMagic) << "bad spill magic";
-    WAVEMR_CHECK(header[1] == info.num_pairs) << "spill pair-count mismatch";
-    WAVEMR_CHECK(sizes[0] == sizeof(K) && sizes[1] == sizeof(V))
-        << "spill record-size mismatch";
-    keys_.resize(static_cast<size_t>(block_pairs_));
-    values_.resize(static_cast<size_t>(block_pairs_));
-  }
-
-  ~FileRunCursor() {
-    if (file_ != nullptr) std::fclose(file_);
+    handle_.Open(info, sizeof(K), sizeof(V), policy);
+    const uint64_t buf = std::min<uint64_t>(kSpillIndexBlockPairs, num_pairs_);
+    keys_.resize(static_cast<size_t>(buf));
+    values_.resize(static_cast<size_t>(buf));
   }
 
   FileRunCursor(const FileRunCursor&) = delete;
@@ -153,57 +526,34 @@ class FileRunCursor {
 
   uint64_t remaining() const { return end_ - pos_; }
 
-  /// Loads the next block of the range. Returns the number of pairs loaded
+  /// Loads the next slice of the range. Returns the number of pairs loaded
   /// (0 at end of range); *keys/*values point at the cursor-owned buffers
   /// and stay valid until the next NextBlock call.
   uint64_t NextBlock(const K** keys, const V** values) {
-    const uint64_t want = remaining() < block_pairs_ ? remaining() : block_pairs_;
+    uint64_t want = remaining() < block_pairs_ ? remaining() : block_pairs_;
     if (want == 0) return 0;
-    ReadColumn(internal::SpillKeyOffset() + pos_ * sizeof(K), keys_.data(),
-               sizeof(K), want);
-    ReadColumn(internal::SpillValueOffset<K, V>(num_pairs_) + pos_ * sizeof(V),
-               values_.data(), sizeof(V), want);
+    const uint64_t block = pos_ / kSpillIndexBlockPairs;
+    const uint64_t block_lo = block * kSpillIndexBlockPairs;
+    const uint64_t block_hi =
+        std::min(block_lo + kSpillIndexBlockPairs, num_pairs_);
+    want = std::min(want, block_hi - pos_);
+    LoadBlock(block, block_lo, block_hi);
+    *keys = keys_.data() + (pos_ - block_lo);
+    *values = values_.data() + (pos_ - block_lo);
     pos_ += want;
-    *keys = keys_.data();
-    *values = values_.data();
     return want;
   }
 
   /// First index in [0, num_pairs) whose key is >= `key` -- std::lower_bound
-  /// over the sorted on-disk key block, one key-sized read per probe. Used
-  /// by the driver to slice a spilled run into reduce partitions without
-  /// streaming it. The stored key bounds short-circuit the common partition
-  /// boundaries (entirely before or after this run) with zero IO.
+  /// over the sorted on-disk key block, one verified key block read per
+  /// probed block. Used by the driver to slice a spilled run into reduce
+  /// partitions without streaming it. The stored key bounds short-circuit
+  /// the common partition boundaries (entirely before or after this run)
+  /// with zero IO. Repeat callers should hold their own SpillKeyProbe to
+  /// reuse the handle and block cache.
   static uint64_t LowerBoundIndex(const SpillFileInfo& info, const K& key) {
-    static_assert(std::is_trivially_copyable_v<K>);
-    if constexpr (std::is_integral_v<K> && std::is_unsigned_v<K>) {
-      // One-shot probe: block-index bracketing + a single block read. Repeat
-      // callers should hold their own SpillKeyProbe to reuse the handle.
-      SpillKeyProbe<K> probe(info);
-      return probe.LowerBound(key);
-    } else {
-      std::FILE* f = std::fopen(info.path.string().c_str(), "rb");
-      WAVEMR_CHECK(f != nullptr) << "cannot open spill file "
-                                 << info.path.string();
-      uint64_t lo = 0;
-      uint64_t hi = info.num_pairs;
-      while (lo < hi) {
-        const uint64_t mid = lo + (hi - lo) / 2;
-        K probe;
-        WAVEMR_CHECK(fseeko(f, static_cast<off_t>(internal::SpillKeyOffset() +
-                                                  mid * sizeof(K)),
-                            SEEK_SET) == 0 &&
-                     std::fread(&probe, sizeof(K), 1, f) == 1)
-            << "short read in spill lower-bound " << info.path.string();
-        if (probe < key) {
-          lo = mid + 1;
-        } else {
-          hi = mid;
-        }
-      }
-      std::fclose(f);
-      return lo;
-    }
+    SpillKeyProbe<K> probe(info);
+    return probe.LowerBound(key);
   }
 
   /// First index in [0, num_pairs) whose key is > `key` -- std::upper_bound
@@ -220,20 +570,27 @@ class FileRunCursor {
   }
 
  private:
-  void ReadColumn(uint64_t byte_offset, void* out, size_t elem_size,
-                  uint64_t count) {
-    // fseeko/off_t: spill files are sized by the data, not by LONG_MAX --
-    // multi-GiB offsets are the design point of the external shuffle.
-    WAVEMR_CHECK(fseeko(file_, static_cast<off_t>(byte_offset), SEEK_SET) == 0 &&
-                 std::fread(out, elem_size, count, file_) == count)
-        << "short read from spill file";
+  void LoadBlock(uint64_t block, uint64_t block_lo, uint64_t block_hi) {
+    if (block == loaded_block_) return;
+    const uint64_t count = block_hi - block_lo;
+    handle_.ReadAt(internal::SpillKeyOffset() + block_lo * sizeof(K),
+                   keys_.data(), count * sizeof(K), "spill key block");
+    handle_.VerifyBlock(handle_.key_crcs(), block, keys_.data(),
+                        count * sizeof(K), "spill key");
+    handle_.ReadAt(internal::SpillValueOffset<K, V>(num_pairs_) +
+                       block_lo * sizeof(V),
+                   values_.data(), count * sizeof(V), "spill value block");
+    handle_.VerifyBlock(handle_.value_crcs(), block, values_.data(),
+                        count * sizeof(V), "spill value");
+    loaded_block_ = block;
   }
 
-  std::FILE* file_ = nullptr;
+  internal::SpillReadHandle handle_;
   uint64_t num_pairs_;
   uint64_t pos_;
   uint64_t end_;
   uint64_t block_pairs_;
+  uint64_t loaded_block_ = std::numeric_limits<uint64_t>::max();
   std::vector<K> keys_;
   std::vector<V> values_;
 };
@@ -244,13 +601,16 @@ class FileRunCursor {
 /// IO, the true index bracketed inside one kSpillIndexBlockPairs block --
 /// which is what the equi-depth rank search wants: most binary-search steps
 /// are decided by the bracket, and only the final refinements pay a read.
-/// The exact variants read at most one key block per call and cache it, so
-/// probing the same region repeatedly (rank search convergence, the
-/// lower/upper pair sizing a key group) costs a single fread.
+/// The exact variants read whole checksum-verified key blocks and cache the
+/// last one, so probing the same region repeatedly (rank search convergence,
+/// the lower/upper pair sizing a key group) costs a single fread; without
+/// the sparse index a lower bound degrades to a binary search over verified
+/// blocks (log(nblocks) reads).
 ///
 /// One probe is single-threaded; concurrent reduce tasks each build their
-/// own (same ownership rule as FileRunCursor). Unsigned integral keys only
-/// -- the partitioning key contract.
+/// own (same ownership rule as FileRunCursor). The index/bounds shortcuts
+/// need unsigned integral keys (the partitioning key contract); LowerBound
+/// itself works for any trivially copyable ordered key.
 template <typename K>
 class SpillKeyProbe {
  public:
@@ -259,53 +619,50 @@ class SpillKeyProbe {
     uint64_t max;  // ... and <= max; min == max means exact already
   };
 
-  explicit SpillKeyProbe(const SpillFileInfo& info) : info_(&info) {
-    static_assert(std::is_integral_v<K> && std::is_unsigned_v<K>,
-                  "rank partitioning is defined over unsigned integral keys");
+  explicit SpillKeyProbe(const SpillFileInfo& info,
+                         const SpillIoPolicy& policy = SpillIoPolicy())
+      : info_(&info), policy_(policy) {
+    static_assert(std::is_trivially_copyable_v<K>);
   }
 
-  ~SpillKeyProbe() {
-    if (file_ != nullptr) std::fclose(file_);
-  }
-
-  SpillKeyProbe(SpillKeyProbe&& other) noexcept
-      : info_(other.info_),
-        file_(other.file_),
-        cache_begin_(other.cache_begin_),
-        cache_end_(other.cache_end_),
-        cache_(std::move(other.cache_)) {
-    other.file_ = nullptr;
-  }
+  SpillKeyProbe(SpillKeyProbe&& other) noexcept = default;
   SpillKeyProbe(const SpillKeyProbe&) = delete;
   SpillKeyProbe& operator=(const SpillKeyProbe&) = delete;
   SpillKeyProbe& operator=(SpillKeyProbe&&) = delete;
 
   /// Brackets LowerBound(key) using only min/max and the sparse block index
-  /// -- no IO.
+  /// -- no IO. (Without the unsigned-integral key contract the bracket is
+  /// the whole file.)
   IndexBounds LowerBoundBounds(const K& key) const {
     const SpillFileInfo& in = *info_;
-    if (in.num_pairs == 0 || static_cast<uint64_t>(key) <= in.min_key) {
-      return IndexBounds{0, 0};
+    if constexpr (std::is_integral_v<K> && std::is_unsigned_v<K>) {
+      if (in.num_pairs == 0 || static_cast<uint64_t>(key) <= in.min_key) {
+        return IndexBounds{0, 0};
+      }
+      if (static_cast<uint64_t>(key) > in.max_key) {
+        return IndexBounds{in.num_pairs, in.num_pairs};
+      }
+      if (in.block_keys.empty()) return IndexBounds{0, in.num_pairs};
+      // First block whose leading key is >= key; j >= 1 because block 0
+      // leads with min_key < key. The answer sits after block j-1's leading
+      // key and no later than block j's start.
+      const uint64_t j = static_cast<uint64_t>(
+          std::lower_bound(in.block_keys.begin(), in.block_keys.end(),
+                           static_cast<uint64_t>(key)) -
+          in.block_keys.begin());
+      const uint64_t lo = (j - 1) * kSpillIndexBlockPairs + 1;
+      const uint64_t hi = j < in.block_keys.size() ? j * kSpillIndexBlockPairs
+                                                   : in.num_pairs;
+      return IndexBounds{lo, hi};
+    } else {
+      return IndexBounds{0, in.num_pairs};
     }
-    if (static_cast<uint64_t>(key) > in.max_key) {
-      return IndexBounds{in.num_pairs, in.num_pairs};
-    }
-    if (in.block_keys.empty()) return IndexBounds{0, in.num_pairs};
-    // First block whose leading key is >= key; j >= 1 because block 0 leads
-    // with min_key < key. The answer sits after block j-1's leading key and
-    // no later than block j's start.
-    const uint64_t j = static_cast<uint64_t>(
-        std::lower_bound(in.block_keys.begin(), in.block_keys.end(),
-                         static_cast<uint64_t>(key)) -
-        in.block_keys.begin());
-    const uint64_t lo = (j - 1) * kSpillIndexBlockPairs + 1;
-    const uint64_t hi = j < in.block_keys.size() ? j * kSpillIndexBlockPairs
-                                                 : in.num_pairs;
-    return IndexBounds{lo, hi};
   }
 
   /// Brackets UpperBound(key) (first index with key strictly greater).
   IndexBounds UpperBoundBounds(const K& key) const {
+    static_assert(std::is_integral_v<K> && std::is_unsigned_v<K>,
+                  "rank partitioning is defined over unsigned integral keys");
     if (key == std::numeric_limits<K>::max()) {
       return IndexBounds{info_->num_pairs, info_->num_pairs};
     }
@@ -313,38 +670,14 @@ class SpillKeyProbe {
   }
 
   /// Exact std::lower_bound index over the on-disk key block: at most one
-  /// block read (cached) when the sparse index is present.
+  /// verified block read (cached) when the sparse index is present.
   uint64_t LowerBound(const K& key) {
     const IndexBounds b = LowerBoundBounds(key);
-    if (b.min == b.max) return b.min;
-    if (info_->block_keys.empty()) return ProbeLowerBound(key, b.min, b.max);
-    LoadKeys(b.min, b.max);
-    const auto it = std::lower_bound(cache_.begin(), cache_.end(), key);
-    return b.min + static_cast<uint64_t>(it - cache_.begin());
-  }
-
-  /// Exact std::upper_bound index; for the unsigned keys this is
-  /// LowerBound(key + 1), sharing the cached block when both land together.
-  uint64_t UpperBound(const K& key) {
-    if (key == std::numeric_limits<K>::max()) return info_->num_pairs;
-    return LowerBound(static_cast<K>(key + 1));
-  }
-
- private:
-  /// No sparse index (legacy info): seek-probe binary search on the shared
-  /// handle over index range [lo, hi).
-  uint64_t ProbeLowerBound(const K& key, uint64_t lo, uint64_t hi) {
-    EnsureOpen();
+    uint64_t lo = b.min;
+    uint64_t hi = b.max;
     while (lo < hi) {
       const uint64_t mid = lo + (hi - lo) / 2;
-      K probe;
-      WAVEMR_CHECK(fseeko(file_,
-                          static_cast<off_t>(internal::SpillKeyOffset() +
-                                             mid * sizeof(K)),
-                          SEEK_SET) == 0 &&
-                   std::fread(&probe, sizeof(K), 1, file_) == 1)
-          << "short read in spill probe " << info_->path.string();
-      if (probe < key) {
+      if (KeyAt(mid) < key) {
         lo = mid + 1;
       } else {
         hi = mid;
@@ -353,32 +686,44 @@ class SpillKeyProbe {
     return lo;
   }
 
-  void LoadKeys(uint64_t begin, uint64_t end) {
-    if (begin == cache_begin_ && end == cache_end_) return;
-    EnsureOpen();
-    cache_.resize(static_cast<size_t>(end - begin));
-    WAVEMR_CHECK(fseeko(file_,
-                        static_cast<off_t>(internal::SpillKeyOffset() +
-                                           begin * sizeof(K)),
-                        SEEK_SET) == 0 &&
-                 std::fread(cache_.data(), sizeof(K), cache_.size(), file_) ==
-                     cache_.size())
-        << "short key-block read from " << info_->path.string();
-    cache_begin_ = begin;
-    cache_end_ = end;
+  /// Exact std::upper_bound index; for the unsigned keys this is
+  /// LowerBound(key + 1), sharing the cached block when both land together.
+  uint64_t UpperBound(const K& key) {
+    static_assert(std::is_integral_v<K> && std::is_unsigned_v<K>,
+                  "rank partitioning is defined over unsigned integral keys");
+    if (key == std::numeric_limits<K>::max()) return info_->num_pairs;
+    return LowerBound(static_cast<K>(key + 1));
+  }
+
+ private:
+  /// Key at pair index `i`, served from the cached checksum block (loaded
+  /// and verified on miss).
+  K KeyAt(uint64_t i) {
+    const uint64_t block = i / kSpillIndexBlockPairs;
+    if (block != cached_block_) {
+      EnsureOpen();
+      const uint64_t lo = block * kSpillIndexBlockPairs;
+      const uint64_t count =
+          std::min(kSpillIndexBlockPairs, info_->num_pairs - lo);
+      cache_.resize(static_cast<size_t>(count));
+      handle_.ReadAt(internal::SpillKeyOffset() + lo * sizeof(K), cache_.data(),
+                     count * sizeof(K), "spill key block");
+      handle_.VerifyBlock(handle_.key_crcs(), block, cache_.data(),
+                          count * sizeof(K), "spill key");
+      cached_block_ = block;
+    }
+    return cache_[static_cast<size_t>(i - cached_block_ * kSpillIndexBlockPairs)];
   }
 
   void EnsureOpen() {
-    if (file_ != nullptr) return;
-    file_ = std::fopen(info_->path.string().c_str(), "rb");
-    WAVEMR_CHECK(file_ != nullptr)
-        << "cannot open spill file " << info_->path.string();
+    if (handle_.open()) return;
+    handle_.Open(*info_, sizeof(K), /*expect_vsize=*/0, policy_);
   }
 
   const SpillFileInfo* info_;
-  std::FILE* file_ = nullptr;
-  uint64_t cache_begin_ = 1;  // impossible range: nothing cached yet
-  uint64_t cache_end_ = 0;
+  SpillIoPolicy policy_;
+  internal::SpillReadHandle handle_;
+  uint64_t cached_block_ = std::numeric_limits<uint64_t>::max();
   std::vector<K> cache_;
 };
 

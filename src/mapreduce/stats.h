@@ -59,6 +59,12 @@ struct RoundStats {
   uint64_t spill_files = 0;
   uint64_t spill_bytes = 0;
   uint64_t spill_read_bytes = 0;
+  /// Spill writes that exhausted their IO retries and fell back to keeping
+  /// the run resident (ShufflePlane pinning -- results unchanged), and
+  /// transient-errno retries spill writes performed. Recovery telemetry,
+  /// not cost: a healthy disk reports 0/0.
+  uint64_t spill_fallbacks = 0;
+  uint64_t spill_retries = 0;
   /// Simulated seconds of spill IO (CostModel::disk_spill_mbps over bytes
   /// written + read), reported separately: TotalSeconds deliberately
   /// excludes it so the headline simulated seconds are bit-identical across
@@ -136,6 +142,16 @@ struct JobStats {
     double s = 0.0;
     for (const RoundStats& r : rounds) s += r.spill_s;
     return s;
+  }
+  uint64_t TotalSpillFallbacks() const {
+    uint64_t n = 0;
+    for (const RoundStats& r : rounds) n += r.spill_fallbacks;
+    return n;
+  }
+  uint64_t TotalSpillRetries() const {
+    uint64_t n = 0;
+    for (const RoundStats& r : rounds) n += r.spill_retries;
+    return n;
   }
   size_t NumRounds() const { return rounds.size(); }
 

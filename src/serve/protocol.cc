@@ -82,6 +82,8 @@ std::string EncodeStatsResponse(const ServeStats& stats) {
   s.PutString(stats.algorithm);
   s.Put<uint64_t>(stats.build_comm_bytes);
   s.Put<double>(stats.build_sim_seconds);
+  s.Put<uint64_t>(stats.connections_shed);
+  s.Put<uint64_t>(stats.idle_disconnects);
   return s.Release();
 }
 
@@ -202,13 +204,15 @@ StatusOr<ServeStats> DecodeStatsResponse(const std::string& payload) {
     return Status::InvalidArgument("stats response truncated");
   }
   const uint64_t name_len = in.Get<uint64_t>();
-  if (in.remaining() < name_len + sizeof(uint64_t) + sizeof(double)) {
+  if (in.remaining() < name_len + 3 * sizeof(uint64_t) + sizeof(double)) {
     return Status::InvalidArgument("stats response truncated");
   }
   st.algorithm.resize(name_len);
   for (uint64_t i = 0; i < name_len; ++i) st.algorithm[i] = in.Get<char>();
   st.build_comm_bytes = in.Get<uint64_t>();
   st.build_sim_seconds = in.Get<double>();
+  st.connections_shed = in.Get<uint64_t>();
+  st.idle_disconnects = in.Get<uint64_t>();
   return st;
 }
 

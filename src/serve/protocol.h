@@ -49,6 +49,10 @@ struct ServeStats {
   std::string algorithm;            // builder that produced the snapshot
   uint64_t build_comm_bytes = 0;
   double build_sim_seconds = 0.0;
+  /// Robustness telemetry: connections rejected at the max-connection cap
+  /// (load shedding) and connections evicted by the idle timeout.
+  uint64_t connections_shed = 0;
+  uint64_t idle_disconnects = 0;
 };
 
 // ---- encoding (payloads; the frame length prefix is added separately) ----

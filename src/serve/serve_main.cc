@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "core/failpoint.h"
 #include "data/file_dataset.h"
 #include "serve/registry.h"
 #include "serve/server.h"
@@ -79,6 +80,10 @@ void RegisterBuildFlags(FlagParser* parser, BuildArgs* args) {
   parser->Bool("force-sorted-shuffle", &args->force_sorted_shuffle,
                "sorted reducer delivery on every round (routes all algorithms "
                "through the retained-run/spill path)");
+  parser->String("failpoints", &args->failpoints,
+                 "fault-injection spec, site=action[,site=action...] -- see "
+                 "docs/robustness.md (results stay bit-identical; only "
+                 "recovery counters change)");
 }
 
 BuildOptions BuildArgs::ToBuildOptions(uint64_t seed) const {
@@ -106,11 +111,18 @@ int FlagError(const Status& status, const FlagParser& parser) {
 }  // namespace
 
 int ServeMain(int argc, char* const* argv, int start) {
+  // A client that disconnects mid-response must not kill the server: sends
+  // use MSG_NOSIGNAL, and this covers every other pipe-like write.
+  std::signal(SIGPIPE, SIG_IGN);
+
   DataArgs data;
   BuildArgs build;
   std::string snapshot_file;
   int port = 0;
   int workers = 0;
+  int max_connections = 0;
+  int idle_timeout_ms = 0;
+  int drain_timeout_ms = 2000;
   FlagParser parser(
       "wavemr_serve (--snapshot=FILE | --input=FILE | --generate=zipf|"
       "worldcup) [options]");
@@ -120,6 +132,14 @@ int ServeMain(int argc, char* const* argv, int start) {
                             "printed on startup)");
   parser.I32("workers", &workers,
              "query worker threads (0 = all hardware threads)");
+  parser.I32("max-connections", &max_connections,
+             "connection cap; clients past it get an Unavailable reject "
+             "frame (0 = unlimited)");
+  parser.I32("idle-timeout-ms", &idle_timeout_ms,
+             "close connections idle this long; in-flight queries are never "
+             "evicted (0 = never)");
+  parser.I32("drain-timeout-ms", &drain_timeout_ms,
+             "shutdown grace period for delivering in-flight responses");
   RegisterDataFlags(&parser, &data);
   RegisterBuildFlags(&parser, &build);
 
@@ -128,6 +148,10 @@ int ServeMain(int argc, char* const* argv, int start) {
   if (parser.help_requested()) {
     std::printf("%s", parser.Help().c_str());
     return 0;
+  }
+  if (!build.failpoints.empty()) {
+    st = Failpoints::ArmFromSpec(build.failpoints);
+    if (!st.ok()) return FlagError(st, parser);
   }
 
   SnapshotRegistry registry;
@@ -193,6 +217,9 @@ int ServeMain(int argc, char* const* argv, int start) {
   ServerOptions options;
   options.port = port;
   options.workers = workers;
+  options.max_connections = max_connections;
+  options.idle_timeout_ms = idle_timeout_ms;
+  options.drain_timeout_ms = drain_timeout_ms;
   QueryServer server(&registry, options, std::move(rebuild));
   st = server.Start();
   if (!st.ok()) {

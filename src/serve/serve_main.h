@@ -41,6 +41,10 @@ struct BuildArgs {
   int reduce_tasks = 0;
   uint64_t shuffle_buffer_bytes = 0;  // 0 = keep the CostModel default
   bool force_sorted_shuffle = false;
+  /// Fault-injection spec (core/failpoint.h grammar); empty = disarmed.
+  /// Recovery paths keep results bit-identical, so this is safe to combine
+  /// with determinism checks -- only the recovery counters change.
+  std::string failpoints;
 
   /// Assembles BuildOptions (validated centrally by BuildOptions::Validate
   /// inside BuildWaveletHistogram; no checks here).

@@ -1,5 +1,7 @@
 #include "serve/server.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <deque>
 #include <mutex>
@@ -7,6 +9,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/failpoint.h"
 #include "core/logging.h"
 #include "core/thread_pool.h"
 #include "serve/estimator.h"
@@ -31,6 +34,12 @@ uint32_t LoadLe32(const char* p) {
   uint32_t v;
   std::memcpy(&v, p, sizeof(v));
   return v;
+}
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -58,6 +67,8 @@ struct QueryServer::Impl {
     bool task_active = false;         // guarded by mu
     bool want_write = false;          // guarded by mu
     std::atomic<bool> dead{false};
+    /// Last request/response activity (NowNs); drives the idle sweep.
+    std::atomic<int64_t> last_activity_ns{0};
   };
 
   Impl(SnapshotRegistry* registry_in, ServerOptions options_in,
@@ -80,13 +91,18 @@ struct QueryServer::Impl {
   std::atomic<bool> stopping{false};
   std::atomic<uint64_t> queries{0};
   std::atomic<uint64_t> rebuilds{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> idle_closed{0};
   std::unordered_map<int, std::shared_ptr<Conn>> conns;  // reactor-only
 
   Status Start();
   void Stop();
   void ReactorLoop();
+  void SweepIdle();
+  void SweepDrained();
   void Accept();
   void ReadConn(const std::shared_ptr<Conn>& conn);
+  void DiscardInput(const std::shared_ptr<Conn>& conn);
   void CloseConn(const std::shared_ptr<Conn>& conn);
   void Dispatch(const std::shared_ptr<Conn>& conn, std::string payload);
   void DrainTask(std::shared_ptr<Conn> conn);
@@ -144,8 +160,35 @@ Status QueryServer::Impl::Start() {
 void QueryServer::Impl::ReactorLoop() {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
-  while (!stopping.load(std::memory_order_acquire)) {
-    const int n = ::epoll_wait(epoll_fd, events, kMaxEvents, -1);
+  bool draining = false;
+  std::chrono::steady_clock::time_point drain_deadline{};
+  for (;;) {
+    if (!draining && stopping.load(std::memory_order_acquire)) {
+      // Graceful drain: close the listener immediately, ignore further
+      // requests, but let queries already in flight deliver their
+      // responses until the deadline.
+      draining = true;
+      drain_deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(std::max(options.drain_timeout_ms, 0));
+      ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+    if (draining) {
+      SweepDrained();
+      if (conns.empty() || std::chrono::steady_clock::now() >= drain_deadline) {
+        break;
+      }
+    }
+    int timeout_ms = -1;
+    if (draining) {
+      timeout_ms = 10;
+    } else if (options.idle_timeout_ms > 0) {
+      // Wake often enough that eviction lands within ~1/4 timeout of due.
+      timeout_ms = std::clamp(options.idle_timeout_ms / 4, 10, 1000);
+    }
+    const int n = ::epoll_wait(epoll_fd, events, kMaxEvents, timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
@@ -156,7 +199,7 @@ void QueryServer::Impl::ReactorLoop() {
         uint64_t drain;
         while (::read(wake_fd, &drain, sizeof(drain)) > 0) {
         }
-        continue;  // stop flag re-checked by the while condition
+        continue;  // stop flag re-checked at the top of the loop
       }
       if (fd == listen_fd) {
         Accept();
@@ -173,20 +216,83 @@ void QueryServer::Impl::ReactorLoop() {
         std::lock_guard<std::mutex> lock(conn->mu);
         FlushLocked(conn.get());
       }
-      if ((events[i].events & EPOLLIN) != 0) ReadConn(conn);
+      if ((events[i].events & EPOLLIN) != 0) {
+        // New requests are not admitted during the drain, but the socket
+        // must still be read (to see EOF and to keep level-triggered epoll
+        // from spinning on unread bytes).
+        if (draining) {
+          DiscardInput(conn);
+        } else {
+          ReadConn(conn);
+        }
+      }
     }
+    if (!draining && options.idle_timeout_ms > 0) SweepIdle();
   }
-  // Teardown on the reactor: mark every connection dead so workers stop
-  // writing, then drop the reactor references (fds close when the last
-  // worker reference drops).
+  // Hard teardown on the reactor: mark every remaining connection dead so
+  // workers stop writing, then drop the reactor references (fds close when
+  // the last worker reference drops).
   for (auto& [fd, conn] : conns) {
     conn->dead.store(true);
     ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
     ::shutdown(fd, SHUT_RDWR);
   }
   conns.clear();
-  ::close(listen_fd);
-  listen_fd = -1;
+  if (listen_fd >= 0) {
+    ::close(listen_fd);
+    listen_fd = -1;
+  }
+}
+
+/// Drain-phase sweep: closes connections whose responses are fully flushed
+/// (no queued requests, no worker mid-query, empty output buffer). A worker
+/// holds task_active through Handle+Send, so a connection observed quiescent
+/// here cannot grow new output -- request admission stopped with the drain.
+void QueryServer::Impl::SweepDrained() {
+  for (auto it = conns.begin(); it != conns.end();) {
+    const std::shared_ptr<Conn>& conn = it->second;
+    bool done;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      done = conn->pending.empty() && !conn->task_active &&
+             conn->out_off == conn->out.size();
+    }
+    if (done || conn->dead.load()) {
+      conn->dead.store(true);
+      ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+      ::shutdown(conn->fd, SHUT_RDWR);
+      it = conns.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+/// Evicts connections idle past options.idle_timeout_ms. Only quiescent
+/// connections qualify: queued or in-flight work keeps a connection alive
+/// no matter how long its queries run.
+void QueryServer::Impl::SweepIdle() {
+  const int64_t cutoff =
+      NowNs() - static_cast<int64_t>(options.idle_timeout_ms) * 1000000;
+  for (auto it = conns.begin(); it != conns.end();) {
+    const std::shared_ptr<Conn>& conn = it->second;
+    bool quiescent;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      quiescent = conn->pending.empty() && !conn->task_active &&
+                  conn->out_off == conn->out.size();
+    }
+    if (quiescent &&
+        conn->last_activity_ns.load(std::memory_order_relaxed) < cutoff) {
+      idle_closed.fetch_add(1, std::memory_order_relaxed);
+      conn->dead.store(true);
+      ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+      ::shutdown(conn->fd, SHUT_RDWR);
+      it = conns.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void QueryServer::Impl::Accept() {
@@ -194,9 +300,25 @@ void QueryServer::Impl::Accept() {
     const int fd = ::accept4(listen_fd, nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN or transient error; epoll will re-arm
+    if (options.max_connections > 0 &&
+        conns.size() >= static_cast<size_t>(options.max_connections)) {
+      // Load-shed: tell the client why before closing. Best effort -- the
+      // frame is tiny, so a single non-blocking send nearly always takes
+      // it; a client that cannot receive it just sees the close.
+      const std::string frame = WrapFrame(EncodeErrorResponse(
+          Status::Unavailable("server at max_connections=" +
+                              std::to_string(options.max_connections) +
+                              "; retry later")));
+      (void)::send(fd, frame.data(), frame.size(),
+                   MSG_NOSIGNAL | MSG_DONTWAIT);
+      ::close(fd);
+      shed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_shared<Conn>(fd);
+    conn->last_activity_ns.store(NowNs(), std::memory_order_relaxed);
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
@@ -211,18 +333,37 @@ void QueryServer::Impl::CloseConn(const std::shared_ptr<Conn>& conn) {
   conns.erase(conn->fd);
 }
 
+/// Drain-phase read handler: consumes and discards socket input so that a
+/// level-triggered EPOLLIN cannot spin, and closes on EOF/hard error.
+void QueryServer::Impl::DiscardInput(const std::shared_ptr<Conn>& conn) {
+  char buf[16384];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConn(conn);  // EOF or hard error
+    return;
+  }
+}
+
 void QueryServer::Impl::ReadConn(const std::shared_ptr<Conn>& conn) {
   char buf[16384];
+  bool got_bytes = false;
   for (;;) {
     const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
     if (n > 0) {
       conn->in.append(buf, static_cast<size_t>(n));
+      got_bytes = true;
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
     CloseConn(conn);  // EOF or hard error
     return;
+  }
+  if (got_bytes) {
+    conn->last_activity_ns.store(NowNs(), std::memory_order_relaxed);
   }
   // Reassemble complete frames and hand them to the worker pool.
   std::string& in = conn->in;
@@ -332,6 +473,8 @@ std::string QueryServer::Impl::Handle(const std::string& payload) {
       st.algorithm = snap.metadata().algorithm;
       st.build_comm_bytes = snap.metadata().build_comm_bytes;
       st.build_sim_seconds = snap.metadata().build_sim_seconds;
+      st.connections_shed = shed.load(std::memory_order_relaxed);
+      st.idle_disconnects = idle_closed.load(std::memory_order_relaxed);
       return EncodeStatsResponse(st);
     }
     case QueryOp::kRebuild:
@@ -345,15 +488,21 @@ void QueryServer::Impl::Send(const std::shared_ptr<Conn>& conn,
   std::lock_guard<std::mutex> lock(conn->mu);
   if (conn->dead.load()) return;
   conn->out.append(frame);
+  conn->last_activity_ns.store(NowNs(), std::memory_order_relaxed);
   FlushLocked(conn.get());
 }
 
 void QueryServer::Impl::FlushLocked(Conn* conn) {
   if (conn->dead.load()) return;
   while (conn->out_off < conn->out.size()) {
-    const ssize_t n =
-        ::send(conn->fd, conn->out.data() + conn->out_off,
-               conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+    ssize_t n;
+    if (const int fe = FailpointHit("serve.send"); fe != 0) {
+      errno = fe;
+      n = -1;
+    } else {
+      n = ::send(conn->fd, conn->out.data() + conn->out_off,
+                 conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+    }
     if (n > 0) {
       conn->out_off += static_cast<size_t>(n);
       continue;
@@ -412,6 +561,8 @@ struct QueryServer::Impl {
   RebuildFn rebuild;
   int port = 0;
   std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> idle_closed{0};
 
   Status Start() {
     return Status::Unimplemented("wavemr_serve requires Linux epoll");
@@ -435,6 +586,14 @@ int QueryServer::port() const { return impl_->port; }
 
 uint64_t QueryServer::queries_served() const {
   return impl_->queries.load(std::memory_order_relaxed);
+}
+
+uint64_t QueryServer::connections_shed() const {
+  return impl_->shed.load(std::memory_order_relaxed);
+}
+
+uint64_t QueryServer::idle_disconnects() const {
+  return impl_->idle_closed.load(std::memory_order_relaxed);
 }
 
 void QueryServer::Stop() { impl_->Stop(); }

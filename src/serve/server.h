@@ -19,6 +19,18 @@ struct ServerOptions {
   int workers = 0;
   /// listen(2) backlog.
   int backlog = 128;
+  /// Accepted-connection cap; 0 = unlimited. A client arriving at the cap
+  /// gets a best-effort Unavailable reject frame and an immediate close
+  /// (load shedding) instead of silently starving in the accept queue.
+  int max_connections = 0;
+  /// Connections with no request activity for this long are closed by the
+  /// reactor; 0 = never. Connections with queued or in-flight work are
+  /// never evicted, however slow their queries run.
+  int idle_timeout_ms = 0;
+  /// Stop() grace period: the listener closes immediately, but connections
+  /// with in-flight queries get this long to receive their responses before
+  /// the hard teardown.
+  int drain_timeout_ms = 2000;
 };
 
 /// The wavemr_serve engine: an epoll reactor thread owns every socket
@@ -60,6 +72,12 @@ class QueryServer {
 
   /// Total requests answered (including error responses).
   uint64_t queries_served() const;
+
+  /// Connections rejected at the max_connections cap since Start.
+  uint64_t connections_shed() const;
+
+  /// Connections evicted by the idle timeout since Start.
+  uint64_t idle_disconnects() const;
 
   /// Stops accepting, closes connections, joins reactor and workers.
   /// Idempotent; also run by the destructor.

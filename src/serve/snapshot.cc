@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "core/bitops.h"
+#include "core/crc32c.h"
 #include "core/logging.h"
 #include "histogram/algorithm.h"
 
@@ -13,8 +16,17 @@ namespace wavemr {
 
 namespace {
 
-/// "WMSNAP" + 2-digit format version, little-endian packed.
-constexpr uint64_t kSnapshotMagic = 0x3130'50414E534D57ull;  // "WMSNAP01"
+/// "WMSNAP" + 2-digit format version, little-endian packed. Version 02
+/// appended the CRC32C trailer; 01 files (no checksum) are rejected with a
+/// rebuild hint rather than trusted.
+constexpr uint64_t kSnapshotMagicV1 = 0x3130'50414E534D57ull;  // "WMSNAP01"
+constexpr uint64_t kSnapshotMagic = 0x3230'50414E534D57ull;    // "WMSNAP02"
+
+std::string Hex32(uint32_t v) {
+  char buf[11];
+  std::snprintf(buf, sizeof(buf), "0x%08x", v);
+  return buf;
+}
 
 }  // namespace
 
@@ -106,6 +118,7 @@ std::vector<WCoeff> HistogramSnapshot::Coefficients() const {
 }
 
 void HistogramSnapshot::SerializeTo(Serializer* out) const {
+  const size_t start = out->str().size();
   out->Put<uint64_t>(kSnapshotMagic);
   out->Put<uint64_t>(u_);
   out->PutVector(indices_);
@@ -113,6 +126,10 @@ void HistogramSnapshot::SerializeTo(Serializer* out) const {
   out->PutString(meta_.algorithm);
   out->Put<uint64_t>(meta_.build_comm_bytes);
   out->Put<double>(meta_.build_sim_seconds);
+  // Trailer: CRC32C of every snapshot byte above, so Deserialize can tell
+  // on-disk corruption apart from a version/format mismatch.
+  out->Put<uint32_t>(
+      Crc32c(out->str().data() + start, out->str().size() - start));
 }
 
 std::string HistogramSnapshot::Serialize() const {
@@ -127,10 +144,28 @@ StatusOr<HistogramSnapshot> HistogramSnapshot::Deserialize(
   auto truncated = [] {
     return Status::InvalidArgument("snapshot bytes truncated");
   };
-  if (in.remaining() < sizeof(uint64_t)) return truncated();
-  if (in.Get<uint64_t>() != kSnapshotMagic) {
+  if (in.remaining() < sizeof(uint64_t) + sizeof(uint32_t)) return truncated();
+  const uint64_t magic = in.Get<uint64_t>();
+  if (magic == kSnapshotMagicV1) {
     return Status::InvalidArgument(
-        "not a wavemr snapshot (bad magic; expected WMSNAP01)");
+        "snapshot is in the legacy WMSNAP01 format (no checksum trailer); "
+        "rebuild it with `wavemr_cli build --out=...`");
+  }
+  if (magic != kSnapshotMagic) {
+    return Status::InvalidArgument(
+        "not a wavemr snapshot (bad magic; expected WMSNAP02)");
+  }
+  // Verify the CRC32C trailer before trusting any field: a single flipped
+  // bit anywhere in the file must be rejected here, not half-parsed.
+  const size_t body = bytes.size() - sizeof(uint32_t);
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, bytes.data() + body, sizeof(stored_crc));
+  const uint32_t computed_crc = Crc32c(bytes.data(), body);
+  if (stored_crc != computed_crc) {
+    return Status::InvalidArgument(
+        "snapshot checksum mismatch (stored " + Hex32(stored_crc) +
+        ", computed " + Hex32(computed_crc) +
+        "): the file is corrupt or truncated; rebuild or restore it");
   }
   if (in.remaining() < sizeof(uint64_t)) return truncated();
   const uint64_t u = in.Get<uint64_t>();

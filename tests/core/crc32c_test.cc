@@ -1,0 +1,63 @@
+#include "core/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace wavemr {
+namespace {
+
+// The RFC 3720 check value: CRC32C("123456789") == 0xE3069283. Any
+// implementation (hardware or the slicing-by-8 fallback) must reproduce it.
+TEST(Crc32cTest, ReferenceVector) {
+  const char kDigits[] = "123456789";
+  EXPECT_EQ(Crc32c(kDigits, 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero) { EXPECT_EQ(Crc32c("", 0), 0u); }
+
+TEST(Crc32cTest, ExtendComposesLikeOneShot) {
+  const std::string data =
+      "the quick brown fox jumps over the lazy dog 0123456789";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  // Every split point must agree with the one-shot value.
+  for (size_t cut = 0; cut <= data.size(); ++cut) {
+    uint32_t crc = Crc32cExtend(0, data.data(), cut);
+    crc = Crc32cExtend(crc, data.data() + cut, data.size() - cut);
+    EXPECT_EQ(crc, whole) << "split at " << cut;
+  }
+}
+
+TEST(Crc32cTest, DetectsEverySingleBitFlip) {
+  std::string data(64, '\0');
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i * 7);
+  const uint32_t good = Crc32c(data.data(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = data;
+      bad[i] = static_cast<char>(bad[i] ^ (1u << bit));
+      EXPECT_NE(Crc32c(bad.data(), bad.size()), good)
+          << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32cTest, UnalignedStartsMatchAlignedValue) {
+  // The hardware path consumes 8 bytes at a time; make sure leading and
+  // trailing remainders are folded in correctly at every alignment.
+  std::vector<char> backing(256 + 16);
+  for (size_t i = 0; i < backing.size(); ++i) {
+    backing[i] = static_cast<char>(i ^ (i >> 3));
+  }
+  for (size_t off = 0; off < 16; ++off) {
+    std::string copy(backing.data() + off, 100);
+    EXPECT_EQ(Crc32c(backing.data() + off, 100),
+              Crc32c(copy.data(), copy.size()))
+        << "offset " << off;
+  }
+}
+
+}  // namespace
+}  // namespace wavemr

@@ -1,0 +1,138 @@
+#include "core/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <thread>
+#include <vector>
+
+namespace wavemr {
+namespace {
+
+// Every test leaves the global registry clean for the next one.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Failpoints::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedSiteNeverTrips) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(FailpointHit("test.never.armed"), 0);
+  }
+  EXPECT_EQ(Failpoints::TotalTrips(), 0u);
+}
+
+TEST_F(FailpointTest, ErrorModeTripsEveryHitWithDefaultEio) {
+  ASSERT_TRUE(Failpoints::ArmFromSpec("test.a=error").ok());
+  EXPECT_EQ(FailpointHit("test.a"), EIO);
+  EXPECT_EQ(FailpointHit("test.a"), EIO);
+  EXPECT_EQ(FailpointHit("test.other"), 0);
+  const auto stats = Failpoints::StatsFor("test.a");
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.trips, 2u);
+}
+
+TEST_F(FailpointTest, NamedAndNumericErrnos) {
+  ASSERT_TRUE(Failpoints::ArmFromSpec("test.a=error:ENOSPC").ok());
+  EXPECT_EQ(FailpointHit("test.a"), ENOSPC);
+  ASSERT_TRUE(Failpoints::ArmFromSpec("test.a=error:EPIPE").ok());
+  EXPECT_EQ(FailpointHit("test.a"), EPIPE);
+  ASSERT_TRUE(Failpoints::ArmFromSpec("test.a=error:5").ok());
+  EXPECT_EQ(FailpointHit("test.a"), 5);
+}
+
+TEST_F(FailpointTest, OnceTripsExactlyOnce) {
+  ASSERT_TRUE(Failpoints::ArmFromSpec("test.once=once:ENOSPC").ok());
+  EXPECT_EQ(FailpointHit("test.once"), ENOSPC);
+  EXPECT_EQ(FailpointHit("test.once"), 0);
+  EXPECT_EQ(FailpointHit("test.once"), 0);
+  EXPECT_EQ(Failpoints::StatsFor("test.once").trips, 1u);
+}
+
+TEST_F(FailpointTest, TimesTripsFirstN) {
+  ASSERT_TRUE(Failpoints::ArmFromSpec("test.t=times:3:EINTR").ok());
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(FailpointHit("test.t"), EINTR);
+  EXPECT_EQ(FailpointHit("test.t"), 0);
+  EXPECT_EQ(Failpoints::StatsFor("test.t").trips, 3u);
+}
+
+TEST_F(FailpointTest, EveryTripsPeriodically) {
+  ASSERT_TRUE(Failpoints::ArmFromSpec("test.e=every:3").ok());
+  int trips = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (FailpointHit("test.e") != 0) ++trips;
+  }
+  EXPECT_EQ(trips, 3);
+}
+
+TEST_F(FailpointTest, OffDisarmsWithinSpec) {
+  ASSERT_TRUE(Failpoints::ArmFromSpec("test.a=error,test.a=off").ok());
+  EXPECT_EQ(FailpointHit("test.a"), 0);
+}
+
+TEST_F(FailpointTest, RearmingResetsCounters) {
+  ASSERT_TRUE(Failpoints::ArmFromSpec("test.r=once").ok());
+  EXPECT_NE(FailpointHit("test.r"), 0);
+  ASSERT_TRUE(Failpoints::ArmFromSpec("test.r=once").ok());
+  EXPECT_NE(FailpointHit("test.r"), 0) << "fresh arming must trip again";
+}
+
+TEST_F(FailpointTest, MultiSiteSpec) {
+  ASSERT_TRUE(
+      Failpoints::ArmFromSpec("test.x=once:EIO,test.y=error:ENOSPC").ok());
+  EXPECT_EQ(FailpointHit("test.x"), EIO);
+  EXPECT_EQ(FailpointHit("test.x"), 0);
+  EXPECT_EQ(FailpointHit("test.y"), ENOSPC);
+  EXPECT_EQ(Failpoints::TotalTrips(), 2u);
+}
+
+TEST_F(FailpointTest, MalformedSpecsRejectedAtomically) {
+  for (const char* bad :
+       {"nosign", "a=", "a=unknown", "a=times", "a=times:0", "a=every:0",
+        "a=error:EBOGUS", "a=error:0", "=error", ","}) {
+    EXPECT_FALSE(Failpoints::ArmFromSpec(bad).ok()) << bad;
+  }
+  // A spec that fails half-way must not leave its valid prefix armed.
+  EXPECT_FALSE(Failpoints::ArmFromSpec("test.ok=error,bad=").ok());
+  EXPECT_EQ(FailpointHit("test.ok"), 0);
+}
+
+TEST_F(FailpointTest, DisarmSingleSiteKeepsOthers) {
+  ASSERT_TRUE(Failpoints::ArmFromSpec("test.a=error,test.b=error").ok());
+  Failpoints::Disarm("test.a");
+  EXPECT_EQ(FailpointHit("test.a"), 0);
+  EXPECT_NE(FailpointHit("test.b"), 0);
+}
+
+TEST_F(FailpointTest, ConcurrentHitsTripExactlyN) {
+  ASSERT_TRUE(Failpoints::ArmFromSpec("test.mt=times:100:EIO").ok());
+  std::atomic<int> injected{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (FailpointHit("test.mt") != 0) {
+          injected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(injected.load(), 100);
+  EXPECT_EQ(Failpoints::StatsFor("test.mt").hits, 4000u);
+}
+
+TEST_F(FailpointTest, AllStatsListsEveryArmedSite) {
+  ASSERT_TRUE(Failpoints::ArmFromSpec("test.s1=error,test.s2=once").ok());
+  (void)FailpointHit("test.s1");
+  bool saw1 = false, saw2 = false;
+  for (const auto& s : Failpoints::AllStats()) {
+    if (s.site == "test.s1") saw1 = true;
+    if (s.site == "test.s2") saw2 = true;
+  }
+  EXPECT_TRUE(saw1);
+  EXPECT_TRUE(saw2);
+}
+
+}  // namespace
+}  // namespace wavemr

@@ -40,8 +40,10 @@ SpillFileInfo WriteRun(SpillDir* dir, const TestRun& run) {
     info.min_key = run.keys.front();
     info.max_key = run.keys.back();
   }
-  info.file_bytes = WriteSpillFile<uint64_t, uint64_t>(
+  const SpillWriteResult w = WriteSpillFile<uint64_t, uint64_t>(
       info.path, run.keys.data(), run.values.data(), run.size());
+  EXPECT_TRUE(w.io.ok()) << w.io.ToString();
+  info.file_bytes = w.file_bytes;
   return info;
 }
 
@@ -68,7 +70,8 @@ TEST(SpillFileTest, RoundTripMatchesOriginal) {
       for (uint64_t domain : {uint64_t{1}, uint64_t{13}, uint64_t{1} << 30}) {
         TestRun run = RandomSortedRun(seed ^ (domain + len), len, domain);
         SpillFileInfo info = WriteRun(&dir, run);
-        EXPECT_EQ(info.file_bytes, kSpillHeaderBytes + len * 16);
+        EXPECT_EQ(info.file_bytes, (SpillFileBytes<uint64_t, uint64_t>(len)));
+        EXPECT_EQ(info.file_bytes, fs::file_size(info.path));
         for (uint64_t block : {uint64_t{1}, uint64_t{64}, uint64_t{100000}}) {
           auto got = ReadBack(info, 0, run.size(), block);
           ASSERT_EQ(got.size(), run.size());

@@ -3,13 +3,24 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
+#include "core/crc32c.h"
 #include "data/dataset.h"
 #include "histogram/builder.h"
 
 namespace wavemr {
 namespace {
+
+// Recomputes the CRC trailer after a deliberate byte mutation, so a test
+// reaches the semantic validation that sits behind the checksum gate.
+void FixupCrc(std::string* bytes) {
+  ASSERT_GE(bytes->size(), sizeof(uint32_t));
+  const size_t body = bytes->size() - sizeof(uint32_t);
+  const uint32_t crc = Crc32c(bytes->data(), body);
+  std::memcpy(bytes->data() + body, &crc, sizeof(crc));
+}
 
 HistogramSnapshot MakeSample() {
   SnapshotMetadata meta;
@@ -119,6 +130,7 @@ TEST(HistogramSnapshotTest, DeserializeRejectsNonPowerOfTwoDomain) {
   HistogramSnapshot::FromCoefficients(8, {{1, 1.0}}).SerializeTo(&s);
   std::string bytes = s.Release();
   bytes[8] = 7;  // u field follows the 8-byte magic
+  FixupCrc(&bytes);
   auto r = HistogramSnapshot::Deserialize(bytes);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
@@ -127,9 +139,45 @@ TEST(HistogramSnapshotTest, DeserializeRejectsNonPowerOfTwoDomain) {
 TEST(HistogramSnapshotTest, DeserializeRejectsOutOfDomainIndex) {
   std::string bytes = MakeSample().Serialize();
   bytes[8] = 4;  // shrink u below the largest stored index (5)
+  FixupCrc(&bytes);
   auto r = HistogramSnapshot::Deserialize(bytes);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// The robustness guarantee behind the CRC trailer: no single flipped bit
+// anywhere in the file -- header, payload, metadata, or the trailer itself --
+// deserializes successfully.
+TEST(HistogramSnapshotTest, DeserializeRejectsEveryBitFlip) {
+  const std::string good = MakeSample().Serialize();
+  ASSERT_TRUE(HistogramSnapshot::Deserialize(good).ok());
+  for (size_t i = 0; i < good.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = good;
+      bad[i] = static_cast<char>(bad[i] ^ (1u << bit));
+      auto r = HistogramSnapshot::Deserialize(bad);
+      EXPECT_FALSE(r.ok()) << "byte " << i << " bit " << bit << " accepted";
+    }
+  }
+}
+
+TEST(HistogramSnapshotTest, ChecksumMismatchMessageIsActionable) {
+  std::string bytes = MakeSample().Serialize();
+  bytes[bytes.size() / 2] ^= 0x40;  // corrupt the payload, not the trailer
+  auto r = HistogramSnapshot::Deserialize(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("checksum mismatch"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(HistogramSnapshotTest, DeserializeRejectsLegacyWmsnap01) {
+  std::string bytes = MakeSample().Serialize();
+  ASSERT_EQ(bytes[7], '2');  // magic is "WMSNAP02" in byte order
+  bytes[7] = '1';
+  auto r = HistogramSnapshot::Deserialize(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("WMSNAP01"), std::string::npos)
+      << r.status().ToString();
 }
 
 TEST(HistogramSnapshotTest, FileRoundTrip) {

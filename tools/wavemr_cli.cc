@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 
+#include "core/failpoint.h"
 #include "core/flags.h"
 #include "core/thread_pool.h"
 #include "data/frequency.h"
@@ -71,6 +72,11 @@ int BuildMain(int argc, char** argv, int start) {
     return 0;
   }
 
+  if (!build.failpoints.empty()) {
+    st = Failpoints::ArmFromSpec(build.failpoints);
+    if (!st.ok()) return FlagError(st, parser);
+  }
+
   auto dataset = MakeDataset(data);
   if (!dataset.ok()) return FlagError(dataset.status(), parser);
 
@@ -104,6 +110,13 @@ int BuildMain(int argc, char** argv, int start) {
   std::printf("spill bytes : %llu\n",
               static_cast<unsigned long long>(result->stats.TotalSpillBytes()));
   std::printf("spill sim s : %.2f\n", result->stats.TotalSpillSeconds());
+  // Recovery telemetry (0/0 on a healthy disk; environment-dependent, so
+  // bit-identity diffs must filter this line like the timing lines).
+  std::printf("spill rescue: %llu fallbacks, %llu retries\n",
+              static_cast<unsigned long long>(
+                  result->stats.TotalSpillFallbacks()),
+              static_cast<unsigned long long>(
+                  result->stats.TotalSpillRetries()));
   // Worst per-round equi-depth range balance (max/min planned pairs; 0 =
   // no partitioned sorted round) and total stolen sub-ranges.
   double spread = 0.0;
@@ -271,6 +284,10 @@ int QueryMain(int argc, char** argv, int start) {
   std::printf("build comm     : %llu bytes\n",
               static_cast<unsigned long long>(r->build_comm_bytes));
   std::printf("build sim time : %.2f s\n", r->build_sim_seconds);
+  std::printf("conns shed     : %llu\n",
+              static_cast<unsigned long long>(r->connections_shed));
+  std::printf("idle disconnects: %llu\n",
+              static_cast<unsigned long long>(r->idle_disconnects));
   return 0;
 }
 
