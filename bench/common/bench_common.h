@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cpu_features.h"
 #include "data/dataset.h"
 #include "data/frequency.h"
 #include "histogram/builder.h"
@@ -108,6 +109,12 @@ struct BenchRecord {
   /// speedup of the columnar path over the pair-vector reference.
   double pairs_per_sec = 0.0;
   double min_speedup = 0.0;
+  /// GCS update kernel rows only (algorithm == "gcs-update-kernel"):
+  /// hashed items/sec through the best SIMD tier (scalar when the host has
+  /// no vector tier). In the checked-in baseline, items_per_sec is the CI
+  /// floor and min_speedup the required SIMD-vs-scalar ratio (not gated on
+  /// scalar-only hosts).
+  double items_per_sec = 0.0;
   /// Serve rows only (algorithm == "serve-load"): closed-loop query
   /// throughput against a running wavemr_serve, and its latency tail. In
   /// the checked-in baseline, queries_per_sec is the CI floor.
@@ -222,6 +229,51 @@ struct ExternalMergeKernelResult {
 
 ExternalMergeKernelResult RunExternalMergeKernel(
     const ExternalMergeKernelOptions& opt);
+
+/// The GCS update kernel: Send-Sketch's map-side unit of cost, isolated.
+/// Two timed comparisons with checksummed outputs:
+///  - hash kernel: per-item packed (sign, sub-bucket) resolution for one
+///    repetition (Hash2 + Hash4 over GF(2^61-1) plus the sub-bucket
+///    reduction), scalar table vs the best runtime tier (core/simd.h), 4
+///    lanes per call in both so the ratio isolates the vector math;
+///  - full UpdateBatch over sorted items under a forced scalar tier vs the
+///    best tier (memo, group caching, and counter writes included -- the
+///    end-to-end map effect).
+/// Equal checksums prove the tiers computed identical hashes / tables.
+struct GcsUpdateKernelOptions {
+  uint64_t total_items = uint64_t{1} << 21;
+  uint64_t domain = uint64_t{1} << 17;
+  size_t reps = 5;
+  size_t buckets = 64;
+  size_t subbuckets = 8;
+  uint32_t group_shift = 3;
+  uint64_t seed = 42;
+};
+
+struct GcsUpdateKernelResult {
+  SimdTier tier = SimdTier::kScalar;  ///< best tier actually measured
+  double scalar_hash_items_per_sec = 0.0;
+  double simd_hash_items_per_sec = 0.0;
+  uint64_t scalar_hash_checksum = 0;
+  uint64_t simd_hash_checksum = 0;
+  double scalar_update_items_per_sec = 0.0;
+  double simd_update_items_per_sec = 0.0;
+  uint64_t scalar_update_checksum = 0;
+  uint64_t simd_update_checksum = 0;
+
+  double HashSpeedup() const {
+    return scalar_hash_items_per_sec > 0.0
+               ? simd_hash_items_per_sec / scalar_hash_items_per_sec
+               : 0.0;
+  }
+  double UpdateSpeedup() const {
+    return scalar_update_items_per_sec > 0.0
+               ? simd_update_items_per_sec / scalar_update_items_per_sec
+               : 0.0;
+  }
+};
+
+GcsUpdateKernelResult RunGcsUpdateKernel(const GcsUpdateKernelOptions& opt);
 
 /// Aligned fixed-width table printer (one per sub-figure).
 class Table {

@@ -226,6 +226,28 @@ void BenchGcs(uint64_t n) {
   }
   PrintRows("GCS update kernel", rows);
 
+  // Dispatch-tier comparison (core/simd.h): the isolated per-item hash
+  // kernel and the full UpdateBatch, forced-scalar vs the best tier this
+  // host can run. Checksums must match within each pair -- the tiers promise
+  // bit-identical results. This is the table the perf-smoke gate records as
+  // "gcs-update-kernel" in ci_baseline.json.
+  GcsUpdateKernelOptions kopt;
+  kopt.total_items = n;
+  GcsUpdateKernelResult kr = RunGcsUpdateKernel(kopt);
+  const std::string tier = SimdTierName(kr.tier);
+  std::vector<Row> krows;
+  krows.push_back({"hash block, scalar tier", kr.scalar_hash_items_per_sec,
+                   kr.scalar_hash_checksum});
+  krows.push_back({"hash block, " + tier + " tier", kr.simd_hash_items_per_sec,
+                   kr.simd_hash_checksum});
+  PrintRows("gcs-update-kernel (items/s)", krows);
+  std::vector<Row> urows;
+  urows.push_back({"UpdateBatch, scalar tier", kr.scalar_update_items_per_sec,
+                   kr.scalar_update_checksum});
+  urows.push_back({"UpdateBatch, " + tier + " tier",
+                   kr.simd_update_items_per_sec, kr.simd_update_checksum});
+  PrintRows("gcs UpdateBatch by tier (items/s)", urows);
+
   // Full hierarchical tracker: one UpdateData is log2(u)+1 coefficient
   // updates through every level.
   const uint64_t points = n / 64;

@@ -25,6 +25,13 @@
 //     record, merging file-backed (spilled) runs must deliver at least
 //     pairs_per_sec (minus --rps-tolerance) and reproduce the resident
 //     merge's checksum exactly;
+//   * gcs update kernel: when the baseline has a "gcs-update-kernel"
+//     record, the SIMD-dispatched per-item hash kernel (core/simd.h) must
+//     deliver at least items_per_sec (minus --rps-tolerance) and match the
+//     forced-scalar tier's checksums exactly, and -- on hosts where a
+//     vector tier is available -- beat the scalar tier by the record's
+//     min_speedup (scalar-only hosts report instead of gating, like the
+//     single-core skew-reduce case);
 //   * skew reduce: when the baseline has a "skew-reduce" record, Send-V
 //     without a combiner over Zipf s=1.2 keys (per-record pairs, forced
 //     sorted shuffle, a buffer small enough to force spills) must keep the
@@ -291,6 +298,67 @@ int Main(int argc, char** argv) {
     reporter.Add(std::move(kr));
   }
 
+  // GCS update kernel: the SIMD dispatch tier vs forced scalar over the
+  // same items (core/simd.h). Best of three shots; equal checksums are the
+  // bit-identity contract, enforced baseline or not.
+  GcsUpdateKernelResult gcs;
+  for (int shot = 0; shot < 3; ++shot) {
+    GcsUpdateKernelResult r = RunGcsUpdateKernel(GcsUpdateKernelOptions{});
+    if (r.simd_hash_items_per_sec > gcs.simd_hash_items_per_sec) {
+      gcs.simd_hash_items_per_sec = r.simd_hash_items_per_sec;
+    }
+    if (r.scalar_hash_items_per_sec > gcs.scalar_hash_items_per_sec) {
+      gcs.scalar_hash_items_per_sec = r.scalar_hash_items_per_sec;
+    }
+    if (r.simd_update_items_per_sec > gcs.simd_update_items_per_sec) {
+      gcs.simd_update_items_per_sec = r.simd_update_items_per_sec;
+    }
+    if (r.scalar_update_items_per_sec > gcs.scalar_update_items_per_sec) {
+      gcs.scalar_update_items_per_sec = r.scalar_update_items_per_sec;
+    }
+    gcs.tier = r.tier;
+    gcs.scalar_hash_checksum = r.scalar_hash_checksum;
+    gcs.simd_hash_checksum = r.simd_hash_checksum;
+    gcs.scalar_update_checksum = r.scalar_update_checksum;
+    gcs.simd_update_checksum = r.simd_update_checksum;
+    if (r.simd_hash_checksum != r.scalar_hash_checksum ||
+        r.simd_update_checksum != r.scalar_update_checksum) {
+      break;
+    }
+  }
+  std::printf(
+      "gcs-update-kernel: %s hash %.3e items/s, scalar hash %.3e items/s "
+      "(%.2fx); UpdateBatch %.3e vs %.3e items/s (%.2fx)\n",
+      SimdTierName(gcs.tier), gcs.simd_hash_items_per_sec,
+      gcs.scalar_hash_items_per_sec, gcs.HashSpeedup(),
+      gcs.simd_update_items_per_sec, gcs.scalar_update_items_per_sec,
+      gcs.UpdateSpeedup());
+  if (gcs.simd_hash_checksum != gcs.scalar_hash_checksum) {
+    std::fprintf(stderr,
+                 "FAIL gcs-update-kernel: %s hash checksum %llx != scalar "
+                 "checksum %llx\n",
+                 SimdTierName(gcs.tier),
+                 static_cast<unsigned long long>(gcs.simd_hash_checksum),
+                 static_cast<unsigned long long>(gcs.scalar_hash_checksum));
+    failed = true;
+  }
+  if (gcs.simd_update_checksum != gcs.scalar_update_checksum) {
+    std::fprintf(stderr,
+                 "FAIL gcs-update-kernel: %s UpdateBatch checksum %llx != "
+                 "scalar checksum %llx\n",
+                 SimdTierName(gcs.tier),
+                 static_cast<unsigned long long>(gcs.simd_update_checksum),
+                 static_cast<unsigned long long>(gcs.scalar_update_checksum));
+    failed = true;
+  }
+  {
+    BenchRecord kr;
+    kr.algorithm = "gcs-update-kernel";
+    kr.threads = 1;
+    kr.items_per_sec = gcs.simd_hash_items_per_sec;
+    reporter.Add(std::move(kr));
+  }
+
   // Skew reduce: the equi-depth partitioning proof. Zipf s=1.2 keys,
   // Send-V with the combiner off (one pair per record -- the rawest key
   // skew the engine can see), forced sorted shuffle, and a buffer small
@@ -417,6 +485,46 @@ int Main(int argc, char** argv) {
             std::printf("ok   external-merge-kernel: %.3e pairs/s within "
                         "baseline %.3e pairs/s (-%.0f%%)\n",
                         ext.external_pairs_per_sec, b.pairs_per_sec,
+                        opt.rps_tolerance * 100.0);
+          }
+        }
+        continue;
+      }
+      if (b.algorithm == "gcs-update-kernel") {
+        if (b.min_speedup > 0.0) {
+          // The speedup gate needs a vector tier; a scalar-only host
+          // compares the scalar table against itself and can only report.
+          if (gcs.tier == SimdTier::kScalar) {
+            std::printf("ok   gcs-update-kernel: %.2fx hash speedup not gated "
+                        "on a scalar-only host\n",
+                        gcs.HashSpeedup());
+          } else if (gcs.HashSpeedup() < b.min_speedup) {
+            std::fprintf(stderr,
+                         "FAIL gcs-update-kernel: %s tier %.2fx vs scalar "
+                         "below required %.2fx\n",
+                         SimdTierName(gcs.tier), gcs.HashSpeedup(),
+                         b.min_speedup);
+            failed = true;
+          } else {
+            std::printf("ok   gcs-update-kernel: %s tier %.2fx vs scalar "
+                        "(need %.2fx)\n",
+                        SimdTierName(gcs.tier), gcs.HashSpeedup(),
+                        b.min_speedup);
+          }
+        }
+        if (b.items_per_sec > 0.0) {
+          double floor = b.items_per_sec * (1.0 - opt.rps_tolerance);
+          if (gcs.simd_hash_items_per_sec < floor) {
+            std::fprintf(stderr,
+                         "FAIL gcs-update-kernel: %.3e items/s below baseline "
+                         "%.3e items/s (-%.0f%% tolerance => %.3e)\n",
+                         gcs.simd_hash_items_per_sec, b.items_per_sec,
+                         opt.rps_tolerance * 100.0, floor);
+            failed = true;
+          } else {
+            std::printf("ok   gcs-update-kernel: %.3e items/s within baseline "
+                        "%.3e items/s (-%.0f%%)\n",
+                        gcs.simd_hash_items_per_sec, b.items_per_sec,
                         opt.rps_tolerance * 100.0);
           }
         }

@@ -1,0 +1,98 @@
+#include "core/cpu_features.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "core/logging.h"
+
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+// getauxval HWCAP bits; defined here so older libc headers still build.
+#ifndef HWCAP_ASIMD
+#define HWCAP_ASIMD (1UL << 1)
+#endif
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1UL << 7)
+#endif
+#endif
+
+namespace wavemr {
+namespace {
+
+CpuFeatures Probe() {
+  CpuFeatures f;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  f.sse42 = __builtin_cpu_supports("sse4.2");
+  f.avx2 = __builtin_cpu_supports("avx2");
+#endif
+#if defined(__aarch64__)
+#if defined(__linux__)
+  unsigned long hwcap = getauxval(AT_HWCAP);
+  f.neon = (hwcap & HWCAP_ASIMD) != 0;
+  f.arm_crc32 = (hwcap & HWCAP_CRC32) != 0;
+#else
+  // Advanced SIMD is architecturally mandatory on AArch64; CRC32 is only
+  // assumed when the whole binary was compiled for it.
+  f.neon = true;
+#if defined(__ARM_FEATURE_CRC32)
+  f.arm_crc32 = true;
+#endif
+#endif
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& GetCpuFeatures() {
+  static const CpuFeatures features = Probe();
+  return features;
+}
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kNeon:
+      return "neon";
+    case SimdTier::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+SimdTier ResolveSimdTier(const char* request, const CpuFeatures& cpu) {
+  const SimdTier best = cpu.avx2   ? SimdTier::kAvx2
+                        : cpu.neon ? SimdTier::kNeon
+                                   : SimdTier::kScalar;
+  if (request == nullptr || request[0] == '\0') return best;
+  if (std::strcmp(request, "scalar") == 0) return SimdTier::kScalar;
+  if (std::strcmp(request, "avx2") == 0)
+    return cpu.avx2 ? SimdTier::kAvx2 : SimdTier::kScalar;
+  if (std::strcmp(request, "neon") == 0)
+    return cpu.neon ? SimdTier::kNeon : SimdTier::kScalar;
+  // "auto" and anything unrecognized fall through to the best tier.
+  return best;
+}
+
+SimdTier BestSimdTier() {
+  return ResolveSimdTier(nullptr, GetCpuFeatures());
+}
+
+SimdTier ActiveSimdTier() {
+  static const SimdTier tier = [] {
+    const char* request = std::getenv("WAVEMR_SIMD");
+    SimdTier resolved = ResolveSimdTier(request, GetCpuFeatures());
+    if (request != nullptr && request[0] != '\0' &&
+        std::strcmp(request, "auto") != 0 &&
+        std::strcmp(request, SimdTierName(resolved)) != 0) {
+      WAVEMR_LOG(Warning) << "WAVEMR_SIMD=" << request
+                          << " not supported on this host/build; using "
+                          << SimdTierName(resolved);
+    }
+    return resolved;
+  }();
+  return tier;
+}
+
+}  // namespace wavemr

@@ -1,0 +1,49 @@
+#ifndef WAVEMR_CORE_CPU_FEATURES_H_
+#define WAVEMR_CORE_CPU_FEATURES_H_
+
+namespace wavemr {
+
+/// Result of the process-wide CPU capability probe. Probed exactly once (on
+/// first use) and shared by every runtime-dispatched kernel family: the
+/// CRC32C hardware path in core/crc32c.cc and the SIMD kernel tier in
+/// core/simd.h both key off this struct instead of issuing their own CPUID /
+/// getauxval calls.
+struct CpuFeatures {
+  bool sse42 = false;      ///< x86 SSE4.2 (hardware CRC32C instruction).
+  bool avx2 = false;       ///< x86 AVX2 (4x 64-bit integer / 4x double lanes).
+  bool neon = false;       ///< AArch64 Advanced SIMD (baseline on AArch64).
+  bool arm_crc32 = false;  ///< AArch64 CRC32 extension.
+};
+
+/// The probed features of this machine. First call runs the probe; later
+/// calls return the cached result. Thread-safe.
+const CpuFeatures& GetCpuFeatures();
+
+/// Vector instruction tiers the SIMD kernel table can be compiled for. A
+/// binary only ever contains the tiers its target architecture can express
+/// (AVX2 on x86-64 via per-function target attributes, NEON on AArch64);
+/// kScalar is always present and is the bit-identity reference.
+enum class SimdTier { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+/// Stable lowercase name for logs / bench output: "scalar", "avx2", "neon".
+const char* SimdTierName(SimdTier tier);
+
+/// Resolves a WAVEMR_SIMD request string against the probed features.
+/// Accepted requests: "auto" (or null/empty) picks the best supported tier,
+/// "avx2" / "neon" force that tier when the hardware and build support it
+/// (degrading to scalar when not), "scalar" forces the fallback. Anything
+/// else is treated as "auto". Pure function so tests can exercise every
+/// combination without touching the environment.
+SimdTier ResolveSimdTier(const char* request, const CpuFeatures& cpu);
+
+/// Best tier this binary + hardware supports, ignoring WAVEMR_SIMD.
+SimdTier BestSimdTier();
+
+/// The tier the process starts with: ResolveSimdTier(getenv("WAVEMR_SIMD")).
+/// Computed once; the test-only override in core/simd.h layers on top of
+/// this rather than mutating it.
+SimdTier ActiveSimdTier();
+
+}  // namespace wavemr
+
+#endif  // WAVEMR_CORE_CPU_FEATURES_H_

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "core/cpu_features.h"
+
 #if defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
 #include <arm_acle.h>
 #define WAVEMR_CRC32C_ARM 1
@@ -36,8 +38,7 @@ struct Crc32cTables {
   }
 };
 
-[[maybe_unused]] uint32_t Crc32cSoftware(uint32_t crc, const uint8_t* p,
-                                         size_t n) {
+uint32_t Crc32cSoftware(uint32_t crc, const uint8_t* p, size_t n) {
   static const Crc32cTables tables;
   const auto& t = tables.t;
   crc = ~crc;
@@ -57,7 +58,8 @@ struct Crc32cTables {
 
 // ---------------------------------------------------------------------------
 // Hardware paths. x86 compiles the SSE4.2 body with a per-function target
-// attribute and selects it at runtime via cpuid, so the default build (plain
+// attribute and selects it at runtime via the shared core/cpu_features probe
+// (the same one the SIMD kernel tier keys off), so the default build (plain
 // x86-64 baseline) still benefits on capable machines.
 // ---------------------------------------------------------------------------
 
@@ -76,11 +78,6 @@ __attribute__((target("sse4.2"))) uint32_t Crc32cSse42(uint32_t crc,
   uint32_t c32 = static_cast<uint32_t>(c);
   while (n--) c32 = _mm_crc32_u8(c32, *p++);
   return ~c32;
-}
-
-bool HaveSse42() {
-  static const bool have = __builtin_cpu_supports("sse4.2");
-  return have;
 }
 #endif
 
@@ -104,13 +101,12 @@ uint32_t Crc32cArm(uint32_t crc, const uint8_t* p, size_t n) {
 uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
   const uint8_t* p = static_cast<const uint8_t*>(data);
 #if WAVEMR_CRC32C_ARM
-  return Crc32cArm(crc, p, n);
-#else
+  if (GetCpuFeatures().arm_crc32) return Crc32cArm(crc, p, n);
+#endif
 #if WAVEMR_CRC32C_X86
-  if (HaveSse42()) return Crc32cSse42(crc, p, n);
+  if (GetCpuFeatures().sse42) return Crc32cSse42(crc, p, n);
 #endif
   return Crc32cSoftware(crc, p, n);
-#endif
 }
 
 }  // namespace wavemr

@@ -4,15 +4,6 @@
 
 namespace wavemr {
 
-uint64_t MulMod61(uint64_t a, uint64_t b) {
-  __uint128_t prod = static_cast<__uint128_t>(a) * b;
-  uint64_t lo = static_cast<uint64_t>(prod & PolyHash::kPrime);
-  uint64_t hi = static_cast<uint64_t>(prod >> 61);
-  uint64_t res = lo + hi;
-  if (res >= PolyHash::kPrime) res -= PolyHash::kPrime;
-  return res;
-}
-
 PolyHash::PolyHash(uint64_t seed, int degree) {
   WAVEMR_CHECK_GE(degree, 1);
   Rng rng(seed);

@@ -39,7 +39,37 @@ class PolyHash {
 };
 
 /// Multiplies a*b mod (2^61 - 1) without overflow using 128-bit arithmetic.
-uint64_t MulMod61(uint64_t a, uint64_t b);
+/// Returns the canonical residue (< 2^61 - 1 for in-range inputs). Inline so
+/// the batched sketch kernels and the SIMD scalar reference (core/simd.cc)
+/// share one definition that the compiler can fold into their loops.
+inline uint64_t MulMod61(uint64_t a, uint64_t b) {
+  __uint128_t prod = static_cast<__uint128_t>(a) * b;
+  uint64_t lo = static_cast<uint64_t>(prod & PolyHash::kPrime);
+  uint64_t hi = static_cast<uint64_t>(prod >> 61);
+  uint64_t res = lo + hi;
+  if (res >= PolyHash::kPrime) res -= PolyHash::kPrime;
+  return res;
+}
+
+/// Degree-2 polynomial c0 + c1*x over GF(2^61 - 1) for pre-reduced
+/// xr < 2^61 - 1, in the exact Horner order of PolyHash::Hash so values are
+/// bit-identical to PolyHash(seed, 2).Hash(x). Coefficients c0-first, as
+/// returned by PolyHash::coeffs().
+inline uint64_t PolyHash2(const uint64_t c[2], uint64_t xr) {
+  uint64_t acc = MulMod61(c[1], xr) + c[0];
+  return acc >= PolyHash::kPrime ? acc - PolyHash::kPrime : acc;
+}
+
+/// Degree-4 polynomial, same Horner order (and per-step conditional
+/// subtraction) as PolyHash::Hash with 4 coefficients.
+inline uint64_t PolyHash4(const uint64_t c[4], uint64_t xr) {
+  uint64_t acc = MulMod61(c[3], xr) + c[2];
+  if (acc >= PolyHash::kPrime) acc -= PolyHash::kPrime;
+  acc = MulMod61(acc, xr) + c[1];
+  if (acc >= PolyHash::kPrime) acc -= PolyHash::kPrime;
+  acc = MulMod61(acc, xr) + c[0];
+  return acc >= PolyHash::kPrime ? acc - PolyHash::kPrime : acc;
+}
 
 }  // namespace wavemr
 

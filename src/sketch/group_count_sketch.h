@@ -69,6 +69,14 @@ class GroupCountSketch {
   void UpdateBatchImpl(const uint64_t* items, const double* values, size_t n,
                        uint32_t group_shift);
 
+  /// SIMD-tier batch update (core/simd.h): hashes memo-missing items through
+  /// the active vector kernel 4 lanes at a time, then applies the adds in the
+  /// scalar loop's exact per-cell order, so the table stays bit-identical to
+  /// UpdateBatchImpl for any input. Requires subbuckets_ <= 2^30 (the packed
+  /// slot bound); UpdateBatch falls back to the scalar path otherwise.
+  void UpdateBatchSimd(const struct SimdKernels& k, const uint64_t* items,
+                       const double* values, size_t n, uint32_t group_shift);
+
   /// One repetition's hash functions, flattened: the 2-wise group and item
   /// polynomials and the 4-wise sign polynomial, coefficients c0-first.
   /// Exactly the coefficients PolyHash would draw, so hash values (and
@@ -79,11 +87,20 @@ class GroupCountSketch {
     uint64_t s[4];
   };
 
+  /// Structure-of-arrays copy of rep_hash_, padded to a multiple of 4
+  /// repetitions (pad lanes replicate the last rep; their results are
+  /// discarded), so the query path can feed coefficient lanes straight into
+  /// the 4-wide hash kernels without per-call marshalling.
+  struct RepHashLanes {
+    std::vector<uint64_t> g0, g1, i0, i1, s0, s1, s2, s3;
+  };
+
   size_t reps_;
   size_t buckets_;
   size_t subbuckets_;
   uint64_t seed_;
   std::vector<RepHash> rep_hash_;
+  RepHashLanes lanes_;
   std::vector<double> table_;  // reps x buckets x subbuckets
 
   /// Lazily built memo, reps x kMemoItems: bit 31 = sign, low bits = the

@@ -4,6 +4,7 @@
 
 #include "core/bitops.h"
 #include "core/logging.h"
+#include "core/simd.h"
 
 namespace wavemr {
 
@@ -18,25 +19,21 @@ std::vector<double> ForwardHaar(std::span<const double> v) {
   // Pairing blocks (2k, 2k+1) of width 2^t yields the detail coefficient of
   // level j = levels - t - 1 with normalization 1/sqrt(u / 2^j).
   //
-  // Each pass reads one buffer and writes two others through restrict-
-  // qualified pointers (ping-ponging sums <-> scratch) instead of updating
-  // sums[] in place: with no possible aliasing between the read and write
-  // streams the butterfly auto-vectorizes, while the arithmetic -- and so
-  // the output, bit for bit -- is unchanged from the scalar in-place form.
+  // Each pass reads one buffer and writes two others (ping-ponging
+  // sums <-> scratch) instead of updating sums[] in place: with no aliasing
+  // between the read and write streams the butterfly runs through the
+  // dispatched SIMD kernel (core/simd.h) -- explicit AVX2/NEON lanes when
+  // the host has them, the auto-vectorizable restrict loop otherwise. The
+  // kernel is elementwise sub/add/mul only, so the output is bit-identical
+  // to the scalar in-place form in every tier.
+  const SimdKernels& simd = SimdK();
   uint64_t size = u;
   for (uint32_t t = 0; t < levels; ++t) {
     uint32_t j = levels - t - 1;
     double norm = 1.0 / std::sqrt(static_cast<double>(u >> j));
     uint64_t half = size / 2;
-    const double* __restrict in = sums.data();
-    double* __restrict out_sums = scratch.data();
-    double* __restrict out_coeffs = coeffs.data() + (uint64_t{1} << j);
-    for (uint64_t k = 0; k < half; ++k) {
-      double left = in[2 * k];
-      double right = in[2 * k + 1];
-      out_coeffs[k] = (right - left) * norm;
-      out_sums[k] = left + right;
-    }
+    simd.haar_butterfly(sums.data(), half, norm,
+                        coeffs.data() + (uint64_t{1} << j), scratch.data());
     sums.swap(scratch);  // only the first `half` entries carry forward
     size = half;
   }

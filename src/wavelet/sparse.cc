@@ -6,6 +6,7 @@
 #include "core/bitops.h"
 #include "core/flat_hash.h"
 #include "core/logging.h"
+#include "core/simd.h"
 
 namespace wavemr {
 
@@ -43,30 +44,42 @@ std::vector<WCoeff> SparseHaar(const SparseVector& v, uint64_t u) {
   // Level-major restructuring of the per-key error-tree walk (the transform
   // is H-WTopk's round-1 bottleneck): one pass over the keys per coefficient
   // level, with that level's sqrt hoisted out of the loop and the per-key
-  // block arithmetic reduced to shift/mask. Per coefficient the
-  // contributions still arrive in v's order -- a level touches disjoint
-  // indices, so key-major and level-major accumulate every coefficient in
-  // the same order -- which keeps the result bit-identical to the scalar
-  // AccumulatePointUpdate path (sparse_test proves it).
+  // block arithmetic reduced to shift/mask. The per-key index and signed
+  // magnitude of each level run through the dispatched SIMD kernel
+  // (core/simd.h) into flat scratch arrays -- the divide is the hot op and
+  // vectorizes 4-wide -- and the map accumulation then applies them in v's
+  // order. Per coefficient the contributions still arrive in v's order -- a
+  // level touches disjoint indices, so key-major and level-major accumulate
+  // every coefficient in the same order -- and the kernel's divide/sign-flip
+  // are IEEE-exact, which keeps the result bit-identical to the scalar
+  // AccumulatePointUpdate path in every tier (sparse_test proves it).
   FlatHashCounter<uint64_t, double> coeffs;
   coeffs.reserve(v.size() * 2);
 
   const double sqrt_u = std::sqrt(static_cast<double>(u));
+  std::vector<uint64_t> keys(v.size());
+  std::vector<double> weights(v.size());
+  size_t n = 0;
   for (const auto& [key, weight] : v) {
     WAVEMR_DCHECK(key < u);
     coeffs[0] += weight / sqrt_u;
+    keys[n] = key;
+    weights[n] = weight;
+    ++n;
   }
+  const SimdKernels& simd = SimdK();
+  std::vector<uint64_t> idx(n);
+  std::vector<double> val(n);
   for (uint32_t j = 0; j < levels; ++j) {
     const uint64_t block = u >> j;
     const uint64_t half = block / 2;
     const uint64_t base = uint64_t{1} << j;
     const uint32_t shift = levels - j;  // log2(block)
     const double sqrt_block = std::sqrt(static_cast<double>(block));
-    for (const auto& [key, weight] : v) {
-      const uint64_t k = key >> shift;
-      const uint64_t offset = key & (block - 1);
-      const double mag = weight / sqrt_block;
-      coeffs[base + k] += (offset < half) ? -mag : mag;
+    simd.sparse_level(keys.data(), weights.data(), n, shift, block - 1, half,
+                      base, sqrt_block, idx.data(), val.data());
+    for (size_t i = 0; i < n; ++i) {
+      coeffs[idx[i]] += val[i];
     }
   }
 

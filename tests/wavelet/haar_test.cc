@@ -9,6 +9,7 @@
 
 #include "core/bitops.h"
 #include "core/rng.h"
+#include "core/simd.h"
 #include "wavelet/coefficient.h"
 
 namespace wavemr {
@@ -121,6 +122,26 @@ TEST_P(HaarBitIdentityTest, RestructuredPassMatchesScalarBitwise) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, HaarBitIdentityTest,
                          ::testing::Values(1u, 2u, 4u, 16u, 128u, 1024u, 8192u));
+
+TEST_P(HaarBitIdentityTest, SimdTiersMatchScalarTierBitwise) {
+  // ForwardHaar's butterfly runs through the dispatched SIMD kernel
+  // (core/simd.h); forcing the scalar table and the best available table
+  // must give the same coefficients bit for bit, and both must still equal
+  // the in-place scalar reference.
+  const uint64_t u = GetParam();
+  std::vector<double> v = RandomSignal(u, 2000 + u);
+  std::vector<double> want = ForwardHaarScalarReference(v);
+  OverrideSimdTierForTest(SimdTier::kScalar);
+  std::vector<double> scalar = ForwardHaar(v);
+  OverrideSimdTierForTest(BestSimdTier());
+  std::vector<double> best = ForwardHaar(v);
+  OverrideSimdTierForTest(ActiveSimdTier());
+  for (uint64_t i = 0; i < u; ++i) {
+    ASSERT_EQ(scalar[i], want[i]) << "coefficient " << i;
+    ASSERT_EQ(best[i], want[i])
+        << "coefficient " << i << " tier=" << SimdTierName(BestSimdTier());
+  }
+}
 
 TEST(HaarTest, LinearityOfTransform) {
   const uint64_t u = 64;

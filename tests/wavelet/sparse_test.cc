@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/rng.h"
+#include "core/simd.h"
 #include "wavelet/haar.h"
 
 namespace wavemr {
@@ -103,6 +104,32 @@ TEST(SparseHaarTest, LevelMajorMatchesScalarPathBitwise) {
       }
     }
     EXPECT_LE(got_map.size(), want.size());
+  }
+}
+
+TEST(SparseHaarTest, SimdTiersMatchScalarPathBitwise) {
+  // The level pass runs through the dispatched SIMD kernel; forced-scalar
+  // and best-tier transforms must agree bit for bit with each other and
+  // with the key-major AccumulatePointUpdate path.
+  Rng rng(77);
+  const uint64_t u = 8192;
+  SparseVector v;
+  for (int i = 0; i < 700; ++i) {
+    v.emplace_back(rng.NextBounded(u), (rng.NextDouble() - 0.5) * 50.0);
+  }
+  std::unordered_map<uint64_t, double> want = SparseHaarMap(v, u);
+  OverrideSimdTierForTest(SimdTier::kScalar);
+  std::vector<WCoeff> scalar = SparseHaar(v, u);
+  OverrideSimdTierForTest(BestSimdTier());
+  std::vector<WCoeff> best = SparseHaar(v, u);
+  OverrideSimdTierForTest(ActiveSimdTier());
+  ASSERT_EQ(scalar.size(), best.size());
+  for (size_t i = 0; i < scalar.size(); ++i) {
+    ASSERT_EQ(scalar[i].index, best[i].index);
+    ASSERT_EQ(scalar[i].value, best[i].value)
+        << "index " << scalar[i].index
+        << " tier=" << SimdTierName(BestSimdTier());
+    ASSERT_EQ(want.at(scalar[i].index), scalar[i].value);
   }
 }
 
