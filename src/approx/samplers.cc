@@ -180,6 +180,7 @@ StatusOr<BuildResult> BasicSampling::Build(const Dataset& dataset,
   MrEnv env;
   env.cluster = options.cluster;
   env.cost_model = options.cost_model;
+  env.io = options.io;
   env.threads = options.threads;
   env.reduce_tasks = options.reduce_tasks;
   const double p = LevelOneProbability(options.epsilon, dataset.info().num_records);
@@ -208,6 +209,7 @@ StatusOr<BuildResult> ImprovedSampling::Build(const Dataset& dataset,
   MrEnv env;
   env.cluster = options.cluster;
   env.cost_model = options.cost_model;
+  env.io = options.io;
   env.threads = options.threads;
   env.reduce_tasks = options.reduce_tasks;
   const double p = LevelOneProbability(options.epsilon, dataset.info().num_records);
@@ -238,6 +240,7 @@ StatusOr<BuildResult> TwoLevelSampling::Build(const Dataset& dataset,
   MrEnv env;
   env.cluster = options.cluster;
   env.cost_model = options.cost_model;
+  env.io = options.io;
   env.threads = options.threads;
   env.reduce_tasks = options.reduce_tasks;
   const uint64_t m = dataset.info().num_splits;

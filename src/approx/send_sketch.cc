@@ -77,6 +77,7 @@ StatusOr<BuildResult> SendSketch::Build(const Dataset& dataset,
   MrEnv env;
   env.cluster = options.cluster;
   env.cost_model = options.cost_model;
+  env.io = options.io;
   env.threads = options.threads;
   env.reduce_tasks = options.reduce_tasks;
 

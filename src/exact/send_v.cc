@@ -84,6 +84,7 @@ StatusOr<BuildResult> SendV::Build(const Dataset& dataset, const BuildOptions& o
   MrEnv env;
   env.cluster = options.cluster;
   env.cost_model = options.cost_model;
+  env.io = options.io;
   env.threads = options.threads;
   env.reduce_tasks = options.reduce_tasks;
 

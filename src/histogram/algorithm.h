@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/io.h"
 #include "core/status.h"
 #include "data/dataset.h"
 #include "mapreduce/cluster.h"
@@ -54,6 +55,12 @@ struct BuildOptions {
   /// Simulated execution environment.
   ClusterSpec cluster = ClusterSpec::PaperCluster();
   CostModel cost_model;
+
+  /// Spill I/O plane: backend selection (--spill-io), queue/prefetch depth,
+  /// retry budget, and the consolidated shuffle-buffer override (0 inherits
+  /// the deprecated CostModel::shuffle_buffer_bytes). Bit-identical results
+  /// for every setting; only wall-clock changes.
+  IoOptions io;
 
   // ---- ablation switches (DESIGN.md section 5) ----
 

@@ -34,6 +34,7 @@ Status BuildOptions::Validate() const {
         "BuildOptions.cost_model.shuffle_buffer_bytes must be > 0 (the "
         "shuffle needs at least one buffered run before spilling)");
   }
+  WAVEMR_RETURN_IF_ERROR(io.Validate());
   return Status::OK();
 }
 

@@ -47,6 +47,11 @@ struct CostModel {
   /// and evicts the largest retained runs to temp spill files; the merge
   /// streams them back, bit-identical to the all-in-memory path. 0 disables
   /// the check (never spill).
+  ///
+  /// Deprecated spelling: prefer IoOptions::shuffle_buffer_bytes
+  /// (BuildOptions::io / MrEnv::io), which wins whenever it is nonzero --
+  /// this field remains the default the consolidated knob inherits (see
+  /// MrEnv::ResolvedShuffleBufferBytes).
   uint64_t shuffle_buffer_bytes = uint64_t{256} << 20;
 
   /// Sequential local-disk rate (MB/s) for the external shuffle's spill

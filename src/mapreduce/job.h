@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/flat_hash.h"
+#include "core/io.h"
 #include "core/logging.h"
 #include "core/status.h"
 #include "core/thread_pool.h"
@@ -64,6 +65,27 @@ struct MrEnv {
   /// so the env-level remove is the crash backstop, not the cleanup path.
   SpillDir spill_dir;
 
+  /// Consolidated spill I/O knobs (backend, queue/prefetch depth, retry,
+  /// buffer override). Every round's ShufflePlane and file cursor runs on
+  /// the backend these options name; any choice is bit-identical, only
+  /// wall-clock changes.
+  IoOptions io;
+
+  /// Retained-run budget for sorted shuffles: IoOptions wins when set,
+  /// otherwise the deprecated CostModel::shuffle_buffer_bytes spelling.
+  uint64_t ResolvedShuffleBufferBytes() const {
+    return io.shuffle_buffer_bytes != 0 ? io.shuffle_buffer_bytes
+                                        : cost_model.shuffle_buffer_bytes;
+  }
+
+  /// Lazily created I/O engine named by `io`, shared by all rounds (the
+  /// async backend's workers persist across H-WTopk's three rounds, like
+  /// the map pool).
+  IoBackend* EnsureIoBackend() {
+    if (io_backend_ == nullptr) io_backend_ = MakeIoBackend(io);
+    return io_backend_.get();
+  }
+
   /// Lazily created worker pool, reused across rounds (H-WTopk runs three
   /// rounds on one MrEnv; respawning threads per round would dominate small
   /// jobs).
@@ -76,6 +98,7 @@ struct MrEnv {
 
  private:
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<IoBackend> io_backend_;
 };
 
 namespace internal {
@@ -572,8 +595,8 @@ RoundStats RunRound(const JobPlan<K2, V2>& plan, const Dataset& dataset, MrEnv* 
   // largest ones to env->spill_dir when they outgrow the buffer budget --
   // for the loser-tree merge.
   ShufflePlane<K2, V2> plane(wire, plan.sorted_shuffle,
-                             SpillPolicy{env->cost_model.shuffle_buffer_bytes},
-                             &env->spill_dir);
+                             SpillPolicy{env->ResolvedShuffleBufferBytes()},
+                             &env->spill_dir, env->EnsureIoBackend());
   auto absorb = [&](const K2& k, const V2& v) {
     plan.reducer->Absorb(k, v, reduce_ctx);
   };

@@ -1,6 +1,7 @@
 #ifndef WAVEMR_MAPREDUCE_SPILL_H_
 #define WAVEMR_MAPREDUCE_SPILL_H_
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -10,17 +11,21 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <filesystem>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <system_error>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/crc32c.h"
 #include "core/failpoint.h"
+#include "core/io.h"
 #include "core/logging.h"
 #include "core/status.h"
 
@@ -58,9 +63,13 @@ namespace wavemr {
 /// degrades to keeping the run resident -- see ShufflePlane); reads throw
 /// SpillIoError, which the job engine's existing exception path turns into a
 /// clean abort with spill files removed. Transient errno (EINTR/EAGAIN, and
-/// ENOSPC on writes) is retried with exponential backoff per SpillIoPolicy
-/// before either outcome. Fault injection hooks: failpoint sites
-/// `spill.write.{open,write,close}` and `spill.read.{open,read}`
+/// ENOSPC on writes) is retried with exponential backoff per
+/// IoOptions::retry (IoRetryPolicy, core/io.h) before either outcome -- sync
+/// and async paths share that one classification table. Fault injection
+/// hooks: failpoint sites `spill.write.{open,write,close}` and
+/// `spill.read.{open,read}` fire on every backend; the async-only sites
+/// `spill.write.submit`, `spill.write.complete` (shuffle.h) and
+/// `spill.read.prefetch` (FileRunCursor) fire inside the overlapped plane
 /// (core/failpoint.h, catalog in docs/robustness.md).
 
 inline constexpr uint64_t kSpillMagic = 0x57564d5250494c32ull;  // "WVMRPIL2"
@@ -85,67 +94,11 @@ uint64_t SpillFileBytes(uint64_t num_pairs) {
          (2 * SpillNumBlocks(num_pairs) + 1) * sizeof(uint32_t);
 }
 
-/// Typed outcome of one spill IO operation. `op` says which syscall family
-/// failed (kNone = success); `err` carries errno when the OS produced one
-/// (0 for pure format/checksum violations).
-struct IoResult {
-  enum class Op {
-    kNone = 0,  // success
-    kOpen,
-    kSeek,
-    kRead,
-    kWrite,
-    kClose,
-    kChecksum,  // stored CRC32C does not match the bytes read
-    kFormat,    // truncated file / bad magic / header mismatch
-  };
-
-  Op op = Op::kNone;
-  int err = 0;
-  std::string detail;
-
-  bool ok() const { return op == Op::kNone; }
-
-  static const char* OpName(Op op) {
-    switch (op) {
-      case Op::kNone: return "ok";
-      case Op::kOpen: return "open";
-      case Op::kSeek: return "seek";
-      case Op::kRead: return "read";
-      case Op::kWrite: return "write";
-      case Op::kClose: return "close";
-      case Op::kChecksum: return "checksum";
-      case Op::kFormat: return "format";
-    }
-    return "unknown";
-  }
-
-  std::string ToString() const {
-    if (ok()) return "ok";
-    std::string out = "spill ";
-    out += OpName(op);
-    out += " error";
-    if (err != 0) {
-      out += " (";
-      out += std::strerror(err);
-      out += ")";
-    }
-    if (!detail.empty()) {
-      out += ": ";
-      out += detail;
-    }
-    return out;
-  }
-
-  Status ToStatus() const {
-    return ok() ? Status::OK() : Status::IOError(ToString());
-  }
-};
-
 /// Thrown by the spill read paths (cursors, probes) on IO failure or
 /// detected corruption. The job engine already unwinds exceptions cleanly
 /// (spill files are deleted by ShufflePlane/SpillDir RAII), so a bad disk
 /// aborts the build with a typed, actionable error instead of wrong results.
+/// Wraps the core IoResult (core/io.h), which both backends share.
 class SpillIoError : public std::runtime_error {
  public:
   explicit SpillIoError(IoResult io)
@@ -156,26 +109,10 @@ class SpillIoError : public std::runtime_error {
   IoResult io_;
 };
 
-/// Retry budget for transient spill IO errno. An attempt that fails with a
-/// transient code is retried after an exponentially growing backoff, up to
-/// max_attempts total tries; everything else (and exhaustion) surfaces the
-/// typed error to the caller.
-struct SpillIoPolicy {
-  int max_attempts = 4;
-  int backoff_initial_us = 100;  // doubles per retry: 100, 200, 400, ...
-
-  /// ENOSPC counts as transient on the write path: spills race with other
-  /// tenants of the temp volume and space can free up between attempts.
-  /// (If it does not, exhaustion lands in the resident-run fallback.)
-  static bool IsTransient(int err) {
-    return err == EINTR || err == EAGAIN || err == ENOSPC || err == ENOBUFS;
-  }
-
-  void BackoffSleep(int attempt) const {
-    const int64_t us = static_cast<int64_t>(backoff_initial_us) << attempt;
-    if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
-  }
-};
+/// Deprecated spelling: the retry policy moved to core/io.h (IoRetryPolicy,
+/// carried inside IoOptions) so sync and async paths share one transient
+/// table. Old call sites keep compiling through this alias.
+using SpillIoPolicy = IoRetryPolicy;
 
 template <typename K>
 class SpillKeyProbe;
@@ -214,22 +151,30 @@ inline IoResult SpillFail(IoResult::Op op, int err, std::string detail) {
 
 /// Shared read-side handle: opens a spill file (with retry on transient
 /// errno), validates the header against the caller's SpillFileInfo, loads
-/// and verifies the checksum footer, and serves positioned reads. All
-/// failures throw SpillIoError. `expect_vsize` = 0 skips the value-size
-/// check (SpillKeyProbe does not know V; it takes the on-disk size as
-/// authoritative for computing the footer offset).
+/// and verifies the checksum footer, and serves positioned reads.
+///
+/// Every operation exists in two spellings that share one body: Try*
+/// returns a typed IoResult (the IoBackend seam -- async prefetch jobs must
+/// never throw across threads), and the bare name throws SpillIoError for
+/// the legacy inline paths. Reads go through positional pread on the owned
+/// fd, so once Open succeeds concurrent TryReadAt calls (prefetch slots in
+/// flight) are safe without any cursor-level locking.
+///
+/// `expect_vsize` = 0 skips the value-size check (SpillKeyProbe does not
+/// know V; it takes the on-disk size as authoritative for computing the
+/// footer offset).
 class SpillReadHandle {
  public:
   SpillReadHandle() = default;
   ~SpillReadHandle() {
-    if (file_ != nullptr) std::fclose(file_);
+    if (fd_ >= 0) ::close(fd_);
   }
   SpillReadHandle(SpillReadHandle&& other) noexcept { *this = std::move(other); }
   SpillReadHandle& operator=(SpillReadHandle&& other) noexcept {
     if (this != &other) {
-      if (file_ != nullptr) std::fclose(file_);
-      file_ = other.file_;
-      other.file_ = nullptr;
+      if (fd_ >= 0) ::close(fd_);
+      fd_ = other.fd_;
+      other.fd_ = -1;
       path_ = std::move(other.path_);
       num_pairs_ = other.num_pairs_;
       ksize_ = other.ksize_;
@@ -242,113 +187,146 @@ class SpillReadHandle {
   SpillReadHandle(const SpillReadHandle&) = delete;
   SpillReadHandle& operator=(const SpillReadHandle&) = delete;
 
-  bool open() const { return file_ != nullptr; }
+  bool open() const { return fd_ >= 0; }
   uint64_t num_pairs() const { return num_pairs_; }
   uint32_t ksize() const { return ksize_; }
   uint32_t vsize() const { return vsize_; }
   const std::vector<uint32_t>& key_crcs() const { return key_crcs_; }
   const std::vector<uint32_t>& value_crcs() const { return value_crcs_; }
 
-  void Open(const SpillFileInfo& info, uint32_t expect_ksize,
-            uint32_t expect_vsize, const SpillIoPolicy& policy) {
+  /// Typed open: never throws. On failure the handle stays closed.
+  IoResult TryOpen(const SpillFileInfo& info, uint32_t expect_ksize,
+                   uint32_t expect_vsize, const IoRetryPolicy& policy) {
     path_ = info.path.string();
     policy_ = policy;
     for (int attempt = 0;; ++attempt) {
       const int fe = FailpointHit("spill.read.open");
-      file_ = fe != 0 ? nullptr : std::fopen(path_.c_str(), "rb");
-      if (file_ != nullptr) break;
+      fd_ = fe != 0 ? -1 : ::open(path_.c_str(), O_RDONLY);
+      if (fd_ >= 0) break;
       const int err = fe != 0 ? fe : errno;
-      if (SpillIoPolicy::IsTransient(err) && attempt + 1 < policy_.max_attempts) {
+      if (IoRetryPolicy::IsTransient(err) && attempt + 1 < policy_.max_attempts) {
         policy_.BackoffSleep(attempt);
         continue;
       }
-      throw SpillIoError(
-          SpillFail(IoResult::Op::kOpen, err, "cannot open spill file " + path_));
+      return SpillFail(IoResult::Op::kOpen, err,
+                       "cannot open spill file " + path_);
     }
     uint64_t header[2] = {0, 0};
     uint32_t sizes[2] = {0, 0};
-    ReadAt(0, header, sizeof(header), "spill header");
-    ReadAt(sizeof(header), sizes, sizeof(sizes), "spill header");
-    if (header[0] != kSpillMagic) {
-      throw SpillIoError(SpillFail(
-          IoResult::Op::kFormat, 0,
-          "bad spill magic in " + path_ + " (not a WVMRPIL2 spill file)"));
+    IoResult r = TryReadAt(0, header, sizeof(header), "spill header");
+    if (r.ok()) r = TryReadAt(sizeof(header), sizes, sizeof(sizes), "spill header");
+    if (r.ok() && header[0] != kSpillMagic) {
+      r = SpillFail(IoResult::Op::kFormat, 0,
+                    "bad spill magic in " + path_ +
+                        " (not a WVMRPIL2 spill file)");
     }
-    if (header[1] != info.num_pairs) {
-      throw SpillIoError(SpillFail(
-          IoResult::Op::kFormat, 0,
-          "spill pair-count mismatch in " + path_ + ": header says " +
-              std::to_string(header[1]) + ", expected " +
-              std::to_string(info.num_pairs)));
+    if (r.ok() && header[1] != info.num_pairs) {
+      r = SpillFail(IoResult::Op::kFormat, 0,
+                    "spill pair-count mismatch in " + path_ + ": header says " +
+                        std::to_string(header[1]) + ", expected " +
+                        std::to_string(info.num_pairs));
     }
-    if (sizes[0] != expect_ksize ||
-        (expect_vsize != 0 && sizes[1] != expect_vsize) || sizes[1] == 0) {
-      throw SpillIoError(SpillFail(IoResult::Op::kFormat, 0,
-                                   "spill record-size mismatch in " + path_));
+    if (r.ok() && (sizes[0] != expect_ksize ||
+                   (expect_vsize != 0 && sizes[1] != expect_vsize) ||
+                   sizes[1] == 0)) {
+      r = SpillFail(IoResult::Op::kFormat, 0,
+                    "spill record-size mismatch in " + path_);
     }
-    num_pairs_ = header[1];
-    ksize_ = sizes[0];
-    vsize_ = sizes[1];
-    LoadFooter();
+    if (r.ok()) {
+      num_pairs_ = header[1];
+      ksize_ = sizes[0];
+      vsize_ = sizes[1];
+      r = TryLoadFooter();
+    }
+    if (!r.ok()) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    return r;
   }
 
-  /// Positioned read of exactly `bytes`; retries transient errno per policy,
-  /// throws SpillIoError(kFormat) on EOF (truncation) and kRead/kSeek on
-  /// hard errors.
-  void ReadAt(uint64_t offset, void* out, size_t bytes, const char* what) {
+  void Open(const SpillFileInfo& info, uint32_t expect_ksize,
+            uint32_t expect_vsize, const IoRetryPolicy& policy) {
+    IoResult r = TryOpen(info, expect_ksize, expect_vsize, policy);
+    if (!r.ok()) throw SpillIoError(std::move(r));
+  }
+
+  /// Positioned read of exactly `bytes` via pread (safe from concurrent
+  /// prefetch jobs); retries transient errno per policy. Returns kFormat on
+  /// EOF (truncation) and kRead on hard errors.
+  IoResult TryReadAt(uint64_t offset, void* out, size_t bytes,
+                     const char* what) const {
     for (int attempt = 0;; ++attempt) {
       const int fe = FailpointHit("spill.read.read");
       int err = 0;
       if (fe != 0) {
         err = fe;
-      } else if (fseeko(file_, static_cast<off_t>(offset), SEEK_SET) != 0) {
-        err = errno;
-        throw SpillIoError(SpillFail(IoResult::Op::kSeek, err,
-                                     std::string(what) + " in " + path_));
       } else {
-        std::clearerr(file_);
-        if (std::fread(out, 1, bytes, file_) == bytes) return;
-        if (std::feof(file_)) {
-          throw SpillIoError(
-              SpillFail(IoResult::Op::kFormat, 0,
-                        "truncated spill file " + path_ + " (short read of " +
-                            what + ")"));
+        size_t done = 0;
+        while (done < bytes) {
+          const ssize_t got =
+              ::pread(fd_, static_cast<char*>(out) + done, bytes - done,
+                      static_cast<off_t>(offset + done));
+          if (got > 0) {
+            done += static_cast<size_t>(got);
+            continue;
+          }
+          if (got == 0) {
+            return SpillFail(IoResult::Op::kFormat, 0,
+                             "truncated spill file " + path_ +
+                                 " (short read of " + what + ")");
+          }
+          err = errno;
+          break;
         }
-        err = errno;
+        if (done == bytes) return IoResult{};
       }
-      if (SpillIoPolicy::IsTransient(err) && attempt + 1 < policy_.max_attempts) {
-        std::clearerr(file_);
+      if (IoRetryPolicy::IsTransient(err) && attempt + 1 < policy_.max_attempts) {
         policy_.BackoffSleep(attempt);
         continue;
       }
-      throw SpillIoError(SpillFail(IoResult::Op::kRead, err,
-                                   std::string(what) + " in " + path_));
+      return SpillFail(IoResult::Op::kRead, err,
+                       std::string(what) + " in " + path_);
     }
   }
 
+  void ReadAt(uint64_t offset, void* out, size_t bytes, const char* what) const {
+    IoResult r = TryReadAt(offset, out, bytes, what);
+    if (!r.ok()) throw SpillIoError(std::move(r));
+  }
+
   /// Verifies one column block against its stored checksum.
-  void VerifyBlock(const std::vector<uint32_t>& crcs, uint64_t block,
-                   const void* data, size_t bytes, const char* column) const {
+  IoResult TryVerifyBlock(const std::vector<uint32_t>& crcs, uint64_t block,
+                          const void* data, size_t bytes,
+                          const char* column) const {
     const uint32_t computed = Crc32c(data, bytes);
-    if (block < crcs.size() && crcs[block] == computed) return;
+    if (block < crcs.size() && crcs[block] == computed) return IoResult{};
     char msg[160];
     std::snprintf(msg, sizeof(msg),
                   "%s block %llu checksum mismatch (stored 0x%08x, computed "
                   "0x%08x)",
                   column, static_cast<unsigned long long>(block),
                   block < crcs.size() ? crcs[block] : 0u, computed);
-    throw SpillIoError(
-        SpillFail(IoResult::Op::kChecksum, 0, std::string(msg) + " in " + path_));
+    return SpillFail(IoResult::Op::kChecksum, 0,
+                     std::string(msg) + " in " + path_);
+  }
+
+  void VerifyBlock(const std::vector<uint32_t>& crcs, uint64_t block,
+                   const void* data, size_t bytes, const char* column) const {
+    IoResult r = TryVerifyBlock(crcs, block, data, bytes, column);
+    if (!r.ok()) throw SpillIoError(std::move(r));
   }
 
  private:
-  void LoadFooter() {
+  IoResult TryLoadFooter() {
     const uint64_t nblocks = SpillNumBlocks(num_pairs_);
     const uint64_t footer_off =
         kSpillHeaderBytes + num_pairs_ * (uint64_t{ksize_} + vsize_);
     std::vector<uint32_t> footer(2 * nblocks + 1);
-    ReadAt(footer_off, footer.data(), footer.size() * sizeof(uint32_t),
-           "spill checksum footer");
+    IoResult r = TryReadAt(footer_off, footer.data(),
+                           footer.size() * sizeof(uint32_t),
+                           "spill checksum footer");
+    if (!r.ok()) return r;
     const uint32_t computed =
         Crc32c(footer.data(), 2 * nblocks * sizeof(uint32_t));
     if (footer[2 * nblocks] != computed) {
@@ -357,16 +335,17 @@ class SpillReadHandle {
                     "spill footer checksum mismatch (stored 0x%08x, computed "
                     "0x%08x)",
                     footer[2 * nblocks], computed);
-      throw SpillIoError(SpillFail(IoResult::Op::kChecksum, 0,
-                                   std::string(msg) + " in " + path_));
+      return SpillFail(IoResult::Op::kChecksum, 0,
+                       std::string(msg) + " in " + path_);
     }
     key_crcs_.assign(footer.begin(), footer.begin() + nblocks);
     value_crcs_.assign(footer.begin() + nblocks, footer.begin() + 2 * nblocks);
+    return IoResult{};
   }
 
-  std::FILE* file_ = nullptr;
+  int fd_ = -1;
   std::string path_;
-  SpillIoPolicy policy_;
+  IoRetryPolicy policy_;
   uint64_t num_pairs_ = 0;
   uint32_t ksize_ = 0;
   uint32_t vsize_ = 0;
@@ -437,24 +416,14 @@ IoResult WriteSpillFileOnce(const std::filesystem::path& path, const K* keys,
 
 }  // namespace internal
 
-/// Writes one sorted run's columns to `path` in the checksummed WVMRPIL2
-/// framing. Keys and values must be trivially copyable (every shuffle value
-/// in this codebase is a packed POD message).
-///
-/// Never aborts on IO failure: transient errno is retried per `policy`
-/// (each retry rewrites from scratch), any partial file is deleted before
-/// returning, and the typed IoResult lets the caller degrade -- the shuffle
-/// plane's response is to keep the run resident (ShufflePlane fallback)
-/// rather than lose data or kill the job.
+/// The checksum footer for one run's columns: per-block CRC32C of the key
+/// and value columns plus the footer CRC, in on-disk layout. Computed by the
+/// *owner* of the columns -- on the async path the driver runs this before
+/// submission, so what lands on disk provably matches what the plane held
+/// when it decided to spill, not whatever a worker later observed.
 template <typename K, typename V>
-SpillWriteResult WriteSpillFile(const std::filesystem::path& path,
-                                const K* keys, const V* values, uint64_t n,
-                                const SpillIoPolicy& policy = SpillIoPolicy()) {
-  static_assert(std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>,
-                "spill framing memcpys raw columns");
-  // Checksums are over the in-memory columns, computed once across retries:
-  // what lands on disk must match what the writer held, not what a previous
-  // torn attempt wrote.
+std::vector<uint32_t> ComputeSpillFooter(const K* keys, const V* values,
+                                         uint64_t n) {
   const uint64_t nblocks = SpillNumBlocks(n);
   std::vector<uint32_t> footer(2 * nblocks + 1);
   for (uint64_t b = 0; b < nblocks; ++b) {
@@ -464,7 +433,22 @@ SpillWriteResult WriteSpillFile(const std::filesystem::path& path,
     footer[nblocks + b] = Crc32c(values + lo, cnt * sizeof(V));
   }
   footer[2 * nblocks] = Crc32c(footer.data(), 2 * nblocks * sizeof(uint32_t));
+  return footer;
+}
 
+/// Retrying write body shared by the inline and worker-side paths: each
+/// retry rewrites from scratch, any partial file is deleted before
+/// returning, and the outcome is a typed result -- never a throw, so it is
+/// safe as an IoBackend job body. The footer must come from
+/// ComputeSpillFooter over the same columns.
+template <typename K, typename V>
+SpillWriteResult WriteSpillFileWithFooter(const std::filesystem::path& path,
+                                          const K* keys, const V* values,
+                                          uint64_t n,
+                                          const std::vector<uint32_t>& footer,
+                                          const IoRetryPolicy& policy) {
+  static_assert(std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>,
+                "spill framing memcpys raw columns");
   SpillWriteResult result;
   for (int attempt = 0;; ++attempt) {
     result.io = internal::WriteSpillFileOnce<K, V>(path, keys, values, n, footer);
@@ -477,7 +461,7 @@ SpillWriteResult WriteSpillFile(const std::filesystem::path& path,
     // directory sweep would double-count it.
     std::error_code ec;
     std::filesystem::remove(path, ec);
-    if (!SpillIoPolicy::IsTransient(result.io.err) ||
+    if (!IoRetryPolicy::IsTransient(result.io.err) ||
         attempt + 1 >= policy.max_attempts) {
       result.retries = static_cast<uint32_t>(attempt);
       return result;
@@ -486,8 +470,28 @@ SpillWriteResult WriteSpillFile(const std::filesystem::path& path,
   }
 }
 
+/// Writes one sorted run's columns to `path` in the checksummed WVMRPIL2
+/// framing. Keys and values must be trivially copyable (every shuffle value
+/// in this codebase is a packed POD message).
+///
+/// Never aborts on IO failure: transient errno is retried per `policy`
+/// (each retry rewrites from scratch), any partial file is deleted before
+/// returning, and the typed IoResult lets the caller degrade -- the shuffle
+/// plane's response is to keep the run resident (ShufflePlane fallback)
+/// rather than lose data or kill the job.
+template <typename K, typename V>
+SpillWriteResult WriteSpillFile(const std::filesystem::path& path,
+                                const K* keys, const V* values, uint64_t n,
+                                const IoRetryPolicy& policy = IoRetryPolicy()) {
+  // Checksums are over the in-memory columns, computed once across retries:
+  // what lands on disk must match what the writer held, not what a previous
+  // torn attempt wrote.
+  const std::vector<uint32_t> footer = ComputeSpillFooter<K, V>(keys, values, n);
+  return WriteSpillFileWithFooter<K, V>(path, keys, values, n, footer, policy);
+}
+
 /// Streaming block cursor over an index range [begin, end) of one spill
-/// file's pairs. Each cursor owns its FILE*, so cursors over the same file
+/// file's pairs. Each cursor owns its fd, so cursors over the same file
 /// (one per reduce partition) are safe to advance from different threads.
 /// NextBlock loads (keys, values) pairs into owned buffers and hands out raw
 /// column pointers -- the same shape RunMerger's resident cursors have, so
@@ -498,33 +502,56 @@ SpillWriteResult WriteSpillFile(const std::filesystem::path& path,
 /// refill request is clamped to the current block's end, so callers see at
 /// most block_pairs pairs per call but possibly fewer. IO failures and
 /// corruption throw SpillIoError.
+///
+/// On an async IoBackend the cursor prefetches: up to
+/// IoOptions::prefetch_depth upcoming checksum blocks are read and
+/// CRC-verified by I/O workers (failpoint `spill.read.prefetch`) while the
+/// loser tree drains the current block. Blocks are consumed strictly in
+/// order, so the handoff point is deterministic -- a prefetched block's
+/// failure or corruption is rethrown as SpillIoError exactly when NextBlock
+/// first touches that block, the same observable point as the inline path.
+/// Buffers come from the backend's IoBufferArena and recycle as the cursor
+/// advances.
 template <typename K, typename V>
 class FileRunCursor {
  public:
   /// Upper bound on pairs per refill: 4096 * (8 + 8) bytes = 64 KiB per
   /// column pair for the common u64/u64 shuffle -- big enough to amortize
-  /// fread, small enough that R cursors * 2 columns stay cache-friendly.
+  /// the read, small enough that R cursors * 2 columns stay cache-friendly.
   static constexpr uint64_t kDefaultBlockPairs = 4096;
 
   FileRunCursor(const SpillFileInfo& info, uint64_t begin, uint64_t end,
                 uint64_t block_pairs = kDefaultBlockPairs,
-                const SpillIoPolicy& policy = SpillIoPolicy())
-      : num_pairs_(info.num_pairs),
-        pos_(begin),
-        end_(end < info.num_pairs ? end : info.num_pairs),
-        block_pairs_(block_pairs == 0 ? 1 : block_pairs) {
-    static_assert(std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>);
-    WAVEMR_CHECK(begin <= end_) << "inverted spill cursor range";
-    handle_.Open(info, sizeof(K), sizeof(V), policy);
-    const uint64_t buf = std::min<uint64_t>(kSpillIndexBlockPairs, num_pairs_);
-    keys_.resize(static_cast<size_t>(buf));
-    values_.resize(static_cast<size_t>(buf));
+                const IoRetryPolicy& policy = IoRetryPolicy(),
+                IoBackend* io = nullptr)
+      : FileRunCursor(info, begin, end, block_pairs, policy, io, nullptr) {}
+
+  /// Typed construction through the IoBackend seam: open/header/footer
+  /// failures come back as a Status instead of a SpillIoError throw.
+  static StatusOr<std::unique_ptr<FileRunCursor>> Create(
+      const SpillFileInfo& info, uint64_t begin, uint64_t end,
+      uint64_t block_pairs = kDefaultBlockPairs,
+      const IoRetryPolicy& policy = IoRetryPolicy(), IoBackend* io = nullptr) {
+    IoResult open_result;
+    auto cursor = std::unique_ptr<FileRunCursor>(new FileRunCursor(
+        info, begin, end, block_pairs, policy, io, &open_result));
+    if (!open_result.ok()) return open_result.ToStatus();
+    return cursor;
   }
 
   FileRunCursor(const FileRunCursor&) = delete;
   FileRunCursor& operator=(const FileRunCursor&) = delete;
 
+  ~FileRunCursor() {
+    // In-flight prefetch jobs capture slot pointers; they must finish
+    // before the slots (and the handle's fd) die.
+    for (auto& slot : pending_) slot->ticket.Wait();
+  }
+
   uint64_t remaining() const { return end_ - pos_; }
+
+  /// Checksum blocks currently read ahead (telemetry for tests).
+  size_t prefetch_in_flight() const { return pending_.size(); }
 
   /// Loads the next slice of the range. Returns the number of pairs loaded
   /// (0 at end of range); *keys/*values point at the cursor-owned buffers
@@ -538,8 +565,9 @@ class FileRunCursor {
         std::min(block_lo + kSpillIndexBlockPairs, num_pairs_);
     want = std::min(want, block_hi - pos_);
     LoadBlock(block, block_lo, block_hi);
-    *keys = keys_.data() + (pos_ - block_lo);
-    *values = values_.data() + (pos_ - block_lo);
+    *keys = reinterpret_cast<const K*>(cur_keys_.data()) + (pos_ - block_lo);
+    *values =
+        reinterpret_cast<const V*>(cur_values_.data()) + (pos_ - block_lo);
     pos_ += want;
     return want;
   }
@@ -570,29 +598,154 @@ class FileRunCursor {
   }
 
  private:
+  /// One prefetched checksum block in flight: the job fills keys/values and
+  /// records its outcome in `result`; the consumer serializes on `ticket`.
+  struct Slot {
+    uint64_t block = 0;
+    IoBuffer keys;
+    IoBuffer values;
+    IoResult result;
+    IoTicket ticket;
+  };
+
+  /// Shared body. With `open_result` != nullptr failures land there (the
+  /// typed Create path); otherwise they throw SpillIoError (legacy ctor).
+  FileRunCursor(const SpillFileInfo& info, uint64_t begin, uint64_t end,
+                uint64_t block_pairs, const IoRetryPolicy& policy,
+                IoBackend* io, IoResult* open_result)
+      : io_(io != nullptr ? io : DefaultSyncIoBackend()),
+        num_pairs_(info.num_pairs),
+        pos_(begin),
+        end_(end < info.num_pairs ? end : info.num_pairs),
+        block_pairs_(block_pairs == 0 ? 1 : block_pairs) {
+    static_assert(std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>);
+    WAVEMR_CHECK(begin <= end_) << "inverted spill cursor range";
+    IoResult r = handle_.TryOpen(info, sizeof(K), sizeof(V), policy);
+    if (!r.ok()) {
+      if (open_result != nullptr) {
+        *open_result = std::move(r);
+        return;
+      }
+      throw SpillIoError(std::move(r));
+    }
+    if (open_result != nullptr) *open_result = IoResult{};
+    if (io_->async() && pos_ < end_) {
+      prefetch_depth_ = std::max(0, io_->options().prefetch_depth);
+    }
+    next_prefetch_block_ = pos_ / kSpillIndexBlockPairs;
+    SubmitPrefetch();
+  }
+
+  /// Reads + CRC-verifies one whole checksum block into caller storage.
+  /// Never throws (runs on I/O workers as well as inline).
+  IoResult TryLoadBlockInto(uint64_t block, std::byte* kout,
+                            std::byte* vout) const {
+    const uint64_t lo = block * kSpillIndexBlockPairs;
+    const uint64_t count = std::min(kSpillIndexBlockPairs, num_pairs_ - lo);
+    IoResult r =
+        handle_.TryReadAt(internal::SpillKeyOffset() + lo * sizeof(K), kout,
+                          count * sizeof(K), "spill key block");
+    if (!r.ok()) return r;
+    r = handle_.TryVerifyBlock(handle_.key_crcs(), block, kout,
+                               count * sizeof(K), "spill key");
+    if (!r.ok()) return r;
+    r = handle_.TryReadAt(
+        internal::SpillValueOffset<K, V>(num_pairs_) + lo * sizeof(V), vout,
+        count * sizeof(V), "spill value block");
+    if (!r.ok()) return r;
+    return handle_.TryVerifyBlock(handle_.value_crcs(), block, vout,
+                                  count * sizeof(V), "spill value");
+  }
+
+  /// Tops the pipeline back up to prefetch_depth_ slots. At most
+  /// prefetch_depth_ jobs are ever in flight per cursor and all are
+  /// submitted from the consuming thread, so a stalled backend can delay but
+  /// never deadlock the merge.
+  void SubmitPrefetch() {
+    if (prefetch_depth_ == 0) return;
+    const uint64_t last_block = (end_ - 1) / kSpillIndexBlockPairs;
+    while (pending_.size() < static_cast<size_t>(prefetch_depth_) &&
+           next_prefetch_block_ <= last_block) {
+      auto slot = std::make_unique<Slot>();
+      slot->block = next_prefetch_block_++;
+      const uint64_t lo = slot->block * kSpillIndexBlockPairs;
+      const uint64_t count = std::min(kSpillIndexBlockPairs, num_pairs_ - lo);
+      slot->keys = io_->arena().Acquire(count * sizeof(K));
+      slot->values = io_->arena().Acquire(count * sizeof(V));
+      Slot* raw = slot.get();
+      slot->ticket = io_->Submit([this, raw] {
+        const IoRetryPolicy& policy = io_->options().retry;
+        for (int attempt = 0;; ++attempt) {
+          const int fe = FailpointHit("spill.read.prefetch");
+          if (fe == 0) break;
+          if (IoRetryPolicy::IsTransient(fe) &&
+              attempt + 1 < policy.max_attempts) {
+            policy.BackoffSleep(attempt);
+            continue;
+          }
+          raw->result = internal::SpillFail(
+              IoResult::Op::kRead, fe,
+              "prefetch of spill block " + std::to_string(raw->block));
+          return;
+        }
+        raw->result =
+            TryLoadBlockInto(raw->block, raw->keys.data(), raw->values.data());
+      });
+      pending_.push_back(std::move(slot));
+    }
+  }
+
   void LoadBlock(uint64_t block, uint64_t block_lo, uint64_t block_hi) {
     if (block == loaded_block_) return;
-    const uint64_t count = block_hi - block_lo;
-    handle_.ReadAt(internal::SpillKeyOffset() + block_lo * sizeof(K),
-                   keys_.data(), count * sizeof(K), "spill key block");
-    handle_.VerifyBlock(handle_.key_crcs(), block, keys_.data(),
-                        count * sizeof(K), "spill key");
-    handle_.ReadAt(internal::SpillValueOffset<K, V>(num_pairs_) +
-                       block_lo * sizeof(V),
-                   values_.data(), count * sizeof(V), "spill value block");
-    handle_.VerifyBlock(handle_.value_crcs(), block, values_.data(),
-                        count * sizeof(V), "spill value");
+    if (prefetch_depth_ > 0) {
+      // Blocks are consumed in strictly increasing order (refills are
+      // clamped to checksum-block boundaries); skipped slots cannot happen,
+      // but drain defensively rather than desync the pipeline.
+      while (!pending_.empty() && pending_.front()->block < block) {
+        pending_.front()->ticket.Wait();
+        pending_.pop_front();
+      }
+      WAVEMR_CHECK(!pending_.empty() && pending_.front()->block == block)
+          << "spill prefetch pipeline out of sync";
+      std::unique_ptr<Slot> slot = std::move(pending_.front());
+      pending_.pop_front();
+      slot->ticket.Wait();
+      if (!slot->result.ok()) {
+        // Same observable point as the inline path: the error surfaces when
+        // the merge first needs this block, CRC-checked before handoff.
+        throw SpillIoError(std::move(slot->result));
+      }
+      cur_keys_ = std::move(slot->keys);
+      cur_values_ = std::move(slot->values);
+      loaded_block_ = block;
+      SubmitPrefetch();
+      return;
+    }
+    // Inline path: same bytes, same failpoint sites as the pre-async engine.
+    if (!cur_keys_) {
+      const uint64_t buf = std::min<uint64_t>(kSpillIndexBlockPairs, num_pairs_);
+      cur_keys_ = io_->arena().Acquire(buf * sizeof(K));
+      cur_values_ = io_->arena().Acquire(buf * sizeof(V));
+    }
+    (void)block_lo;
+    (void)block_hi;
+    IoResult r = TryLoadBlockInto(block, cur_keys_.data(), cur_values_.data());
+    if (!r.ok()) throw SpillIoError(std::move(r));
     loaded_block_ = block;
   }
 
+  IoBackend* io_;
   internal::SpillReadHandle handle_;
   uint64_t num_pairs_;
   uint64_t pos_;
   uint64_t end_;
   uint64_t block_pairs_;
   uint64_t loaded_block_ = std::numeric_limits<uint64_t>::max();
-  std::vector<K> keys_;
-  std::vector<V> values_;
+  int prefetch_depth_ = 0;
+  uint64_t next_prefetch_block_ = 0;
+  IoBuffer cur_keys_;
+  IoBuffer cur_values_;
+  std::deque<std::unique_ptr<Slot>> pending_;
 };
 
 /// Random-access lower/upper-bound probes over one spill file's sorted key
